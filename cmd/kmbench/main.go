@@ -1,0 +1,70 @@
+// Command kmbench regenerates the paper-reproduction tables recorded in
+// EXPERIMENTS.md: one table per experiment in DESIGN.md's index
+// (F1, E1–E17), each exercising a claim of "On the Distributed
+// Complexity of Large-Scale Graph Computations" (SPAA 2018).
+//
+// Usage:
+//
+//	kmbench                 # run every experiment at full size
+//	kmbench -quick          # smaller sizes (seconds instead of minutes)
+//	kmbench -run E2,E5      # only the listed experiment IDs
+//	kmbench -seed 7         # perturb all randomness
+//	kmbench -list           # list experiment IDs and exit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kmachine/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced-size experiments")
+	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	seed := flag.Uint64("seed", 1, "seed for all randomness")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	all := experiments.All()
+	if *list {
+		for _, r := range all {
+			fmt.Printf("%-4s %s\n", r.ID, r.Name)
+		}
+		return
+	}
+
+	want := map[string]bool{}
+	if *run != "" {
+		for _, id := range strings.Split(*run, ",") {
+			want[strings.ToUpper(strings.TrimSpace(id))] = true
+		}
+	}
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Printf("kmachine reproduction harness (%s mode, seed %d)\n", mode, *seed)
+	fmt.Printf("paper: Pandurangan, Robinson, Scquizzato — SPAA 2018 (arXiv:1602.08481)\n\n")
+
+	ran := 0
+	for _, r := range all {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		table := r.Run(cfg)
+		table.Fprint(os.Stdout)
+		fmt.Printf("   (%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "no experiments matched -run=%q; try -list\n", *run)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,150 @@
+package kmachine_test
+
+// Cross-package integration tests: full pipelines that exercise several
+// subsystems together, the way a downstream user would compose them.
+
+import (
+	"math"
+	"testing"
+
+	"kmachine"
+	"kmachine/internal/core"
+	"kmachine/internal/gen"
+	"kmachine/internal/graph"
+	"kmachine/internal/partition"
+	"kmachine/internal/triangle"
+)
+
+// TestREPToTrianglesPipeline reproduces the footnote-3 workflow: the
+// input arrives under the random *edge* partition, is converted to the
+// random vertex partition as a measured k-machine computation, and the
+// triangle enumeration then runs on the converted partition. The end
+// result must still be exact, and the conversion cost must be the
+// Õ(m/k²) the footnote claims.
+func TestREPToTrianglesPipeline(t *testing.T) {
+	g := gen.Gnp(150, 0.3, 7)
+	const k = 27
+	rep := partition.NewREP(g, k, 11)
+	conv, err := partition.ConvertREPToRVP(rep, core.Config{K: k, Bandwidth: 8, Seed: 13}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := triangle.Run(conv.RVP, core.Config{K: k, Bandwidth: 8, Seed: 19}, triangle.AlgorithmOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, wantSum := graph.TriangleChecksum(g.Triangles())
+	if res.Count != wantCount || res.Checksum != wantSum {
+		t.Fatalf("post-conversion enumeration wrong: %d triangles, want %d", res.Count, wantCount)
+	}
+	total := conv.Stats.Rounds + res.Stats.Rounds
+	if total <= 0 {
+		t.Error("pipeline reported no rounds")
+	}
+	t.Logf("REP->RVP conversion %d rounds + enumeration %d rounds", conv.Stats.Rounds, res.Stats.Rounds)
+}
+
+// TestPageRankMatchesSolverEndToEnd: the full public-API path (generate,
+// partition, run, compare against the sequential solver) achieves the
+// paper's δ-approximation on a graph large enough for concentration.
+func TestPageRankMatchesSolverEndToEnd(t *testing.T) {
+	g := kmachine.DirectedGnp(500, 0.02, 23)
+	p := kmachine.RandomVertexPartition(g, 16, 29)
+	res, err := kmachine.PageRank(p, kmachine.PageRankConfig{Eps: 0.2, Tokens: 512, Seed: 31})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := graph.ExpectedVisitPageRank(g, graph.PageRankOptions{Eps: 0.2, Tol: 1e-12, MaxIter: 5000})
+	var worst float64
+	count := 0
+	for v := range truth {
+		if truth[v] < 2.0/float64(g.N()) {
+			continue
+		}
+		rel := math.Abs(res.Estimate[v]-truth[v]) / truth[v]
+		if rel > worst {
+			worst = rel
+		}
+		count++
+	}
+	if count == 0 {
+		t.Skip("no sufficiently high-rank vertices")
+	}
+	if worst > 0.5 {
+		t.Errorf("worst relative error %.3f on %d high-rank vertices; δ-approximation broken", worst, count)
+	}
+}
+
+// TestCongestedCliqueEquivalence: the same graph enumerated under the
+// k-machine RVP and under the congested clique (k = n) must produce the
+// same triangle set — the two models differ only in cost.
+func TestCongestedCliqueEquivalence(t *testing.T) {
+	g := kmachine.Gnp(64, 0.4, 37)
+	rvpRes, err := kmachine.Triangles(kmachine.RandomVertexPartition(g, 8, 41), kmachine.TriangleConfig{Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliqueRes, err := kmachine.Triangles(kmachine.CongestedCliquePartition(g), kmachine.TriangleConfig{Bandwidth: 1, Seed: 47})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rvpRes.Count != cliqueRes.Count || rvpRes.Checksum != cliqueRes.Checksum {
+		t.Errorf("k-machine (%d) and congested clique (%d) disagree", rvpRes.Count, cliqueRes.Count)
+	}
+}
+
+// TestAllSubgraphModesOnOneGraph: triangles, triads and 4-cliques on the
+// same partition, each validated; together with the length-2-path
+// identity sum_u C(deg u, 2) = triads + 3·triangles they cross-check
+// one another.
+func TestAllSubgraphModesOnOneGraph(t *testing.T) {
+	g := kmachine.Gnp(100, 0.25, 53)
+	p := kmachine.RandomVertexPartition(g, 27, 59)
+	tri, err := kmachine.Triangles(p, kmachine.TriangleConfig{Seed: 61})
+	if err != nil {
+		t.Fatal(err)
+	}
+	triads, err := kmachine.OpenTriads(p, kmachine.TriangleConfig{Seed: 67})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cliques, err := kmachine.Cliques4(p, kmachine.TriangleConfig{Seed: 71})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths int64
+	for u := 0; u < g.N(); u++ {
+		d := int64(g.Degree(u))
+		paths += d * (d - 1) / 2
+	}
+	if got := triads.Count + 3*tri.Count; got != paths {
+		t.Errorf("triads + 3·triangles = %d, want path count %d", got, paths)
+	}
+	if cliques.Count != g.CountCliques4() {
+		t.Errorf("4-cliques %d, want %d", cliques.Count, g.CountCliques4())
+	}
+}
+
+// TestSortThenComponentsShareCluster: two different algorithms run back
+// to back with the same seeds must not interfere (no global state).
+func TestIndependentRunsNoGlobalState(t *testing.T) {
+	g := kmachine.Gnp(200, 0.05, 73)
+	p := kmachine.RandomVertexPartition(g, 8, 79)
+	before, err := kmachine.Triangles(p, kmachine.TriangleConfig{Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kmachine.Sort(2000, 8, 0, 89); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kmachine.ConnectedComponents(p, 0, 97); err != nil {
+		t.Fatal(err)
+	}
+	after, err := kmachine.Triangles(p, kmachine.TriangleConfig{Seed: 83})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Count != after.Count || before.Stats.Rounds != after.Stats.Rounds {
+		t.Error("triangle run changed after unrelated computations: hidden global state")
+	}
+}

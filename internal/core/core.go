@@ -1,0 +1,325 @@
+// Package core implements the k-machine model of the paper (§1.1) as an
+// executable substrate.
+//
+// A Cluster runs k Machine implementations that are pairwise connected by
+// bidirectional point-to-point links. Computation advances in supersteps:
+// in each superstep every machine consumes the messages delivered to it,
+// performs free local computation, and emits messages for the next
+// superstep. Every machine's Step executes in its own goroutine and the
+// cluster synchronises them with a barrier — machines share nothing and
+// communicate only through envelopes, CSP style.
+//
+// Cost model. The paper charges one round per B bits crossing a link, and
+// a phase that puts L bits on the most loaded link costs ceil(L/B) rounds
+// (this is precisely the quantity bounded in Lemma 13 and Lemmas 12/14).
+// The cluster therefore accounts a superstep at
+//
+//	max(1, ceil(max-link-words / Bandwidth))
+//
+// rounds, where message sizes are counted in words (1 word = Θ(log n)
+// bits, so Bandwidth in words corresponds to the paper's B = Θ(polylog n)
+// bits). Measured round totals consequently reproduce the congestion
+// behaviour the theorems describe: a machine that must receive R words
+// needs at least R/(k-1)/Bandwidth rounds no matter how the senders
+// schedule, and a single hot link serialises.
+//
+// Determinism. Machine i draws randomness from its own SplitMix64 stream
+// seeded by (runSeed, i), and inboxes are assembled in machine order, so
+// a run is a pure function of (machines, Config).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"kmachine/internal/rng"
+)
+
+// MachineID identifies one of the k machines.
+type MachineID int32
+
+// Envelope is one message in flight. Words is its size in machine words
+// for bandwidth accounting; From is stamped by the cluster.
+type Envelope[M any] struct {
+	From, To MachineID
+	Words    int32
+	Msg      M
+}
+
+// Machine is one of the k participants. Step consumes the envelopes
+// delivered this superstep and returns the envelopes to send; done
+// reports that this machine has no further work of its own (it may still
+// be woken by incoming messages, and must then return done again once
+// idle). The computation terminates when every machine reports done and
+// no envelope is in flight.
+type Machine[M any] interface {
+	Step(ctx *StepContext, inbox []Envelope[M]) (out []Envelope[M], done bool)
+}
+
+// MachineFunc adapts a function to the Machine interface.
+type MachineFunc[M any] func(ctx *StepContext, inbox []Envelope[M]) ([]Envelope[M], bool)
+
+// Step implements Machine.
+func (f MachineFunc[M]) Step(ctx *StepContext, inbox []Envelope[M]) ([]Envelope[M], bool) {
+	return f(ctx, inbox)
+}
+
+// StepContext carries per-machine, per-superstep environment.
+type StepContext struct {
+	// Self is the executing machine's ID.
+	Self MachineID
+	// K is the number of machines.
+	K int
+	// Superstep is the zero-based superstep index.
+	Superstep int
+	// RNG is the machine's private random stream (paper: "each machine
+	// has access to a private source of true random bits").
+	RNG *rng.RNG
+}
+
+// Config configures a cluster run.
+type Config struct {
+	// K is the number of machines (k > 2 in the paper; we accept k >= 2,
+	// and k = n gives the congested clique of Corollary 1).
+	K int
+	// Bandwidth is the per-link capacity in words per round (the paper's
+	// B, measured in Θ(log n)-bit words). Must be >= 1.
+	Bandwidth int
+	// Seed derives all machine random streams.
+	Seed uint64
+	// MaxSupersteps aborts runaway algorithms; 0 means a generous default.
+	MaxSupersteps int
+}
+
+// DefaultBandwidth returns the bandwidth used by the experiments for an
+// n-vertex input: Θ(log n) words per round, i.e. B = Θ(log² n) bits,
+// squarely in the paper's B = Θ(polylog n) regime.
+func DefaultBandwidth(n int) int {
+	b := 1
+	for v := n; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// SuperstepStat records one superstep's communication profile.
+type SuperstepStat struct {
+	// Rounds charged to this superstep: max(1, ceil(maxLink/Bandwidth)).
+	Rounds int64
+	// Messages and Words are totals across all links.
+	Messages int64
+	Words    int64
+	// MaxLinkWords is the load of the most loaded directed link.
+	MaxLinkWords int64
+	// MaxRecvWords / MaxSentWords are the per-machine extremes.
+	MaxRecvWords int64
+	MaxSentWords int64
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	// Rounds is the measured round complexity (the paper's T).
+	Rounds int64
+	// Supersteps is the number of barrier phases executed.
+	Supersteps int
+	// Messages and Words are run totals.
+	Messages int64
+	Words    int64
+	// RecvWords[i] / SentWords[i] are per-machine totals; MaxRecvWords is
+	// the maximum information (in words) any single machine received —
+	// the quantity the General Lower Bound Theorem reasons about.
+	RecvWords    []int64
+	SentWords    []int64
+	MaxRecvWords int64
+	// PerSuperstep is the per-phase breakdown (Lemmas 12/14 experiments).
+	PerSuperstep []SuperstepStat
+}
+
+// Bits converts a word count to bits for an n-vertex input under the
+// 1 word = ceil(log2 n)+1 bits convention.
+func Bits(words int64, n int) int64 {
+	w := int64(1)
+	for v := n; v > 1; v >>= 1 {
+		w++
+	}
+	return words * w
+}
+
+// Cluster coordinates k machines.
+type Cluster[M any] struct {
+	cfg      Config
+	machines []Machine[M]
+	rngs     []*rng.RNG
+}
+
+// ErrMaxSupersteps is returned when an algorithm fails to terminate
+// within Config.MaxSupersteps barriers.
+var ErrMaxSupersteps = errors.New("core: exceeded MaxSupersteps without termination")
+
+// NewCluster builds a cluster; the factory is called once per machine.
+func NewCluster[M any](cfg Config, factory func(id MachineID) Machine[M]) *Cluster[M] {
+	if cfg.K < 2 {
+		panic(fmt.Sprintf("core: need k >= 2 machines, got %d", cfg.K))
+	}
+	if cfg.Bandwidth < 1 {
+		panic(fmt.Sprintf("core: need Bandwidth >= 1 word/round, got %d", cfg.Bandwidth))
+	}
+	if cfg.MaxSupersteps == 0 {
+		cfg.MaxSupersteps = 1 << 20
+	}
+	c := &Cluster[M]{cfg: cfg}
+	c.machines = make([]Machine[M], cfg.K)
+	c.rngs = make([]*rng.RNG, cfg.K)
+	for i := 0; i < cfg.K; i++ {
+		c.machines[i] = factory(MachineID(i))
+		c.rngs[i] = rng.NewStream(cfg.Seed, uint64(i))
+	}
+	return c
+}
+
+// K returns the number of machines.
+func (c *Cluster[M]) K() int { return c.cfg.K }
+
+// Machine returns machine i (for output collection after Run).
+func (c *Cluster[M]) Machine(i MachineID) Machine[M] { return c.machines[int(i)] }
+
+// Run executes supersteps until global quiescence (every machine done and
+// no envelope in flight) and returns the communication statistics.
+func (c *Cluster[M]) Run() (*Stats, error) {
+	k := c.cfg.K
+	stats := &Stats{
+		RecvWords: make([]int64, k),
+		SentWords: make([]int64, k),
+	}
+	defer stats.finalize()
+	inboxes := make([][]Envelope[M], k)
+	outs := make([][]Envelope[M], k)
+	dones := make([]bool, k)
+	linkLoad := make([]int64, k*k) // directed link (from,to) -> words
+	recvThis := make([]int64, k)
+	sentThis := make([]int64, k)
+
+	for step := 0; ; step++ {
+		if step >= c.cfg.MaxSupersteps {
+			return stats, ErrMaxSupersteps
+		}
+		var wg sync.WaitGroup
+		panics := make([]error, k)
+		for i := 0; i < k; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				defer func() {
+					if r := recover(); r != nil {
+						panics[i] = fmt.Errorf("core: machine %d panicked in superstep %d: %v", i, step, r)
+					}
+				}()
+				ctx := &StepContext{
+					Self:      MachineID(i),
+					K:         k,
+					Superstep: step,
+					RNG:       c.rngs[i],
+				}
+				outs[i], dones[i] = c.machines[i].Step(ctx, inboxes[i])
+			}(i)
+		}
+		wg.Wait()
+		for _, perr := range panics {
+			if perr != nil {
+				return stats, perr
+			}
+		}
+
+		// Route and account.
+		for i := range linkLoad {
+			linkLoad[i] = 0
+		}
+		for i := range recvThis {
+			recvThis[i] = 0
+			sentThis[i] = 0
+		}
+		ss := SuperstepStat{}
+		allDone := true
+		for i := 0; i < k; i++ {
+			if !dones[i] {
+				allDone = false
+			}
+			for j := range outs[i] {
+				e := &outs[i][j]
+				if e.To < 0 || int(e.To) >= k {
+					return stats, fmt.Errorf("core: machine %d sent to invalid machine %d", i, e.To)
+				}
+				if e.Words < 0 {
+					return stats, fmt.Errorf("core: machine %d sent negative-size envelope", i)
+				}
+				e.From = MachineID(i)
+				if int(e.To) != i {
+					// Link traffic. Self-addressed envelopes are free:
+					// local computation costs nothing in the model.
+					w := int64(e.Words)
+					linkLoad[i*k+int(e.To)] += w
+					recvThis[e.To] += w
+					sentThis[i] += w
+					ss.Messages++
+					ss.Words += w
+				}
+			}
+		}
+		pending := false
+		for i := 0; i < k; i++ {
+			if len(outs[i]) > 0 {
+				pending = true
+				break
+			}
+		}
+		if allDone && !pending {
+			return stats, nil
+		}
+
+		for _, w := range linkLoad {
+			if w > ss.MaxLinkWords {
+				ss.MaxLinkWords = w
+			}
+		}
+		for i := 0; i < k; i++ {
+			if recvThis[i] > ss.MaxRecvWords {
+				ss.MaxRecvWords = recvThis[i]
+			}
+			if sentThis[i] > ss.MaxSentWords {
+				ss.MaxSentWords = sentThis[i]
+			}
+			stats.RecvWords[i] += recvThis[i]
+			stats.SentWords[i] += sentThis[i]
+		}
+		ss.Rounds = 1
+		if r := (ss.MaxLinkWords + int64(c.cfg.Bandwidth) - 1) / int64(c.cfg.Bandwidth); r > 1 {
+			ss.Rounds = r
+		}
+		stats.Rounds += ss.Rounds
+		stats.Supersteps++
+		stats.Messages += ss.Messages
+		stats.Words += ss.Words
+		stats.PerSuperstep = append(stats.PerSuperstep, ss)
+
+		// Deliver: inboxes assembled in machine order for determinism.
+		next := make([][]Envelope[M], k)
+		for i := 0; i < k; i++ {
+			for _, e := range outs[i] {
+				next[e.To] = append(next[e.To], e)
+			}
+			outs[i] = nil
+		}
+		inboxes = next
+	}
+}
+
+// finalize computes MaxRecvWords from the per-machine totals; Run defers
+// it so that both normal and error returns carry consistent stats.
+func (s *Stats) finalize() {
+	for _, w := range s.RecvWords {
+		if w > s.MaxRecvWords {
+			s.MaxRecvWords = w
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package dsort implements distributed sorting in the k-machine model —
+// the §1.3 example of the paper's General Lower Bound Theorem cookbook:
+// n keys are randomly distributed across the k machines and, at the end,
+// machine i must hold the i-th block of n/k order statistics. The GLBT
+// gives Ω̃(n/k²) rounds for this problem; the sample-sort algorithm here
+// matches it in Õ(n/k²).
+//
+// The algorithm is a three-phase sample sort:
+//
+//  1. splitter agreement — every machine broadcasts Θ(k·log n / k) local
+//     samples; all machines deterministically derive the same k-1
+//     splitters from the union;
+//  2. bucket routing — each key is routed (Valiant two-hop, Lemma 13) to
+//     the machine owning its splitter bucket; per-link load is Õ(n/k²)
+//     whp because both samples and hops are uniform;
+//  3. exact rebalance — machines broadcast bucket sizes (k words each),
+//     compute every key's exact global rank from prefix sums, and
+//     forward the few boundary keys that belong to a neighbouring
+//     machine's block. Sampling errors make this volume o(n/k) whp.
+//
+// The output is exact: machine i finishes with precisely the order
+// statistics (i·n/k, (i+1)·n/k], sorted.
+package dsort
+
+import (
+	"fmt"
+	"sort"
+
+	"kmachine/internal/core"
+	"kmachine/internal/rng"
+	"kmachine/internal/routing"
+)
+
+// Input is the initial key distribution: Keys[i] are machine i's keys.
+type Input struct {
+	Keys [][]uint64
+}
+
+// RandomInput deals n keys drawn from keyGen to k machines uniformly —
+// the random distribution the problem statement assumes.
+func RandomInput(n, k int, seed uint64, keyGen func(r *rng.RNG) uint64) *Input {
+	r := rng.New(seed)
+	in := &Input{Keys: make([][]uint64, k)}
+	for i := 0; i < n; i++ {
+		m := r.Intn(k)
+		in.Keys[m] = append(in.Keys[m], keyGen(r))
+	}
+	return in
+}
+
+// UniformKeys is the default key generator: uniform 63-bit keys.
+func UniformKeys(r *rng.RNG) uint64 { return r.Uint64() >> 1 }
+
+// SkewedKeys concentrates 90% of the mass on a tiny range, stressing the
+// splitter logic.
+func SkewedKeys(r *rng.RNG) uint64 {
+	if r.Intn(10) != 0 {
+		return r.Uint64() % 1024
+	}
+	return r.Uint64() >> 1
+}
+
+// Result reports a distributed sort.
+type Result struct {
+	// Blocks[i] is machine i's final sorted block.
+	Blocks [][]uint64
+	// Stats is the measured communication profile.
+	Stats *core.Stats
+	// RebalancedKeys counts keys moved in the exact-rebalance phase.
+	RebalancedKeys int64
+}
+
+const (
+	kindSample = iota
+	kindKey
+	kindSize
+	kindFinal
+)
+
+type smsg struct {
+	Kind  uint8
+	Value uint64
+	Count int64
+}
+
+type wire = routing.Hop[smsg]
+
+type sortMachine struct {
+	k, n       int
+	samplesPer int
+	keys       []uint64
+
+	samples   []uint64
+	splitters []uint64
+	bucket    []uint64
+	sizes     []int64
+	final     []uint64
+	rebal     int64
+	sizesIn   int
+}
+
+func (m *sortMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) ([]core.Envelope[wire], bool) {
+	delivered, out := routing.Deliver(core.MachineID(ctx.Self), inbox)
+	for _, d := range delivered {
+		switch d.Kind {
+		case kindSample:
+			m.samples = append(m.samples, d.Value)
+		case kindKey:
+			m.bucket = append(m.bucket, d.Value)
+		case kindSize:
+			m.sizes = append(m.sizes, 0) // placeholder, replaced below
+			m.sizes[len(m.sizes)-1] = d.Count
+			m.sizesIn++
+		case kindFinal:
+			m.final = append(m.final, d.Value)
+		}
+	}
+
+	switch ctx.Superstep {
+	case 0:
+		// Phase 1: broadcast local samples (duplicated to every machine
+		// so all derive identical splitters).
+		sampleCount := m.samplesPer
+		if sampleCount > len(m.keys) {
+			sampleCount = len(m.keys)
+		}
+		idx := ctx.RNG.Sample(len(m.keys), sampleCount)
+		mySamples := make([]uint64, 0, sampleCount)
+		for _, i := range idx {
+			mySamples = append(mySamples, m.keys[i])
+		}
+		m.samples = append(m.samples, mySamples...) // self-copy
+		for j := 0; j < ctx.K; j++ {
+			if core.MachineID(j) == ctx.Self {
+				continue
+			}
+			for _, s := range mySamples {
+				out = routing.RouteDirect(out, core.MachineID(j), 1, smsg{Kind: kindSample, Value: s})
+			}
+		}
+		return out, false
+
+	case 1:
+		// Phase 2: derive splitters and route keys to bucket machines.
+		sort.Slice(m.samples, func(i, j int) bool { return m.samples[i] < m.samples[j] })
+		m.splitters = make([]uint64, 0, ctx.K-1)
+		for j := 1; j < ctx.K; j++ {
+			m.splitters = append(m.splitters, m.samples[j*len(m.samples)/ctx.K])
+		}
+		for _, key := range m.keys {
+			b := sort.Search(len(m.splitters), func(i int) bool { return m.splitters[i] > key })
+			if core.MachineID(b) == ctx.Self {
+				m.bucket = append(m.bucket, key)
+				continue
+			}
+			out = routing.Route(out, ctx.RNG, ctx.K, core.MachineID(b), 1, smsg{Kind: kindKey, Value: key})
+		}
+		return out, false
+
+	case 2:
+		// Relay hop for key routing.
+		return out, false
+
+	case 3:
+		// Phase 3a: broadcast bucket size.
+		sort.Slice(m.bucket, func(i, j int) bool { return m.bucket[i] < m.bucket[j] })
+		m.sizes = nil
+		m.sizesIn = 0
+		for j := 0; j < ctx.K; j++ {
+			if core.MachineID(j) == ctx.Self {
+				continue
+			}
+			out = routing.RouteDirect(out, core.MachineID(j), 1, smsg{Kind: kindSize, Count: int64(len(m.bucket))})
+		}
+		return out, false
+
+	case 4:
+		// Phase 3b: sizes arrive ordered by sender machine ID (the
+		// cluster assembles inboxes in machine order), so insert our own
+		// at our index to get the global size vector.
+		sizes := make([]int64, 0, ctx.K)
+		idx := 0
+		for j := 0; j < ctx.K; j++ {
+			if core.MachineID(j) == ctx.Self {
+				sizes = append(sizes, int64(len(m.bucket)))
+				continue
+			}
+			sizes = append(sizes, m.sizes[idx])
+			idx++
+		}
+		prefix := int64(0)
+		for j := 0; int(j) < int(ctx.Self); j++ {
+			prefix += sizes[j]
+		}
+		// Exact global rank of bucket[i] is prefix + i; ship each key to
+		// the machine owning that rank's block. Boundary keys mostly
+		// target the adjacent machine, so they go two-hop as well —
+		// a direct send would serialise one link.
+		bounds := blockBounds(m.n, ctx.K)
+		for i, key := range m.bucket {
+			rank := prefix + int64(i)
+			target := core.MachineID(sort.Search(ctx.K, func(j int) bool { return bounds[j+1] > rank }))
+			if target == ctx.Self {
+				m.final = append(m.final, key)
+				continue
+			}
+			m.rebal++
+			out = routing.Route(out, ctx.RNG, ctx.K, target, 1, smsg{Kind: kindFinal, Value: key})
+		}
+		return out, false
+
+	case 5:
+		// Relay hop for rebalance keys.
+		return out, false
+
+	default:
+		sort.Slice(m.final, func(i, j int) bool { return m.final[i] < m.final[j] })
+		return out, true
+	}
+}
+
+// blockBounds returns the k+1 rank boundaries: machine i owns global
+// ranks [bounds[i], bounds[i+1]).
+func blockBounds(n, k int) []int64 {
+	b := make([]int64, k+1)
+	for i := 0; i <= k; i++ {
+		b[i] = int64(i) * int64(n) / int64(k)
+	}
+	return b
+}
+
+// Run sorts the input across k machines. cfg.K must equal len(in.Keys).
+func Run(in *Input, cfg core.Config, samplesPerMachine int) (*Result, error) {
+	k := len(in.Keys)
+	if cfg.K != k {
+		return nil, fmt.Errorf("dsort: cluster k=%d but input has %d machines", cfg.K, k)
+	}
+	n := 0
+	for _, ks := range in.Keys {
+		n += len(ks)
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("dsort: empty input")
+	}
+	if samplesPerMachine <= 0 {
+		samplesPerMachine = 16 * k
+	}
+	machines := make([]*sortMachine, k)
+	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[wire] {
+		m := &sortMachine{k: k, n: n, samplesPer: samplesPerMachine, keys: in.Keys[id]}
+		machines[id] = m
+		return m
+	})
+	stats, err := cluster.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Blocks: make([][]uint64, k), Stats: stats}
+	for id, m := range machines {
+		res.Blocks[id] = m.final
+		res.RebalancedKeys += m.rebal
+	}
+	return res, nil
+}

@@ -1,0 +1,150 @@
+package dsort
+
+import (
+	"sort"
+	"testing"
+
+	"kmachine/internal/core"
+)
+
+// verifyExactBlocks checks the problem's output condition: machine i
+// holds exactly the i-th block of n/k order statistics, sorted.
+func verifyExactBlocks(t *testing.T, in *Input, res *Result) {
+	t.Helper()
+	var all []uint64
+	for _, ks := range in.Keys {
+		all = append(all, ks...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	k := len(in.Keys)
+	bounds := blockBounds(len(all), k)
+	for i := 0; i < k; i++ {
+		want := all[bounds[i]:bounds[i+1]]
+		got := res.Blocks[i]
+		if len(got) != len(want) {
+			t.Fatalf("machine %d holds %d keys, want %d", i, len(got), len(want))
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("machine %d key %d = %d, want order statistic %d", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestSortUniform(t *testing.T) {
+	const n, k = 5000, 8
+	in := RandomInput(n, k, 3, UniformKeys)
+	res, err := Run(in, core.Config{K: k, Bandwidth: 8, Seed: 5}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyExactBlocks(t, in, res)
+}
+
+func TestSortSkewed(t *testing.T) {
+	// 90% of keys in a tiny range: splitters must adapt, and the exact
+	// rebalance must still land every key in its block.
+	const n, k = 4000, 8
+	in := RandomInput(n, k, 7, SkewedKeys)
+	res, err := Run(in, core.Config{K: k, Bandwidth: 8, Seed: 11}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyExactBlocks(t, in, res)
+}
+
+func TestSortTinyInput(t *testing.T) {
+	in := &Input{Keys: [][]uint64{{5, 1}, {9}, {3, 7, 2}, {}}}
+	res, err := Run(in, core.Config{K: 4, Bandwidth: 4, Seed: 13}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyExactBlocks(t, in, res)
+}
+
+func TestSortWithDuplicates(t *testing.T) {
+	in := &Input{Keys: make([][]uint64, 4)}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 100; j++ {
+			in.Keys[i] = append(in.Keys[i], uint64(j%7))
+		}
+	}
+	res, err := Run(in, core.Config{K: 4, Bandwidth: 8, Seed: 17}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyExactBlocks(t, in, res)
+}
+
+func TestRebalanceVolumeSmall(t *testing.T) {
+	// The exact-rebalance phase should move o(n) keys: splitter sampling
+	// bounds bucket imbalance whp.
+	const n, k = 20000, 16
+	in := RandomInput(n, k, 19, UniformKeys)
+	res, err := Run(in, core.Config{K: k, Bandwidth: 8, Seed: 23}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyExactBlocks(t, in, res)
+	if res.RebalancedKeys > int64(n/4) {
+		t.Errorf("rebalance moved %d of %d keys; splitters are not balancing", res.RebalancedKeys, n)
+	}
+}
+
+// TestSortScalesWithK checks the Õ(n/k²) claim of §1.3: quadrupling the
+// machines should shrink rounds by well over 4x while the routing term
+// dominates.
+func TestSortScalesWithK(t *testing.T) {
+	const n = 60000
+	rounds := map[int]int64{}
+	for _, k := range []int{8, 32} {
+		in := RandomInput(n, k, 29, UniformKeys)
+		res, err := Run(in, core.Config{K: k, Bandwidth: 8, Seed: 31}, 128)
+		if err != nil {
+			t.Fatal(err)
+		}
+		verifyExactBlocks(t, in, res)
+		rounds[k] = res.Stats.Rounds
+	}
+	ratio := float64(rounds[8]) / float64(rounds[32])
+	if ratio < 6 {
+		t.Errorf("k 8->32 speedup %.1fx (%d -> %d); Õ(n/k²) predicts ~16x, need > 6x",
+			ratio, rounds[8], rounds[32])
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	in := RandomInput(1000, 4, 37, UniformKeys)
+	a, err := Run(in, core.Config{K: 4, Bandwidth: 4, Seed: 41}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(in, core.Config{K: 4, Bandwidth: 4, Seed: 41}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Rounds != b.Stats.Rounds || a.RebalancedKeys != b.RebalancedKeys {
+		t.Error("identical runs disagree")
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	if _, err := Run(&Input{Keys: make([][]uint64, 4)}, core.Config{K: 4, Bandwidth: 4, Seed: 1}, 0); err == nil {
+		t.Error("empty input accepted")
+	}
+	in := RandomInput(100, 4, 1, UniformKeys)
+	if _, err := Run(in, core.Config{K: 8, Bandwidth: 4, Seed: 1}, 0); err == nil {
+		t.Error("mismatched k accepted")
+	}
+}
+
+func TestBlockBounds(t *testing.T) {
+	b := blockBounds(10, 4)
+	want := []int64{0, 2, 5, 7, 10}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("blockBounds(10,4) = %v, want %v", b, want)
+		}
+	}
+}

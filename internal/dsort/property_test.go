@@ -1,0 +1,77 @@
+package dsort
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kmachine/internal/core"
+	"kmachine/internal/rng"
+)
+
+// TestPropertySortExactForArbitraryInputs: for arbitrary key
+// distributions (uniform, skewed, constant-heavy, adversarial sizes) the
+// output blocks are exactly the order statistics.
+func TestPropertySortExactForArbitraryInputs(t *testing.T) {
+	f := func(seedRaw uint16, kSel, genSel uint8) bool {
+		seed := uint64(seedRaw)
+		k := []int{2, 4, 8, 16}[kSel%4]
+		n := 200 + int(seedRaw%2000)
+		keyGen := []func(*rng.RNG) uint64{
+			UniformKeys,
+			SkewedKeys,
+			func(r *rng.RNG) uint64 { return r.Uint64() % 5 }, // heavy duplicates
+		}[genSel%3]
+		in := RandomInput(n, k, seed+1, keyGen)
+		res, err := Run(in, core.Config{K: k, Bandwidth: 8, Seed: seed + 2}, 0)
+		if err != nil {
+			return false
+		}
+		var all []uint64
+		for _, ks := range in.Keys {
+			all = append(all, ks...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		bounds := blockBounds(len(all), k)
+		for i := 0; i < k; i++ {
+			want := all[bounds[i]:bounds[i+1]]
+			got := res.Blocks[i]
+			if len(got) != len(want) {
+				return false
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyBlockBoundsPartition: bounds form a monotone partition of
+// [0, n) into k near-equal blocks for any (n, k).
+func TestPropertyBlockBoundsPartition(t *testing.T) {
+	f := func(nRaw uint16, kRaw uint8) bool {
+		n := int(nRaw)%5000 + 1
+		k := int(kRaw)%64 + 1
+		b := blockBounds(n, k)
+		if b[0] != 0 || b[k] != int64(n) {
+			return false
+		}
+		for i := 0; i < k; i++ {
+			size := b[i+1] - b[i]
+			if size < 0 || size > int64(n/k)+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,243 @@
+// Package gen generates the graph families used throughout the paper's
+// arguments and this reproduction's experiments:
+//
+//   - Gnp / Gnm Erdős–Rényi graphs — the triangle lower bound (Theorem 3)
+//     samples inputs from G(n, 1/2);
+//   - the Figure-1 lower-bound graph H for PageRank (Theorem 2), with its
+//     random edge-direction bit vector and random vertex-ID obfuscation;
+//   - stars and preferential-attachment (power-law) graphs — the skewed
+//     inputs on which the congestion-avoidance machinery of §3
+//     (aggregation, heavy-vertex handling, proxies) is exercised;
+//   - paths, cycles, complete and complete-bipartite graphs for
+//     closed-form sanity checks;
+//   - planted-triangle graphs for sparse enumeration tests.
+//
+// All generators are deterministic given their seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+
+	"kmachine/internal/graph"
+	"kmachine/internal/rng"
+)
+
+// Gnp samples an undirected Erdős–Rényi G(n, p) graph using
+// Batagelj–Brandes geometric skipping (linear in the number of edges).
+func Gnp(n int, p float64, seed uint64) *graph.Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("gen: Gnp probability %v out of [0,1]", p))
+	}
+	b := graph.NewBuilder(n, false)
+	if p == 0 || n < 2 {
+		return b.Build()
+	}
+	r := rng.New(seed)
+	if p == 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+		return b.Build()
+	}
+	// Walk the strictly-upper-triangular pair sequence with geometric
+	// skips of parameter p.
+	lq := math.Log1p(-p)
+	v, w := 1, -1
+	for v < n {
+		w += 1 + int(math.Floor(math.Log(1-r.Float64())/lq))
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(v, w)
+		}
+	}
+	return b.Build()
+}
+
+// DirectedGnp samples a directed G(n, p): every ordered pair (u,v),
+// u != v, is an arc independently with probability p.
+func DirectedGnp(n int, p float64, seed uint64) *graph.Graph {
+	if p < 0 || p > 1 {
+		panic(fmt.Sprintf("gen: DirectedGnp probability %v out of [0,1]", p))
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, true)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u != v && r.Bernoulli(p) {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Gnm samples an undirected graph with exactly m distinct edges chosen
+// uniformly from all pairs. It panics if m exceeds C(n,2).
+func Gnm(n, m int, seed uint64) *graph.Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("gen: Gnm wants %d edges but K_%d has only %d", m, n, maxM))
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, false)
+	seen := make(map[[2]int32]struct{}, m)
+	for len(seen) < m {
+		u := r.Intn(n)
+		v := r.Intn(n)
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := [2]int32{int32(u), int32(v)}
+		if _, ok := seen[key]; ok {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// Star returns the undirected star K_{1,n-1} with hub 0. The star is the
+// paper's running example (§3.1) of a topology whose naive simulation
+// congests one machine.
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n, false)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, i)
+	}
+	return b.Build()
+}
+
+// DirectedStarIn returns the directed star with all arcs pointing at
+// hub 0 (the congestion example for PageRank token delivery).
+func DirectedStarIn(n int) *graph.Graph {
+	b := graph.NewBuilder(n, true)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, 0)
+	}
+	return b.Build()
+}
+
+// Path returns the undirected path 0-1-...-(n-1).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n, false)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(i, i+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the undirected cycle on n vertices (n >= 3).
+func Cycle(n int) *graph.Graph {
+	if n < 3 {
+		panic("gen: Cycle needs n >= 3")
+	}
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// DirectedCycle returns the directed cycle 0->1->...->0.
+func DirectedCycle(n int) *graph.Graph {
+	if n < 2 {
+		panic("gen: DirectedCycle needs n >= 2")
+	}
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	return b.Build()
+}
+
+// Complete returns K_n.
+func Complete(n int) *graph.Graph {
+	b := graph.NewBuilder(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b} with parts [0,a) and [a,a+b).
+func CompleteBipartite(a, b int) *graph.Graph {
+	bl := graph.NewBuilder(a+b, false)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			bl.AddEdge(u, v)
+		}
+	}
+	return bl.Build()
+}
+
+// PreferentialAttachment grows a Barabási–Albert style power-law graph:
+// vertices arrive one at a time and attach `attach` edges to existing
+// vertices chosen proportionally to degree (+1 smoothing). The result
+// has heavy-tailed degrees — the regime where the paper's heavy-vertex
+// and proxy machinery matters.
+func PreferentialAttachment(n, attach int, seed uint64) *graph.Graph {
+	if attach < 1 {
+		panic("gen: PreferentialAttachment needs attach >= 1")
+	}
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, false)
+	// Repeated-endpoint list: vertex v appears deg(v)+1 times.
+	endpoints := make([]int32, 0, 2*n*attach)
+	for v := 0; v < n && v <= attach; v++ {
+		endpoints = append(endpoints, int32(v))
+		for u := 0; u < v; u++ {
+			b.AddEdge(u, v)
+			endpoints = append(endpoints, int32(u), int32(v))
+		}
+	}
+	for v := attach + 1; v < n; v++ {
+		chosen := map[int32]struct{}{}
+		for len(chosen) < attach {
+			u := endpoints[r.Intn(len(endpoints))]
+			if int(u) == v {
+				continue
+			}
+			chosen[u] = struct{}{}
+		}
+		endpoints = append(endpoints, int32(v))
+		for u := range chosen {
+			b.AddEdge(int(u), v)
+			endpoints = append(endpoints, u, int32(v))
+		}
+	}
+	return b.Build()
+}
+
+// PlantedTriangles returns a sparse graph consisting of t vertex-disjoint
+// triangles plus `extra` random non-closing chord attempts, so that the
+// exact triangle set is known by construction when extra == 0.
+func PlantedTriangles(t int, extra int, seed uint64) *graph.Graph {
+	n := 3 * t
+	r := rng.New(seed)
+	b := graph.NewBuilder(n, false)
+	for i := 0; i < t; i++ {
+		a, bb, c := 3*i, 3*i+1, 3*i+2
+		b.AddEdge(a, bb)
+		b.AddEdge(bb, c)
+		b.AddEdge(a, c)
+	}
+	for i := 0; i < extra; i++ {
+		u, v := r.Intn(n), r.Intn(n)
+		if u/3 != v/3 { // never add chords inside a planted triangle group
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}

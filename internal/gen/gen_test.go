@@ -1,0 +1,246 @@
+package gen
+
+import (
+	"math"
+	"testing"
+
+	"kmachine/internal/graph"
+)
+
+func TestGnpEdgeCount(t *testing.T) {
+	const n = 200
+	for _, p := range []float64{0.1, 0.5, 0.9} {
+		g := Gnp(n, p, 42)
+		want := p * float64(n*(n-1)/2)
+		sd := math.Sqrt(float64(n*(n-1)/2) * p * (1 - p))
+		if math.Abs(float64(g.M())-want) > 6*sd {
+			t.Errorf("Gnp(%d,%g): %d edges, want ~%g", n, p, g.M(), want)
+		}
+	}
+}
+
+func TestGnpExtremes(t *testing.T) {
+	if g := Gnp(50, 0, 1); g.M() != 0 {
+		t.Errorf("Gnp(p=0) has %d edges", g.M())
+	}
+	if g := Gnp(20, 1, 1); g.M() != 190 {
+		t.Errorf("Gnp(p=1) has %d edges, want 190", g.M())
+	}
+}
+
+func TestGnpDeterministic(t *testing.T) {
+	a := Gnp(100, 0.3, 7)
+	b := Gnp(100, 0.3, 7)
+	if a.M() != b.M() {
+		t.Fatal("Gnp not deterministic for fixed seed")
+	}
+	ae, be := a.EdgeList(), b.EdgeList()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("Gnp edge lists differ for fixed seed")
+		}
+	}
+}
+
+func TestGnmExact(t *testing.T) {
+	g := Gnm(50, 200, 3)
+	if g.M() != 200 {
+		t.Errorf("Gnm produced %d edges, want 200", g.M())
+	}
+}
+
+func TestGnmPanicsWhenTooDense(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Gnm over-capacity did not panic")
+		}
+	}()
+	Gnm(4, 7, 1)
+}
+
+func TestStarShape(t *testing.T) {
+	g := Star(10)
+	if g.M() != 9 {
+		t.Fatalf("star M = %d, want 9", g.M())
+	}
+	if g.Degree(0) != 9 {
+		t.Errorf("hub degree %d, want 9", g.Degree(0))
+	}
+	for i := 1; i < 10; i++ {
+		if g.Degree(i) != 1 {
+			t.Errorf("leaf %d degree %d, want 1", i, g.Degree(i))
+		}
+	}
+}
+
+func TestDirectedStarIn(t *testing.T) {
+	g := DirectedStarIn(8)
+	if g.InDegree(0) != 7 || g.Degree(0) != 0 {
+		t.Errorf("hub in/out = %d/%d, want 7/0", g.InDegree(0), g.Degree(0))
+	}
+}
+
+func TestPathCycleComplete(t *testing.T) {
+	if g := Path(5); g.M() != 4 {
+		t.Errorf("path M = %d, want 4", g.M())
+	}
+	if g := Cycle(5); g.M() != 5 {
+		t.Errorf("cycle M = %d, want 5", g.M())
+	}
+	if g := Complete(6); g.M() != 15 {
+		t.Errorf("K6 M = %d, want 15", g.M())
+	}
+	if g := CompleteBipartite(3, 4); g.M() != 12 || g.CountTriangles() != 0 {
+		t.Errorf("K_{3,4}: M=%d triangles=%d, want 12 and 0", g.M(), g.CountTriangles())
+	}
+}
+
+func TestDirectedCycleDegrees(t *testing.T) {
+	g := DirectedCycle(6)
+	for i := 0; i < 6; i++ {
+		if g.Degree(i) != 1 || g.InDegree(i) != 1 {
+			t.Fatalf("vertex %d out/in = %d/%d, want 1/1", i, g.Degree(i), g.InDegree(i))
+		}
+	}
+}
+
+func TestPreferentialAttachmentSkew(t *testing.T) {
+	g := PreferentialAttachment(500, 2, 11)
+	if g.N() != 500 {
+		t.Fatalf("PA N = %d", g.N())
+	}
+	// Expect heavy tail: max degree far above the mean.
+	mean := 2 * float64(g.M()) / float64(g.N())
+	if float64(g.MaxDegree()) < 4*mean {
+		t.Errorf("PA max degree %d not heavy-tailed vs mean %g", g.MaxDegree(), mean)
+	}
+	// Connected growth process: no isolated vertices.
+	for v := 0; v < g.N(); v++ {
+		if g.Degree(v) == 0 {
+			t.Fatalf("PA vertex %d isolated", v)
+		}
+	}
+}
+
+func TestPlantedTrianglesExact(t *testing.T) {
+	g := PlantedTriangles(40, 0, 5)
+	if got := g.CountTriangles(); got != 40 {
+		t.Errorf("planted triangles: %d, want 40", got)
+	}
+	ts := g.Triangles()
+	for _, tr := range ts {
+		if tr.A/3 != tr.B/3 || tr.B/3 != tr.C/3 {
+			t.Errorf("triangle %+v crosses groups", tr)
+		}
+	}
+}
+
+func TestLowerBoundGraphStructure(t *testing.T) {
+	const q = 16
+	lb := LowerBoundGraph(q, 99)
+	g := lb.G
+	if g.N() != 4*q+1 {
+		t.Fatalf("H has %d vertices, want %d", g.N(), 4*q+1)
+	}
+	if g.M() != 4*q {
+		t.Fatalf("H has %d edges, want %d", g.M(), 4*q)
+	}
+	for i := 0; i < q; i++ {
+		if !g.HasEdge(lb.U(i), lb.T(i)) {
+			t.Errorf("missing u_%d -> t_%d", i, i)
+		}
+		if !g.HasEdge(lb.T(i), lb.V(i)) {
+			t.Errorf("missing t_%d -> v_%d", i, i)
+		}
+		if !g.HasEdge(lb.V(i), lb.W()) {
+			t.Errorf("missing v_%d -> w", i)
+		}
+		if lb.Bits[i] {
+			if !g.HasEdge(lb.X(i), lb.U(i)) || g.HasEdge(lb.U(i), lb.X(i)) {
+				t.Errorf("path %d: bit=1 but edge direction wrong", i)
+			}
+		} else {
+			if !g.HasEdge(lb.U(i), lb.X(i)) || g.HasEdge(lb.X(i), lb.U(i)) {
+				t.Errorf("path %d: bit=0 but edge direction wrong", i)
+			}
+		}
+	}
+	if g.Degree(lb.W()) != 0 {
+		t.Errorf("w has out-degree %d, want 0 (sink)", g.Degree(lb.W()))
+	}
+}
+
+func TestLowerBoundLabelsDistinct(t *testing.T) {
+	lb := LowerBoundGraph(32, 5)
+	seen := map[int64]bool{}
+	bound := int64(lb.G.N()) * int64(lb.G.N()) * int64(lb.G.N())
+	for _, id := range lb.Label {
+		if id < 0 || id >= bound {
+			t.Fatalf("label %d out of range [0,%d)", id, bound)
+		}
+		if seen[id] {
+			t.Fatal("duplicate obfuscated label")
+		}
+		seen[id] = true
+	}
+	if len(lb.Label) != lb.G.N() {
+		t.Fatalf("got %d labels for %d vertices", len(lb.Label), lb.G.N())
+	}
+}
+
+// TestLemma4AgainstSolver is the heart of the Figure-1 reproduction: the
+// closed-form visit expansions of Lemma 4 must agree with the
+// expected-visit PageRank solver on the actual graph H.
+func TestLemma4AgainstSolver(t *testing.T) {
+	const q = 8
+	for _, eps := range []float64{0.1, 0.15, 0.3, 0.5} {
+		bits := make([]bool, q)
+		for i := range bits {
+			bits[i] = i%2 == 0 // mix of both cases
+		}
+		lb := LowerBoundGraphWithBits(bits, 7)
+		opts := graph.PageRankOptions{Eps: eps, Tol: 1e-13, MaxIter: 10000}
+		pr := graph.ExpectedVisitPageRank(lb.G, opts)
+		want0, want1 := Lemma4Expected(eps, lb.G.N())
+		for i := 0; i < q; i++ {
+			got := pr[lb.V(i)]
+			want := want0
+			if bits[i] {
+				want = want1
+			}
+			if math.Abs(got-want) > 1e-9 {
+				t.Errorf("eps=%g path %d (bit=%v): PR(v)=%g, want %g",
+					eps, i, bits[i], got, want)
+			}
+		}
+	}
+}
+
+// TestLemma4Separation verifies the paper's claim of a constant-factor
+// separation between the two direction cases for every eps < 1.
+func TestLemma4Separation(t *testing.T) {
+	for _, eps := range []float64{0.05, 0.15, 0.5, 0.9} {
+		pr0, pr1 := Lemma4Expected(eps, 101)
+		if pr1 <= pr0 {
+			t.Errorf("eps=%g: pr1=%g not above pr0=%g", eps, pr1, pr0)
+		}
+		// The separation constant depends on eps (Lemma 4) and degrades
+		// as eps -> 1; for the practical range it is comfortably large.
+		if eps <= 0.5 {
+			if ratio := pr1 / pr0; ratio < 1.1 {
+				t.Errorf("eps=%g: separation ratio %g too small to be 'constant factor'", eps, ratio)
+			}
+		}
+	}
+}
+
+func TestLowerBoundWithBitsDeterministicLabels(t *testing.T) {
+	bits := []bool{true, false, true}
+	a := LowerBoundGraphWithBits(bits, 3)
+	b := LowerBoundGraphWithBits(bits, 3)
+	for i := range a.Label {
+		if a.Label[i] != b.Label[i] {
+			t.Fatal("labels not deterministic for fixed seed")
+		}
+	}
+}

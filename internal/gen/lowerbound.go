@@ -1,0 +1,131 @@
+package gen
+
+import (
+	"fmt"
+
+	"kmachine/internal/graph"
+	"kmachine/internal/rng"
+)
+
+// LowerBound is an instance of the PageRank lower-bound graph H of the
+// paper's Figure 1 (Section 2.3).
+//
+// H is a weakly connected directed graph on n = 4q+1 vertices with
+// m = n-1 = 4q edges, built from q disjoint "paths" plus a shared sink w:
+//
+//	x_i ?— u_i -> t_i -> v_i -> w        for 1 <= i <= q,
+//
+// where the direction of the edge between x_i and u_i is set by a fair
+// coin b_i: b_i = 0 gives u_i -> x_i, b_i = 1 gives x_i -> u_i. Lemma 4
+// shows that PageRank(v_i) differs by a constant factor between the two
+// cases, so a correct PageRank algorithm must learn every b_i.
+//
+// The construction also assigns every structural vertex a random ID from
+// a polynomial range ("the random vertex IDs obfuscate the position of a
+// vertex in the graph"): Label maps structural index -> obfuscated ID.
+type LowerBound struct {
+	// G is the structural graph: index layout x_i = i, u_i = q+i,
+	// t_i = 2q+i, v_i = 3q+i for i in [0,q), and w = 4q.
+	G *graph.Graph
+	// Q is the number of paths (m/4 in the paper's notation).
+	Q int
+	// Bits is the direction vector b: Bits[i] == true means b_i = 1,
+	// i.e. the edge is x_i -> u_i.
+	Bits []bool
+	// Label[v] is the obfuscated random ID of structural vertex v,
+	// drawn without replacement from [0, n^3).
+	Label []int64
+}
+
+// X returns the structural index of x_i.
+func (lb *LowerBound) X(i int) int { return i }
+
+// U returns the structural index of u_i.
+func (lb *LowerBound) U(i int) int { return lb.Q + i }
+
+// T returns the structural index of t_i.
+func (lb *LowerBound) T(i int) int { return 2*lb.Q + i }
+
+// V returns the structural index of v_i.
+func (lb *LowerBound) V(i int) int { return 3*lb.Q + i }
+
+// W returns the structural index of the sink w.
+func (lb *LowerBound) W() int { return 4 * lb.Q }
+
+// LowerBoundGraph builds an H instance with q paths, fair-coin bits and
+// random ID obfuscation, all derived from seed.
+func LowerBoundGraph(q int, seed uint64) *LowerBound {
+	r := rng.New(seed)
+	bits := make([]bool, q)
+	for i := range bits {
+		bits[i] = r.Uint64()&1 == 1
+	}
+	return LowerBoundGraphWithBits(bits, seed+1)
+}
+
+// LowerBoundGraphWithBits builds an H instance with the given direction
+// vector; the seed controls only the ID obfuscation. Lemma 4's
+// verification uses this to compare the two directions of a single edge
+// with everything else held fixed.
+func LowerBoundGraphWithBits(bits []bool, seed uint64) *LowerBound {
+	q := len(bits)
+	if q < 1 {
+		panic("gen: lower-bound graph needs at least one path")
+	}
+	n := 4*q + 1
+	lb := &LowerBound{Q: q, Bits: append([]bool(nil), bits...)}
+	b := graph.NewBuilder(n, true)
+	for i := 0; i < q; i++ {
+		b.AddEdge(lb.U(i), lb.T(i))
+		b.AddEdge(lb.T(i), lb.V(i))
+		b.AddEdge(lb.V(i), lb.W())
+		if bits[i] {
+			b.AddEdge(lb.X(i), lb.U(i))
+		} else {
+			b.AddEdge(lb.U(i), lb.X(i))
+		}
+	}
+	lb.G = b.Build()
+	if lb.G.M() != n-1 {
+		panic(fmt.Sprintf("gen: lower-bound graph has %d edges, want %d", lb.G.M(), n-1))
+	}
+	lb.Label = obfuscatedIDs(n, seed)
+	return lb
+}
+
+// obfuscatedIDs draws n distinct IDs uniformly from [0, n^3).
+func obfuscatedIDs(n int, seed uint64) []int64 {
+	r := rng.New(seed)
+	bound := uint64(n) * uint64(n) * uint64(n)
+	seen := make(map[int64]struct{}, n)
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		id := int64(r.Uint64n(bound))
+		if _, ok := seen[id]; ok {
+			continue
+		}
+		seen[id] = struct{}{}
+		out = append(out, id)
+	}
+	return out
+}
+
+// Lemma4Expected returns the expected-visit PageRank values that Lemma 4
+// derives for a vertex v_i in the two direction cases, for reset
+// probability eps and graph size n:
+//
+//	b_i = 0:  eps(2.5 - 2eps + eps²/2)/n
+//	b_i = 1:  eps(3 - 3eps + eps²)/n   (a lower bound; the exact value
+//	          adds the (1-eps)³ term's remainder, see Lemma 4's proof)
+//
+// The exact per-case values from the proof's visit expansion are also
+// returned: with q = 1-eps,
+//
+//	b_i = 0: eps(1 + q + q²/2)/n
+//	b_i = 1: eps(1 + q + q² + q³)/n
+func Lemma4Expected(eps float64, n int) (pr0, pr1 float64) {
+	q := 1 - eps
+	pr0 = eps * (1 + q + q*q/2) / float64(n)
+	pr1 = eps * (1 + q + q*q + q*q*q) / float64(n)
+	return
+}

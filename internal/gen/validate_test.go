@@ -1,0 +1,49 @@
+package gen
+
+import "testing"
+
+func expectPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	expectPanic(t, "Gnp(p=-1)", func() { Gnp(10, -1, 1) })
+	expectPanic(t, "Gnp(p=2)", func() { Gnp(10, 2, 1) })
+	expectPanic(t, "DirectedGnp(p=-1)", func() { DirectedGnp(10, -1, 1) })
+	expectPanic(t, "Cycle(2)", func() { Cycle(2) })
+	expectPanic(t, "DirectedCycle(1)", func() { DirectedCycle(1) })
+	expectPanic(t, "PreferentialAttachment(attach=0)", func() { PreferentialAttachment(10, 0, 1) })
+	expectPanic(t, "LowerBoundGraphWithBits(empty)", func() { LowerBoundGraphWithBits(nil, 1) })
+}
+
+func TestDirectedGnpExtremes(t *testing.T) {
+	if g := DirectedGnp(20, 0, 1); g.M() != 0 {
+		t.Errorf("DirectedGnp(p=0) has %d arcs", g.M())
+	}
+	if g := DirectedGnp(10, 1, 1); g.M() != 90 {
+		t.Errorf("DirectedGnp(p=1) has %d arcs, want 90", g.M())
+	}
+}
+
+func TestGnpTinyN(t *testing.T) {
+	for _, n := range []int{0, 1} {
+		if g := Gnp(n, 0.5, 1); g.M() != 0 || g.N() != n {
+			t.Errorf("Gnp(%d, .5): n=%d m=%d", n, g.N(), g.M())
+		}
+	}
+}
+
+func TestPlantedTrianglesWithExtras(t *testing.T) {
+	// Extras never close new triangles inside planted groups, but they
+	// may create cross-group ones; counts must be >= planted.
+	g := PlantedTriangles(20, 100, 9)
+	if got := g.CountTriangles(); got < 20 {
+		t.Errorf("planted graph has %d triangles, want >= 20", got)
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+// Sequential 4-clique enumeration — the ground truth for the §1.2
+// generalization of the distributed enumerator ("our techniques and
+// results can be generalized to the enumeration of other small subgraphs
+// such as cycles and cliques").
+
+// Clique4 is a set of four mutually adjacent vertices, A < B < C < D.
+type Clique4 struct {
+	A, B, C, D int32
+}
+
+// EnumerateCliques4 calls fn for every 4-clique exactly once, in
+// lexicographic order, extending the forward triangle algorithm by one
+// intersection level. It panics on directed graphs.
+func (g *Graph) EnumerateCliques4(fn func(c Clique4) bool) {
+	if g.directed {
+		panic("graph: EnumerateCliques4 on a directed graph")
+	}
+	g.EnumerateTriangles(func(t Triangle) bool {
+		// Extend (A,B,C) by every common neighbour D > C.
+		adjA, adjB, adjC := g.Adj(int(t.A)), g.Adj(int(t.B)), g.Adj(int(t.C))
+		i := upper(adjA, t.C)
+		j := upper(adjB, t.C)
+		l := upper(adjC, t.C)
+		for i < len(adjA) && j < len(adjB) && l < len(adjC) {
+			switch {
+			case adjA[i] < adjB[j] || adjA[i] < adjC[l]:
+				i++
+			case adjB[j] < adjA[i] || adjB[j] < adjC[l]:
+				j++
+			case adjC[l] < adjA[i] || adjC[l] < adjB[j]:
+				l++
+			default:
+				if !fn(Clique4{t.A, t.B, t.C, adjA[i]}) {
+					return false
+				}
+				i++
+				j++
+				l++
+			}
+		}
+		return true
+	})
+}
+
+// upper returns the index of the first element of the sorted slice s
+// strictly greater than v.
+func upper(s []int32, v int32) int {
+	lo, hi := 0, len(s)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if s[mid] <= v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// CountCliques4 returns the number of 4-cliques.
+func (g *Graph) CountCliques4() int64 {
+	var c int64
+	g.EnumerateCliques4(func(Clique4) bool { c++; return true })
+	return c
+}
+
+// Cliques4 materialises the 4-clique list.
+func (g *Graph) Cliques4() []Clique4 {
+	var out []Clique4
+	g.EnumerateCliques4(func(c Clique4) bool { out = append(out, c); return true })
+	return out
+}
+
+// HashClique4 maps a 4-clique to a 64-bit fingerprint, invariant under
+// vertex permutations (the clique is canonicalised first).
+func HashClique4(c Clique4) uint64 {
+	v := [4]int32{c.A, c.B, c.C, c.D}
+	for i := 1; i < 4; i++ {
+		for j := i; j > 0 && v[j-1] > v[j]; j-- {
+			v[j-1], v[j] = v[j], v[j-1]
+		}
+	}
+	x := uint64(uint32(v[0]))<<48 ^ uint64(uint32(v[1]))<<32 ^ uint64(uint32(v[2]))<<16 ^ uint64(uint32(v[3]))
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Clique4Checksum returns (count, xor-of-hashes) for a 4-clique set.
+func Clique4Checksum(cs []Clique4) (count int64, xor uint64) {
+	for _, c := range cs {
+		xor ^= HashClique4(c)
+	}
+	return int64(len(cs)), xor
+}

@@ -1,0 +1,131 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kmachine/internal/rng"
+)
+
+func bruteCliques4(g *Graph) []Clique4 {
+	var out []Clique4
+	n := g.N()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !g.HasEdge(a, b) {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if !g.HasEdge(a, c) || !g.HasEdge(b, c) {
+					continue
+				}
+				for d := c + 1; d < n; d++ {
+					if g.HasEdge(a, d) && g.HasEdge(b, d) && g.HasEdge(c, d) {
+						out = append(out, Clique4{int32(a), int32(b), int32(c), int32(d)})
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestCliques4MatchesBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 4; seed++ {
+		g := randomGraph(seed, 24, 0.45)
+		want := bruteCliques4(g)
+		got := g.Cliques4()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: got %d cliques, want %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: clique %d = %v, want %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCliques4CompleteGraph(t *testing.T) {
+	// K_n has C(n,4) 4-cliques.
+	for _, n := range []int{4, 6, 9} {
+		b := NewBuilder(n, false)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		want := int64(n * (n - 1) * (n - 2) * (n - 3) / 24)
+		if got := g.CountCliques4(); got != want {
+			t.Errorf("K_%d: %d 4-cliques, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCliques4TriangleFree(t *testing.T) {
+	// A triangle alone has no 4-clique; a bipartite graph has none.
+	b := NewBuilder(3, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(0, 2)
+	if got := b.Build().CountCliques4(); got != 0 {
+		t.Errorf("triangle: %d 4-cliques, want 0", got)
+	}
+}
+
+func TestCliques4EarlyStop(t *testing.T) {
+	g := randomGraph(1, 20, 0.6)
+	if g.CountCliques4() == 0 {
+		t.Skip("no cliques at this seed")
+	}
+	calls := 0
+	g.EnumerateCliques4(func(Clique4) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early stop made %d calls, want 1", calls)
+	}
+}
+
+func TestHashClique4PermutationInvariant(t *testing.T) {
+	r := rng.New(5)
+	f := func(a, b, c, d uint8) bool {
+		if a == b || a == c || a == d || b == c || b == d || c == d {
+			return true
+		}
+		v := []int32{int32(a), int32(b), int32(c), int32(d)}
+		h1 := HashClique4(Clique4{v[0], v[1], v[2], v[3]})
+		rng.Shuffle(r, v)
+		h2 := HashClique4(Clique4{v[0], v[1], v[2], v[3]})
+		return h1 == h2
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClique4ChecksumOrderIndependent(t *testing.T) {
+	g := randomGraph(7, 22, 0.5)
+	cs := g.Cliques4()
+	if len(cs) < 2 {
+		t.Skip("need at least two cliques")
+	}
+	c1, x1 := Clique4Checksum(cs)
+	rev := make([]Clique4, len(cs))
+	for i := range cs {
+		rev[len(cs)-1-i] = cs[i]
+	}
+	c2, x2 := Clique4Checksum(rev)
+	if c1 != c2 || x1 != x2 {
+		t.Error("Clique4Checksum is order dependent")
+	}
+}
+
+func TestUpper(t *testing.T) {
+	s := []int32{1, 3, 3, 5, 9}
+	cases := map[int32]int{0: 0, 1: 1, 2: 1, 3: 3, 4: 3, 9: 5, 10: 5}
+	for v, want := range cases {
+		if got := upper(s, v); got != want {
+			t.Errorf("upper(%v, %d) = %d, want %d", s, v, got, want)
+		}
+	}
+}

@@ -1,0 +1,228 @@
+// Package graph provides the graph substrate of the reproduction: compact
+// CSR (compressed sparse row) graphs, builders, and the *sequential*
+// ground-truth algorithms that the distributed k-machine algorithms are
+// validated against — power-iteration PageRank, the expected-visit solver
+// matching the Monte-Carlo token process of Das Sarma et al. [20],
+// triangle enumeration and open-triad enumeration.
+//
+// Vertices are identified by integers in [0, n). The paper's lower-bound
+// construction additionally assigns random IDs from a polynomial range to
+// obfuscate vertex positions; that relabelling lives in the generator
+// (package gen), not here: a Graph is always the structural object.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable graph in CSR form. For undirected graphs each
+// edge {u,v} appears in both adjacency lists. For directed graphs Adj
+// holds out-neighbours; in-neighbour access is available via InAdj after
+// BuildIn (the k-machine model's home machines know both edge directions
+// of their vertices, paper §1.1).
+type Graph struct {
+	n        int
+	directed bool
+	offs     []int32 // len n+1
+	targets  []int32 // len = sum of out-degrees
+	inOffs   []int32 // lazily built for directed graphs
+	inTgts   []int32
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// Directed reports whether the graph is directed.
+func (g *Graph) Directed() bool { return g.directed }
+
+// M returns the number of edges (each undirected edge counted once).
+func (g *Graph) M() int {
+	if g.directed {
+		return len(g.targets)
+	}
+	return len(g.targets) / 2
+}
+
+// Adj returns the (out-)neighbours of u as a sorted slice. The slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Adj(u int) []int32 {
+	return g.targets[g.offs[u]:g.offs[u+1]]
+}
+
+// Degree returns the (out-)degree of u.
+func (g *Graph) Degree(u int) int {
+	return int(g.offs[u+1] - g.offs[u])
+}
+
+// MaxDegree returns the maximum (out-)degree.
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for u := 0; u < g.n; u++ {
+		if d := g.Degree(u); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// HasEdge reports whether the edge u->v (or {u,v} if undirected) exists,
+// by binary search on the sorted adjacency list.
+func (g *Graph) HasEdge(u, v int) bool {
+	adj := g.Adj(u)
+	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= int32(v) })
+	return i < len(adj) && adj[i] == int32(v)
+}
+
+// InAdj returns the in-neighbours of u for a directed graph (neighbours
+// for an undirected one). BuildIn must have been called for directed
+// graphs; the Graph constructors in this package and in package gen do so.
+func (g *Graph) InAdj(u int) []int32 {
+	if !g.directed {
+		return g.Adj(u)
+	}
+	return g.inTgts[g.inOffs[u]:g.inOffs[u+1]]
+}
+
+// InDegree returns the in-degree of u.
+func (g *Graph) InDegree(u int) int {
+	if !g.directed {
+		return g.Degree(u)
+	}
+	return int(g.inOffs[u+1] - g.inOffs[u])
+}
+
+// buildIn constructs the reverse adjacency for directed graphs.
+func (g *Graph) buildIn() {
+	if !g.directed || g.inOffs != nil {
+		return
+	}
+	deg := make([]int32, g.n+1)
+	for _, v := range g.targets {
+		deg[v+1]++
+	}
+	offs := make([]int32, g.n+1)
+	for i := 0; i < g.n; i++ {
+		offs[i+1] = offs[i] + deg[i+1]
+	}
+	tgts := make([]int32, len(g.targets))
+	next := make([]int32, g.n)
+	copy(next, offs[:g.n])
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Adj(u) {
+			tgts[next[v]] = int32(u)
+			next[v]++
+		}
+	}
+	for u := 0; u < g.n; u++ {
+		s := tgts[offs[u]:offs[u+1]]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	}
+	g.inOffs, g.inTgts = offs, tgts
+}
+
+// Edges calls fn for every edge. For undirected graphs each edge {u,v}
+// is visited once with u < v; for directed graphs every arc u->v is
+// visited. Iteration stops early if fn returns false.
+func (g *Graph) Edges(fn func(u, v int32) bool) {
+	for u := 0; u < g.n; u++ {
+		for _, v := range g.Adj(u) {
+			if !g.directed && v < int32(u) {
+				continue
+			}
+			if !fn(int32(u), v) {
+				return
+			}
+		}
+	}
+}
+
+// EdgeList materialises the edge list in the order of Edges.
+func (g *Graph) EdgeList() [][2]int32 {
+	out := make([][2]int32, 0, g.M())
+	g.Edges(func(u, v int32) bool {
+		out = append(out, [2]int32{u, v})
+		return true
+	})
+	return out
+}
+
+// Builder accumulates edges and produces an immutable Graph. Duplicate
+// edges and self-loops are dropped at Build time.
+type Builder struct {
+	n        int
+	directed bool
+	edges    [][2]int32
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int, directed bool) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n, directed: directed}
+}
+
+// AddEdge records the edge u->v (or {u,v}). It panics on out-of-range
+// endpoints; self-loops are silently ignored.
+func (b *Builder) AddEdge(u, v int) {
+	if u < 0 || u >= b.n || v < 0 || v >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.edges = append(b.edges, [2]int32{int32(u), int32(v)})
+}
+
+// Build finalises the graph.
+func (b *Builder) Build() *Graph {
+	type arc struct{ u, v int32 }
+	arcs := make([]arc, 0, len(b.edges)*2)
+	for _, e := range b.edges {
+		arcs = append(arcs, arc{e[0], e[1]})
+		if !b.directed {
+			arcs = append(arcs, arc{e[1], e[0]})
+		}
+	}
+	sort.Slice(arcs, func(i, j int) bool {
+		if arcs[i].u != arcs[j].u {
+			return arcs[i].u < arcs[j].u
+		}
+		return arcs[i].v < arcs[j].v
+	})
+	// Dedupe.
+	w := 0
+	for i, a := range arcs {
+		if i > 0 && a == arcs[i-1] {
+			continue
+		}
+		arcs[w] = a
+		w++
+	}
+	arcs = arcs[:w]
+
+	g := &Graph{n: b.n, directed: b.directed}
+	g.offs = make([]int32, b.n+1)
+	g.targets = make([]int32, len(arcs))
+	for i, a := range arcs {
+		g.offs[a.u+1]++
+		g.targets[i] = a.v
+	}
+	for i := 0; i < b.n; i++ {
+		g.offs[i+1] += g.offs[i]
+	}
+	if b.directed {
+		g.buildIn()
+	}
+	return g
+}
+
+// FromEdges builds a graph directly from an edge list.
+func FromEdges(n int, directed bool, edges [][2]int32) *Graph {
+	b := NewBuilder(n, directed)
+	for _, e := range edges {
+		b.AddEdge(int(e[0]), int(e[1]))
+	}
+	return b.Build()
+}

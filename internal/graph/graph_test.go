@@ -1,0 +1,400 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kmachine/internal/rng"
+)
+
+func TestBuilderBasics(t *testing.T) {
+	b := NewBuilder(4, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self-loop dropped
+	g := b.Build()
+	if g.N() != 4 {
+		t.Fatalf("N = %d, want 4", g.N())
+	}
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("undirected edge {0,1} missing in one direction")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("phantom edge {0,2}")
+	}
+	if g.Degree(1) != 2 {
+		t.Errorf("Degree(1) = %d, want 2", g.Degree(1))
+	}
+}
+
+func TestDirectedInAdjacency(t *testing.T) {
+	b := NewBuilder(4, true)
+	b.AddEdge(0, 2)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	if g.M() != 3 {
+		t.Fatalf("M = %d, want 3", g.M())
+	}
+	if g.Degree(2) != 1 {
+		t.Errorf("out-degree(2) = %d, want 1", g.Degree(2))
+	}
+	if g.InDegree(2) != 2 {
+		t.Errorf("in-degree(2) = %d, want 2", g.InDegree(2))
+	}
+	in := g.InAdj(2)
+	if len(in) != 2 || in[0] != 0 || in[1] != 1 {
+		t.Errorf("InAdj(2) = %v, want [0 1]", in)
+	}
+	if g.HasEdge(2, 0) {
+		t.Error("directed graph has reverse edge 2->0")
+	}
+}
+
+func TestEdgesVisitsEachOnce(t *testing.T) {
+	b := NewBuilder(5, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	seen := map[[2]int32]int{}
+	g.Edges(func(u, v int32) bool {
+		if u >= v {
+			t.Errorf("undirected Edges yielded unordered pair (%d,%d)", u, v)
+		}
+		seen[[2]int32{u, v}]++
+		return true
+	})
+	if len(seen) != 3 {
+		t.Fatalf("Edges visited %d edges, want 3", len(seen))
+	}
+	for e, c := range seen {
+		if c != 1 {
+			t.Errorf("edge %v visited %d times", e, c)
+		}
+	}
+}
+
+func TestEdgesEarlyStop(t *testing.T) {
+	b := NewBuilder(4, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 3)
+	g := b.Build()
+	visits := 0
+	g.Edges(func(u, v int32) bool {
+		visits++
+		return false
+	})
+	if visits != 1 {
+		t.Errorf("early-stopping Edges made %d visits, want 1", visits)
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	r := rng.New(7)
+	b := NewBuilder(50, false)
+	for i := 0; i < 300; i++ {
+		b.AddEdge(r.Intn(50), r.Intn(50))
+	}
+	g := b.Build()
+	for u := 0; u < g.N(); u++ {
+		adj := g.Adj(u)
+		for i := 1; i < len(adj); i++ {
+			if adj[i-1] >= adj[i] {
+				t.Fatalf("Adj(%d) not strictly sorted: %v", u, adj)
+			}
+		}
+	}
+}
+
+// triangle ground truth by brute force for cross-checking.
+func bruteTriangles(g *Graph) []Triangle {
+	var out []Triangle
+	n := g.N()
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if !g.HasEdge(a, b) {
+				continue
+			}
+			for c := b + 1; c < n; c++ {
+				if g.HasEdge(a, c) && g.HasEdge(b, c) {
+					out = append(out, Triangle{int32(a), int32(b), int32(c)})
+				}
+			}
+		}
+	}
+	return out
+}
+
+func randomGraph(seed uint64, n int, p float64) *Graph {
+	r := rng.New(seed)
+	b := NewBuilder(n, false)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bernoulli(p) {
+				b.AddEdge(u, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+func TestEnumerateTrianglesMatchesBruteForce(t *testing.T) {
+	for seed := uint64(0); seed < 5; seed++ {
+		g := randomGraph(seed, 30, 0.3)
+		want := bruteTriangles(g)
+		got := g.Triangles()
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: got %d triangles, want %d", seed, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: triangle %d = %v, want %v", seed, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestCountTrianglesCompleteGraph(t *testing.T) {
+	// K_n has C(n,3) triangles.
+	for _, n := range []int{3, 4, 5, 8, 12} {
+		b := NewBuilder(n, false)
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(u, v)
+			}
+		}
+		g := b.Build()
+		want := int64(n * (n - 1) * (n - 2) / 6)
+		if got := g.CountTriangles(); got != want {
+			t.Errorf("K_%d: %d triangles, want %d", n, got, want)
+		}
+	}
+}
+
+func TestTrianglesEarlyStop(t *testing.T) {
+	g := randomGraph(1, 20, 0.5)
+	calls := 0
+	g.EnumerateTriangles(func(Triangle) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early stop made %d calls, want 1", calls)
+	}
+}
+
+func TestTriadsStarGraph(t *testing.T) {
+	// A star K_{1,d} has C(d,2) open triads centred at the hub and none
+	// elsewhere.
+	const d = 10
+	b := NewBuilder(d+1, false)
+	for i := 1; i <= d; i++ {
+		b.AddEdge(0, i)
+	}
+	g := b.Build()
+	want := int64(d * (d - 1) / 2)
+	if got := g.CountTriads(); got != want {
+		t.Errorf("star triads = %d, want %d", got, want)
+	}
+	g.EnumerateTriads(func(tr Triad) bool {
+		if tr.Center != 0 {
+			t.Errorf("triad centred at %d, want hub 0", tr.Center)
+		}
+		if tr.Left >= tr.Right {
+			t.Errorf("triad endpoints unordered: %+v", tr)
+		}
+		return true
+	})
+}
+
+func TestTriadsPlusTrianglesCountPaths(t *testing.T) {
+	// Every path of length 2 (centre u, unordered endpoints) is either an
+	// open triad or part of a triangle: sum_u C(deg(u),2) =
+	// triads + 3*triangles.
+	for seed := uint64(0); seed < 4; seed++ {
+		g := randomGraph(seed, 40, 0.2)
+		var paths int64
+		for u := 0; u < g.N(); u++ {
+			d := int64(g.Degree(u))
+			paths += d * (d - 1) / 2
+		}
+		if got := g.CountTriads() + 3*g.CountTriangles(); got != paths {
+			t.Errorf("seed %d: triads+3*triangles = %d, want %d", seed, got, paths)
+		}
+	}
+}
+
+func TestPowerIterationUniformOnCycle(t *testing.T) {
+	// On a directed cycle every vertex has PageRank 1/n by symmetry.
+	const n = 10
+	b := NewBuilder(n, true)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+	}
+	g := b.Build()
+	pr := PowerIterationPageRank(g, DefaultPageRankOptions())
+	for i, v := range pr {
+		if math.Abs(v-1.0/n) > 1e-9 {
+			t.Errorf("cycle PageRank[%d] = %g, want %g", i, v, 1.0/n)
+		}
+	}
+}
+
+func TestPowerIterationSumsToOne(t *testing.T) {
+	r := rng.New(11)
+	b := NewBuilder(30, true)
+	for i := 0; i < 120; i++ {
+		b.AddEdge(r.Intn(30), r.Intn(30))
+	}
+	g := b.Build()
+	pr := PowerIterationPageRank(g, DefaultPageRankOptions())
+	var sum float64
+	for _, v := range pr {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("PageRank sums to %g, want 1", sum)
+	}
+}
+
+func TestPowerIterationStarFavoursHub(t *testing.T) {
+	// Directed star: all leaves point at the hub; hub's PageRank must
+	// dominate every leaf's.
+	const n = 20
+	b := NewBuilder(n, true)
+	for i := 1; i < n; i++ {
+		b.AddEdge(i, 0)
+	}
+	g := b.Build()
+	pr := PowerIterationPageRank(g, DefaultPageRankOptions())
+	for i := 1; i < n; i++ {
+		if pr[0] <= pr[i] {
+			t.Fatalf("hub PageRank %g not above leaf %d's %g", pr[0], i, pr[i])
+		}
+	}
+}
+
+func TestExpectedVisitMatchesHandComputation(t *testing.T) {
+	// Chain a -> b -> c (c dangling). Unit starts; expected visits:
+	// psi(a) = 1, psi(b) = 1 + (1-eps), psi(c) = 1 + (1-eps) + (1-eps)^2.
+	opts := DefaultPageRankOptions()
+	q := 1 - opts.Eps
+	b := NewBuilder(3, true)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	pr := ExpectedVisitPageRank(g, opts)
+	want := []float64{
+		opts.Eps * 1 / 3,
+		opts.Eps * (1 + q) / 3,
+		opts.Eps * (1 + q + q*q) / 3,
+	}
+	for i := range want {
+		if math.Abs(pr[i]-want[i]) > 1e-9 {
+			t.Errorf("expected-visit PR[%d] = %g, want %g", i, pr[i], want[i])
+		}
+	}
+}
+
+func TestExpectedVisitEqualsClassicalWithoutDangling(t *testing.T) {
+	// On a graph with no dangling vertices the killed walk never loses
+	// mass, so the expected-visit estimate equals classical PageRank.
+	const n = 12
+	b := NewBuilder(n, true)
+	for i := 0; i < n; i++ {
+		b.AddEdge(i, (i+1)%n)
+		b.AddEdge(i, (i+5)%n)
+	}
+	g := b.Build()
+	opts := DefaultPageRankOptions()
+	a := PowerIterationPageRank(g, opts)
+	bb := ExpectedVisitPageRank(g, opts)
+	for i := range a {
+		if math.Abs(a[i]-bb[i]) > 1e-8 {
+			t.Errorf("vertex %d: classical %g vs expected-visit %g", i, a[i], bb[i])
+		}
+	}
+}
+
+func TestPageRankOptionValidation(t *testing.T) {
+	g := NewBuilder(2, true).Build()
+	for _, eps := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("eps=%g did not panic", eps)
+				}
+			}()
+			PowerIterationPageRank(g, PageRankOptions{Eps: eps, MaxIter: 10})
+		}()
+	}
+}
+
+func TestTriangleChecksumOrderIndependent(t *testing.T) {
+	g := randomGraph(3, 25, 0.4)
+	ts := g.Triangles()
+	count1, x1 := TriangleChecksum(ts)
+	rev := make([]Triangle, len(ts))
+	for i := range ts {
+		rev[len(ts)-1-i] = ts[i]
+	}
+	count2, x2 := TriangleChecksum(rev)
+	if count1 != count2 || x1 != x2 {
+		t.Error("TriangleChecksum is order dependent")
+	}
+}
+
+func TestHashTrianglePermutationInvariant(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		if a == b || b == c || a == c {
+			return true
+		}
+		t1 := Triangle{int32(a), int32(b), int32(c)}
+		t2 := Triangle{int32(c), int32(a), int32(b)}
+		return HashTriangle(t1) == HashTriangle(t2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnumerateTrianglesPanicsOnDirected(t *testing.T) {
+	g := NewBuilder(3, true).Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EnumerateTriangles on directed graph did not panic")
+		}
+	}()
+	g.EnumerateTriangles(func(Triangle) bool { return true })
+}
+
+func TestFromEdgesRoundTrip(t *testing.T) {
+	g := randomGraph(9, 20, 0.3)
+	g2 := FromEdges(g.N(), false, g.EdgeList())
+	if g2.M() != g.M() {
+		t.Fatalf("round-trip M = %d, want %d", g2.M(), g.M())
+	}
+	g.Edges(func(u, v int32) bool {
+		if !g2.HasEdge(int(u), int(v)) {
+			t.Errorf("round-trip lost edge (%d,%d)", u, v)
+		}
+		return true
+	})
+}
+
+func TestMaxDegree(t *testing.T) {
+	b := NewBuilder(5, false)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 2)
+	b.AddEdge(0, 3)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	if got := g.MaxDegree(); got != 3 {
+		t.Errorf("MaxDegree = %d, want 3", got)
+	}
+}

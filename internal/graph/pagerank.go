@@ -1,0 +1,158 @@
+package graph
+
+// This file holds the two sequential PageRank ground truths used to
+// validate the distributed Algorithm 1.
+//
+// The paper (§1.5) defines PageRank as the stationary distribution of the
+// reset random walk: with probability eps restart at a uniform vertex,
+// with probability 1-eps follow a uniformly random out-edge. Its upper
+// bound (§3.1) estimates PageRank via the Monte-Carlo token process of
+// Das Sarma et al. [20]: every vertex starts c·log n tokens, each token
+// terminates with probability eps per step and otherwise moves to a
+// random out-neighbour; the estimate is eps·psi(v)/(c·n·log n) where
+// psi(v) counts all token visits to v (including starts).
+//
+// On graphs with dangling vertices (out-degree 0) the token process kills
+// tokens at dangling vertices, which matches the arithmetic of the
+// paper's Lemma 4 on the lower-bound graph H (vertex w is a sink). The
+// linear system satisfied by the *expected* visit counts is
+//
+//	E[psi] = cLogN·1 + (1-eps)·Pᵀ·E[psi],
+//
+// where P is the out-degree-normalised adjacency with zero rows at
+// dangling vertices. ExpectedVisitPageRank solves this system by
+// fixed-point iteration (contraction factor 1-eps) and rescales, giving
+// exactly the quantity the distributed algorithm approximates. On graphs
+// without dangling vertices it coincides with classical PageRank up to
+// normalisation.
+
+// PageRankOptions configures the sequential solvers.
+type PageRankOptions struct {
+	// Eps is the reset probability (paper's ε). Must be in (0, 1).
+	Eps float64
+	// Tol is the L1 convergence tolerance for iterative solvers.
+	Tol float64
+	// MaxIter caps the number of iterations.
+	MaxIter int
+}
+
+// DefaultPageRankOptions returns the options used throughout the
+// experiments: eps = 0.15 (the classical damping complement), 1e-12
+// tolerance.
+func DefaultPageRankOptions() PageRankOptions {
+	return PageRankOptions{Eps: 0.15, Tol: 1e-12, MaxIter: 10000}
+}
+
+// PowerIterationPageRank computes the classical PageRank vector with
+// reset probability opts.Eps by power iteration. Dangling vertices
+// redistribute their mass uniformly (the standard convention); on graphs
+// without dangling vertices this equals the paper's stationary
+// distribution. The returned vector sums to 1.
+func PowerIterationPageRank(g *Graph, opts PageRankOptions) []float64 {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	validateOpts(opts)
+	pr := make([]float64, n)
+	next := make([]float64, n)
+	for i := range pr {
+		pr[i] = 1 / float64(n)
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		base := opts.Eps / float64(n)
+		var danglingMass float64
+		for u := 0; u < n; u++ {
+			if g.Degree(u) == 0 {
+				danglingMass += pr[u]
+			}
+		}
+		spread := (1 - opts.Eps) * danglingMass / float64(n)
+		for i := range next {
+			next[i] = base + spread
+		}
+		for u := 0; u < n; u++ {
+			d := g.Degree(u)
+			if d == 0 {
+				continue
+			}
+			share := (1 - opts.Eps) * pr[u] / float64(d)
+			for _, v := range g.Adj(u) {
+				next[v] += share
+			}
+		}
+		var delta float64
+		for i := range pr {
+			if d := next[i] - pr[i]; d >= 0 {
+				delta += d
+			} else {
+				delta -= d
+			}
+		}
+		pr, next = next, pr
+		if delta < opts.Tol {
+			break
+		}
+	}
+	return pr
+}
+
+// ExpectedVisitPageRank computes the PageRank estimate that the
+// Monte-Carlo token process converges to: eps·E[psi(v)]/n where E[psi]
+// solves the killed-walk visit system with per-vertex unit start mass
+// (the c·log n factor cancels in the estimate). Tokens at dangling
+// vertices die. The result sums to at most 1 (strictly less when
+// dangling vertices absorb walk mass).
+func ExpectedVisitPageRank(g *Graph, opts PageRankOptions) []float64 {
+	n := g.N()
+	if n == 0 {
+		return nil
+	}
+	validateOpts(opts)
+	psi := make([]float64, n)
+	next := make([]float64, n)
+	for i := range psi {
+		psi[i] = 1
+	}
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		for i := range next {
+			next[i] = 1
+		}
+		for u := 0; u < n; u++ {
+			d := g.Degree(u)
+			if d == 0 {
+				continue
+			}
+			share := (1 - opts.Eps) * psi[u] / float64(d)
+			for _, v := range g.Adj(u) {
+				next[v] += share
+			}
+		}
+		var delta float64
+		for i := range psi {
+			if d := next[i] - psi[i]; d >= 0 {
+				delta += d
+			} else {
+				delta -= d
+			}
+		}
+		psi, next = next, psi
+		if delta < opts.Tol {
+			break
+		}
+	}
+	pr := make([]float64, n)
+	for i := range pr {
+		pr[i] = opts.Eps * psi[i] / float64(n)
+	}
+	return pr
+}
+
+func validateOpts(opts PageRankOptions) {
+	if opts.Eps <= 0 || opts.Eps >= 1 {
+		panic("graph: PageRank reset probability must be in (0,1)")
+	}
+	if opts.MaxIter <= 0 {
+		panic("graph: PageRank MaxIter must be positive")
+	}
+}

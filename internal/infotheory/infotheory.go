@@ -1,0 +1,210 @@
+// Package infotheory implements the information-theoretic apparatus of
+// the paper's Section 2: entropy and surprisal utilities, the General
+// Lower Bound Theorem (Theorem 1) as a calculator, the transcript
+// counting of Lemma 3, and the per-problem information-cost
+// instantiations used by Theorems 2 and 3, Corollaries 1 and 2, and the
+// §1.3 cookbook examples (sorting, MST).
+//
+// The GLBT states: if, on a (1-ε)-fraction of inputs, some machine's
+// output raises its surprisal about a random variable Z by IC bits
+// beyond its initial knowledge (premises (1) and (2)), then the round
+// complexity is T = Ω(IC/(B·k)) — because a machine's transcript over T
+// rounds can take at most 2^{(B+1)(k-1)T} values (Lemma 3) and must
+// carry IC bits of information.
+//
+// The calculator returns the Ω(·) argument without its hidden constant:
+// callers compare *shapes* (scaling exponents, ratios across parameter
+// sweeps), exactly as the paper's Õ/Ω̃ claims are stated.
+package infotheory
+
+import "math"
+
+// Entropy returns the Shannon entropy (bits) of a distribution. Entries
+// must be non-negative; the function normalises so callers may pass raw
+// counts. Zero entries contribute zero.
+func Entropy(p []float64) float64 {
+	var sum float64
+	for _, v := range p {
+		if v < 0 {
+			panic("infotheory: negative probability mass")
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return 0
+	}
+	var h float64
+	for _, v := range p {
+		if v == 0 {
+			continue
+		}
+		q := v / sum
+		h -= q * math.Log2(q)
+	}
+	return h
+}
+
+// BinaryEntropy returns H(p) = -p·log p - (1-p)·log(1-p).
+func BinaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log2(p) - (1-p)*math.Log2(1-p)
+}
+
+// Surprisal returns the self-information -log2(p) of an event with
+// probability p (the quantity premises (1) and (2) of Theorem 1 bound).
+func Surprisal(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return -math.Log2(p)
+}
+
+// MutualInformation returns I[X;Y] (bits) of a joint distribution given
+// as a matrix of (unnormalised) probabilities joint[x][y], via
+// I[X;Y] = H[X] + H[Y] - H[X,Y].
+func MutualInformation(joint [][]float64) float64 {
+	if len(joint) == 0 {
+		return 0
+	}
+	nx, ny := len(joint), len(joint[0])
+	px := make([]float64, nx)
+	py := make([]float64, ny)
+	var flat []float64
+	for x := range joint {
+		for y, v := range joint[x] {
+			px[x] += v
+			py[y] += v
+			flat = append(flat, v)
+		}
+	}
+	return Entropy(px) + Entropy(py) - Entropy(flat)
+}
+
+// ConditionalEntropy returns H[X|Y] = H[X,Y] - H[Y] for a joint matrix
+// joint[x][y].
+func ConditionalEntropy(joint [][]float64) float64 {
+	if len(joint) == 0 {
+		return 0
+	}
+	py := make([]float64, len(joint[0]))
+	var flat []float64
+	for x := range joint {
+		for y, v := range joint[x] {
+			py[y] += v
+			flat = append(flat, v)
+		}
+	}
+	return Entropy(flat) - Entropy(py)
+}
+
+// TranscriptLogCount is Lemma 3: the base-2 log of the number of
+// distinct transcripts a machine can receive over its k-1 links of
+// bandwidth B bits in T rounds, namely (B+1)·(k-1)·T.
+func TranscriptLogCount(bBits, k int, rounds int64) float64 {
+	return float64(bBits+1) * float64(k-1) * float64(rounds)
+}
+
+// MinRoundsForInformation inverts Lemma 3: a machine that must receive
+// ic bits of information needs at least ic/((B+1)(k-1)) rounds. This is
+// the engine of Theorem 1's conclusion T = Ω(IC/(B·k)).
+func MinRoundsForInformation(ic float64, bBits, k int) float64 {
+	if ic <= 0 {
+		return 0
+	}
+	return ic / (float64(bBits+1) * float64(k-1))
+}
+
+// GeneralLowerBound is Theorem 1's conclusion T = IC/(B·k), without the
+// hidden constant.
+func GeneralLowerBound(ic float64, bBits, k int) float64 {
+	return ic / (float64(bBits) * float64(k))
+}
+
+// Bound describes one instantiation of the GLBT.
+type Bound struct {
+	// Problem names the instantiation.
+	Problem string
+	// HZ is the entropy of the hidden variable Z in bits.
+	HZ float64
+	// IC is the information cost plugged into Theorem 1.
+	IC float64
+	// Rounds is the resulting lower bound IC/(B·k).
+	Rounds float64
+}
+
+// PageRankBound instantiates Theorem 2: Z is the set of (direction bit,
+// vertex) pairs of the Figure-1 graph, H[Z] = m/4 bits for m = n-1, and
+// the machine outputting Ω(n/k) PageRank values gains IC = m/(4k) bits
+// (Lemmas 7 and 8). Rounds = Ω(n/(B·k²)).
+func PageRankBound(n, k, bBits int) Bound {
+	m := float64(n - 1)
+	ic := m / (4 * float64(k))
+	return Bound{
+		Problem: "pagerank",
+		HZ:      m / 4,
+		IC:      ic,
+		Rounds:  GeneralLowerBound(ic, bBits, k),
+	}
+}
+
+// ExpectedTrianglesGnHalf returns the expected number of triangles of
+// G(n, 1/2): C(n,3)/8 (each of the 3 edges present with prob 1/2).
+func ExpectedTrianglesGnHalf(n int) float64 {
+	nn := float64(n)
+	return nn * (nn - 1) * (nn - 2) / 6 / 8
+}
+
+// TriangleBound instantiates Theorem 3: Z is the characteristic edge
+// vector of G(n,1/2), H[Z] = C(n,2) bits, and a machine outputting t/k
+// of the t triangles gains IC = Θ((t/k)^{2/3}) bits (Lemma 11, via
+// Rivin's bound: representing L triangles needs Ω(L^{2/3}) edges).
+// With t = Θ(n³), Rounds = Ω(n²/(B·k^{5/3})). Pass t <= 0 to use the
+// G(n,1/2) expectation.
+func TriangleBound(n, k, bBits int, t float64) Bound {
+	if t <= 0 {
+		t = ExpectedTrianglesGnHalf(n)
+	}
+	ic := math.Pow(t/float64(k), 2.0/3.0)
+	nn := float64(n)
+	return Bound{
+		Problem: "triangle-enumeration",
+		HZ:      nn * (nn - 1) / 2,
+		IC:      ic,
+		Rounds:  GeneralLowerBound(ic, bBits, k),
+	}
+}
+
+// CongestedCliqueTriangleBound instantiates Corollary 1: k = n, so
+// Rounds = Ω(n^{1/3}/B) (tight up to log factors against the Õ(n^{1/3})
+// algorithm).
+func CongestedCliqueTriangleBound(n, bBits int) Bound {
+	b := TriangleBound(n, n, bBits, 0)
+	b.Problem = "triangle-enumeration/congested-clique"
+	return b
+}
+
+// TriangleMessageBound is Corollary 2: any algorithm enumerating all
+// triangles whp within Õ(n²/k^{5/3}) rounds exchanges Ω̃(n²·k^{1/3})
+// messages in total (each machine must receive Ω̃(n²/k^{2/3}) bits).
+func TriangleMessageBound(n, k int) float64 {
+	nn := float64(n)
+	return nn * nn * math.Cbrt(float64(k))
+}
+
+// SortingBound instantiates the §1.3 cookbook example: n keys randomly
+// partitioned, machine i must output the i-th block of order statistics;
+// IC = Θ(n/k) bits gives Rounds = Ω(n/(B·k²)).
+func SortingBound(n, k, bBits int) Bound {
+	ic := float64(n) / float64(k)
+	return Bound{Problem: "sorting", HZ: float64(n), IC: ic, Rounds: GeneralLowerBound(ic, bBits, k)}
+}
+
+// MSTBound instantiates the §1.3 MST example (complete graph with random
+// edge weights; some machine must output Ω(n/k) of the n-1 MST edges):
+// Rounds = Ω(n/(B·k²)), matching the Õ(n/k²) algorithm of [51].
+func MSTBound(n, k, bBits int) Bound {
+	ic := float64(n) / float64(k)
+	return Bound{Problem: "mst", HZ: float64(n), IC: ic, Rounds: GeneralLowerBound(ic, bBits, k)}
+}

@@ -1,0 +1,217 @@
+package infotheory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestEntropyUniform(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 1024} {
+		p := make([]float64, n)
+		for i := range p {
+			p[i] = 1
+		}
+		if got, want := Entropy(p), math.Log2(float64(n)); !almost(got, want, 1e-9) {
+			t.Errorf("uniform entropy over %d = %g, want %g", n, got, want)
+		}
+	}
+}
+
+func TestEntropyDeterministic(t *testing.T) {
+	if got := Entropy([]float64{1, 0, 0}); !almost(got, 0, 1e-12) {
+		t.Errorf("point-mass entropy = %g, want 0", got)
+	}
+	if got := Entropy(nil); got != 0 {
+		t.Errorf("empty entropy = %g, want 0", got)
+	}
+}
+
+func TestEntropyScaleInvariant(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		p := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1}
+		q := []float64{p[0] * 7, p[1] * 7, p[2] * 7}
+		return almost(Entropy(p), Entropy(q), 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEntropyMaximalAtUniform(t *testing.T) {
+	f := func(a, b, c, d uint8) bool {
+		p := []float64{float64(a) + 1, float64(b) + 1, float64(c) + 1, float64(d) + 1}
+		return Entropy(p) <= 2+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if got := BinaryEntropy(0.5); !almost(got, 1, 1e-12) {
+		t.Errorf("H(1/2) = %g, want 1", got)
+	}
+	if BinaryEntropy(0) != 0 || BinaryEntropy(1) != 0 {
+		t.Error("H(0) or H(1) nonzero")
+	}
+	if !almost(BinaryEntropy(0.25), BinaryEntropy(0.75), 1e-12) {
+		t.Error("binary entropy not symmetric")
+	}
+}
+
+func TestSurprisal(t *testing.T) {
+	if got := Surprisal(0.5); !almost(got, 1, 1e-12) {
+		t.Errorf("surprisal(1/2) = %g, want 1", got)
+	}
+	if got := Surprisal(1.0 / 1024); !almost(got, 10, 1e-9) {
+		t.Errorf("surprisal(2^-10) = %g, want 10", got)
+	}
+	if !math.IsInf(Surprisal(0), 1) {
+		t.Error("surprisal(0) not +Inf")
+	}
+}
+
+func TestMutualInformationIndependent(t *testing.T) {
+	// Product distribution: I = 0.
+	joint := [][]float64{
+		{0.25, 0.25},
+		{0.25, 0.25},
+	}
+	if got := MutualInformation(joint); !almost(got, 0, 1e-9) {
+		t.Errorf("I of independent = %g, want 0", got)
+	}
+}
+
+func TestMutualInformationPerfectlyCorrelated(t *testing.T) {
+	joint := [][]float64{
+		{0.5, 0},
+		{0, 0.5},
+	}
+	if got := MutualInformation(joint); !almost(got, 1, 1e-9) {
+		t.Errorf("I of identical bits = %g, want 1", got)
+	}
+}
+
+func TestConditionalEntropyChainRule(t *testing.T) {
+	// H[X|Y] = H[X,Y] - H[Y]; check against direct computation on a
+	// hand-built joint.
+	joint := [][]float64{
+		{0.3, 0.1},
+		{0.2, 0.4},
+	}
+	var flat []float64
+	py := []float64{0.5, 0.5}
+	for _, row := range joint {
+		flat = append(flat, row...)
+	}
+	want := Entropy(flat) - Entropy(py)
+	if got := ConditionalEntropy(joint); !almost(got, want, 1e-9) {
+		t.Errorf("H[X|Y] = %g, want %g", got, want)
+	}
+	// Conditioning cannot increase entropy: H[X|Y] <= H[X].
+	px := []float64{0.4, 0.6}
+	if ConditionalEntropy(joint) > Entropy(px)+1e-9 {
+		t.Error("conditioning increased entropy")
+	}
+}
+
+func TestTranscriptLemma3(t *testing.T) {
+	// B=1 bit, k=2 machines, T=10 rounds: one link, (B+1)*T = 20 bits.
+	if got := TranscriptLogCount(1, 2, 10); got != 20 {
+		t.Errorf("log transcript count = %g, want 20", got)
+	}
+	// Inverse: 20 bits of required information need >= 10 rounds.
+	if got := MinRoundsForInformation(20, 1, 2); !almost(got, 10, 1e-9) {
+		t.Errorf("min rounds = %g, want 10", got)
+	}
+}
+
+func TestGeneralLowerBoundShape(t *testing.T) {
+	// Doubling bandwidth or machines halves the bound.
+	base := GeneralLowerBound(1000, 10, 10)
+	if got := GeneralLowerBound(1000, 20, 10); !almost(got, base/2, 1e-9) {
+		t.Error("bound not inversely linear in B")
+	}
+	if got := GeneralLowerBound(1000, 10, 20); !almost(got, base/2, 1e-9) {
+		t.Error("bound not inversely linear in k")
+	}
+}
+
+func TestPageRankBoundScaling(t *testing.T) {
+	// Theorem 2: Ω(n/(B·k²)) — 2x machines -> 4x fewer rounds; 2x n ->
+	// 2x more rounds.
+	b1 := PageRankBound(10001, 10, 8)
+	b2 := PageRankBound(10001, 20, 8)
+	if r := b1.Rounds / b2.Rounds; !almost(r, 4, 1e-6) {
+		t.Errorf("PageRank bound k-scaling %g, want 4", r)
+	}
+	b3 := PageRankBound(20001, 10, 8)
+	if r := b3.Rounds / b1.Rounds; !almost(r, 2, 1e-3) {
+		t.Errorf("PageRank bound n-scaling %g, want 2", r)
+	}
+	if b1.IC <= 0 || b1.HZ < b1.IC {
+		t.Errorf("PageRank bound inconsistent: IC=%g HZ=%g", b1.IC, b1.HZ)
+	}
+}
+
+func TestTriangleBoundScaling(t *testing.T) {
+	// Theorem 3: Ω(n²/(B·k^{5/3})) — 8x machines -> 8^{5/3} = 32x fewer.
+	b1 := TriangleBound(1000, 8, 8, 0)
+	b2 := TriangleBound(1000, 64, 8, 0)
+	if r := b1.Rounds / b2.Rounds; !almost(r, 32, 0.5) {
+		t.Errorf("triangle bound k-scaling %g, want ~32", r)
+	}
+	// n-scaling: IC ~ n², so 2x n -> ~4x rounds.
+	b3 := TriangleBound(2000, 8, 8, 0)
+	if r := b3.Rounds / b1.Rounds; r < 3.9 || r > 4.1 {
+		t.Errorf("triangle bound n-scaling %g, want ~4", r)
+	}
+}
+
+func TestCongestedCliqueCorollary1(t *testing.T) {
+	// Ω(n^{1/3}/B): 8x vertices -> 2x rounds.
+	b1 := CongestedCliqueTriangleBound(512, 1)
+	b2 := CongestedCliqueTriangleBound(4096, 1)
+	if r := b2.Rounds / b1.Rounds; r < 1.9 || r > 2.1 {
+		t.Errorf("congested clique n-scaling %g, want ~2", r)
+	}
+}
+
+func TestTriangleMessageCorollary2(t *testing.T) {
+	// Ω̃(n²·k^{1/3}): 8x machines -> 2x messages.
+	m1 := TriangleMessageBound(1000, 8)
+	m2 := TriangleMessageBound(1000, 64)
+	if r := m2 / m1; !almost(r, 2, 1e-9) {
+		t.Errorf("message bound k-scaling %g, want 2", r)
+	}
+}
+
+func TestSortingAndMSTBounds(t *testing.T) {
+	s := SortingBound(100000, 10, 8)
+	m := MSTBound(100000, 10, 8)
+	if !almost(s.Rounds, m.Rounds, 1e-9) {
+		t.Error("sorting and MST instantiations should coincide (both IC = n/k)")
+	}
+	if s.Rounds <= 0 {
+		t.Error("non-positive sorting bound")
+	}
+}
+
+func TestExpectedTrianglesGnHalf(t *testing.T) {
+	// C(4,3)/8 = 0.5.
+	if got := ExpectedTrianglesGnHalf(4); !almost(got, 0.5, 1e-12) {
+		t.Errorf("E[triangles] for n=4: %g, want 0.5", got)
+	}
+}
+
+func TestEntropyPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative mass accepted")
+		}
+	}()
+	Entropy([]float64{0.5, -0.5})
+}

@@ -1,0 +1,169 @@
+// Package lowerbound makes the paper's lower-bound constructions (§2)
+// empirically checkable:
+//
+//   - Lemma 5: under the random vertex partition, no machine learns more
+//     than O(n·log n / k²) of the Figure-1 graph's weakly connected
+//     paths "for free" from its initial assignment — the premise that
+//     machines start with little knowledge of Z;
+//   - Lemma 10's analogue: on G(n,1/2) every machine initially knows
+//     only the O(n²·log n / k) edges incident to its own vertices;
+//   - Proposition 2 (Rödl–Ruciński): the number of edges induced by a
+//     random t-subset of vertices is at most 3ηt² whp — the concentration
+//     result behind Theorem 5's Õ(m/k^{2/3}) per-machine edge load.
+//
+// Together with package infotheory these turn the lower-bound proofs'
+// premises into measured quantities: experiments compare them against
+// the closed forms and against what the algorithms actually transfer.
+package lowerbound
+
+import (
+	"kmachine/internal/core"
+	"kmachine/internal/gen"
+	"kmachine/internal/graph"
+	"kmachine/internal/partition"
+	"kmachine/internal/rng"
+)
+
+// RevealedPaths returns, per machine, how many weakly connected paths
+// (x_j, u_j, t_j, v_j) of the lower-bound graph the machine can
+// reconstruct from its initial RVP assignment alone. Following Lemma 5's
+// case analysis, path j is revealed to machine M iff M hosts both x_j
+// and t_j (learning b_j from x_j's edge and v_j's identity through t_j),
+// or both u_j and v_j.
+func RevealedPaths(lb *gen.LowerBound, p *partition.VertexPartition) []int {
+	counts := make([]int, p.K)
+	for j := 0; j < lb.Q; j++ {
+		hx := p.Home(int32(lb.X(j)))
+		ht := p.Home(int32(lb.T(j)))
+		hu := p.Home(int32(lb.U(j)))
+		hv := p.Home(int32(lb.V(j)))
+		if hx == ht {
+			counts[hx]++
+		}
+		if hu == hv && !(hx == ht && hx == hu) {
+			counts[hu]++
+		}
+	}
+	return counts
+}
+
+// MaxRevealedPaths is the maximum of RevealedPaths over machines — the
+// quantity Lemma 5 bounds by O(n·log n / k²) whp.
+func MaxRevealedPaths(lb *gen.LowerBound, p *partition.VertexPartition) int {
+	max := 0
+	for _, c := range RevealedPaths(lb, p) {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// InitialEdgeKnowledge returns, per machine, the number of distinct
+// edges incident to at least one of its local vertices — a machine's
+// entire initial knowledge of the characteristic edge vector Z
+// (Lemma 10 bounds its maximum by O(n²·log n / k) on G(n,1/2)).
+func InitialEdgeKnowledge(p *partition.VertexPartition) []int64 {
+	g := p.G
+	counts := make([]int64, p.K)
+	seenBoth := func(u, v int32) bool { return p.Home(u) == p.Home(v) }
+	g.Edges(func(u, v int32) bool {
+		counts[p.Home(u)]++
+		if !seenBoth(u, v) {
+			counts[p.Home(v)]++
+		}
+		return true
+	})
+	return counts
+}
+
+// InducedEdgeCount returns e(G[R]), the number of edges in the subgraph
+// induced by the vertex set R.
+func InducedEdgeCount(g *graph.Graph, r []int) int {
+	in := make(map[int32]bool, len(r))
+	for _, v := range r {
+		in[int32(v)] = true
+	}
+	count := 0
+	g.Edges(func(u, v int32) bool {
+		if in[u] && in[v] {
+			count++
+		}
+		return true
+	})
+	return count
+}
+
+// Proposition2Check samples `trials` random t-subsets of g's vertices
+// and reports the maximum induced edge count together with the
+// Rödl–Ruciński bound 3ηt² for η = 2m/n² (the instantiation used in the
+// proof of Theorem 5). Proposition 2 requires t ≥ 1/(3η).
+type Proposition2Result struct {
+	MaxInduced int
+	Bound      float64
+	Violations int
+	Trials     int
+}
+
+// Proposition2Check runs the experiment.
+func Proposition2Check(g *graph.Graph, t, trials int, seed uint64) Proposition2Result {
+	n := g.N()
+	eta := 2 * float64(g.M()) / (float64(n) * float64(n))
+	bound := 3 * eta * float64(t) * float64(t)
+	r := rng.New(seed)
+	res := Proposition2Result{Bound: bound, Trials: trials}
+	for i := 0; i < trials; i++ {
+		subset := r.Sample(n, t)
+		e := InducedEdgeCount(g, subset)
+		if e > res.MaxInduced {
+			res.MaxInduced = e
+		}
+		if float64(e) > bound {
+			res.Violations++
+		}
+	}
+	return res
+}
+
+// ColorClassEdgeLoad measures the quantity Theorem 5's proof bounds with
+// Proposition 2: the number of edges a triple machine must hold, i.e.
+// the edges induced by the union of three random color classes of size
+// ~n/c each. It returns the maximum over all c³ triples for a hash
+// coloring with the given seed.
+func ColorClassEdgeLoad(g *graph.Graph, c int, seed uint64) int {
+	n := g.N()
+	color := make([]int, n)
+	classes := make([][]int, c)
+	for v := 0; v < n; v++ {
+		cc := int(rng.Mix(seed^(uint64(uint32(v))+0xd1b54a32d192ed03)) % uint64(c))
+		color[v] = cc
+		classes[cc] = append(classes[cc], v)
+	}
+	max := 0
+	for c1 := 0; c1 < c; c1++ {
+		for c2 := c1; c2 < c; c2++ {
+			for c3 := c2; c3 < c; c3++ {
+				member := map[int]bool{c1: true, c2: true, c3: true}
+				count := 0
+				g.Edges(func(u, v int32) bool {
+					if member[color[u]] && member[color[v]] {
+						count++
+					}
+					return true
+				})
+				if count > max {
+					max = count
+				}
+			}
+		}
+	}
+	return max
+}
+
+// MaxMachineKnowledge converts a per-machine received-words profile into
+// bits and returns the maximum — the empirical counterpart of the
+// information cost IC a correct run must give some machine (Theorem 1
+// premise (2)). n sets the word size.
+func MaxMachineKnowledge(stats *core.Stats, n int) int64 {
+	return core.Bits(stats.MaxRecvWords, n)
+}

@@ -1,0 +1,121 @@
+package partition
+
+import (
+	"strings"
+	"testing"
+
+	"kmachine/internal/core"
+	"kmachine/internal/gen"
+)
+
+func TestIdentityPartition(t *testing.T) {
+	g := gen.Cycle(20)
+	p := NewIdentity(g)
+	if p.K != g.N() {
+		t.Fatalf("identity partition k = %d, want n = %d", p.K, g.N())
+	}
+	for v := int32(0); v < int32(g.N()); v++ {
+		if p.Home(v) != core.MachineID(v) {
+			t.Fatalf("Home(%d) = %d, want %d", v, p.Home(v), v)
+		}
+		locals := p.Locals(core.MachineID(v))
+		if len(locals) != 1 || locals[0] != v {
+			t.Fatalf("Locals(%d) = %v, want [%d]", v, locals, v)
+		}
+	}
+	min, max := p.Balance()
+	if min != 1 || max != 1 {
+		t.Errorf("identity balance [%d,%d], want [1,1]", min, max)
+	}
+}
+
+func TestIdentityPanicsOnTinyGraph(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewIdentity(n=1) did not panic")
+		}
+	}()
+	NewIdentity(gen.Path(1))
+}
+
+func TestIdentityViewAccess(t *testing.T) {
+	g := gen.DirectedCycle(10)
+	p := NewIdentity(g)
+	v := p.View(3)
+	if v.Self() != 3 || v.K() != 10 || v.N() != 10 {
+		t.Errorf("view identity mismatch: self=%d k=%d n=%d", v.Self(), v.K(), v.N())
+	}
+	if got := v.OutAdj(3); len(got) != 1 || got[0] != 4 {
+		t.Errorf("OutAdj(3) = %v, want [4]", got)
+	}
+	if v.HomeOf(7) != 7 {
+		t.Errorf("HomeOf(7) = %d, want 7", v.HomeOf(7))
+	}
+}
+
+func TestRVPPanicsOnSmallK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewRVP(k=1) did not panic")
+		}
+	}()
+	NewRVP(gen.Path(10), 1, 1)
+}
+
+func TestREPPanicsOnSmallK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewREP(k=1) did not panic")
+		}
+	}()
+	NewREP(gen.Path(10), 1, 1)
+}
+
+func TestBalanceEmptyGraph(t *testing.T) {
+	g := gen.Path(0)
+	// A zero-vertex graph has all-empty machines; Balance reports 0/0.
+	p := &VertexPartition{G: g, K: 3, locals: make([][]int32, 3), home: nil}
+	min, max := p.Balance()
+	if min != 0 || max != 0 {
+		t.Errorf("empty balance [%d,%d], want [0,0]", min, max)
+	}
+}
+
+func TestREPBalanceEmpty(t *testing.T) {
+	g := gen.Path(5) // 4 edges
+	p := NewREP(g, 4, 3)
+	min, max := p.Balance()
+	if min < 0 || max > 4 || min > max {
+		t.Errorf("REP balance [%d,%d] inconsistent for 4 edges", min, max)
+	}
+}
+
+func TestConversionErrorMessage(t *testing.T) {
+	err := errEdgeMissing(2, 5, 7)
+	if !strings.Contains(err.Error(), "without a local edge") {
+		t.Errorf("unexpected error text %q", err.Error())
+	}
+}
+
+func TestViewInAdjUndirected(t *testing.T) {
+	g := gen.Star(10)
+	p := NewRVP(g, 3, 5)
+	for m := core.MachineID(0); m < 3; m++ {
+		view := p.View(m)
+		for _, u := range view.Locals() {
+			in := view.InAdj(u)
+			out := view.OutAdj(u)
+			if len(in) != len(out) {
+				t.Fatalf("undirected vertex %d: in/out adjacency differ", u)
+			}
+		}
+	}
+}
+
+func TestConversionRejectsMismatchedK(t *testing.T) {
+	g := gen.Path(20)
+	rep := NewREP(g, 4, 1)
+	if _, err := ConvertREPToRVP(rep, core.Config{K: 8, Bandwidth: 4, Seed: 1}, 2); err == nil {
+		t.Error("mismatched k accepted")
+	}
+}

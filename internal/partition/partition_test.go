@@ -1,0 +1,184 @@
+package partition
+
+import (
+	"math"
+	"testing"
+
+	"kmachine/internal/core"
+	"kmachine/internal/gen"
+)
+
+func TestHomeIsPureAndInRange(t *testing.T) {
+	const k = 8
+	for v := int32(0); v < 1000; v++ {
+		h1 := Home(42, v, k)
+		h2 := Home(42, v, k)
+		if h1 != h2 {
+			t.Fatalf("Home not deterministic for vertex %d", v)
+		}
+		if h1 < 0 || int(h1) >= k {
+			t.Fatalf("Home(%d) = %d out of range", v, h1)
+		}
+	}
+}
+
+func TestHomeDependsOnSeed(t *testing.T) {
+	const k = 8
+	diff := 0
+	for v := int32(0); v < 1000; v++ {
+		if Home(1, v, k) != Home(2, v, k) {
+			diff++
+		}
+	}
+	if diff < 500 {
+		t.Errorf("only %d/1000 vertices moved between seeds; hashing looks broken", diff)
+	}
+}
+
+func TestRVPBalance(t *testing.T) {
+	// RVP gives Θ̃(n/k) vertices per machine whp (paper §1.1).
+	g := gen.Gnp(2000, 0.01, 3)
+	const k = 10
+	p := NewRVP(g, k, 7)
+	min, max := p.Balance()
+	mean := float64(g.N()) / k
+	if float64(min) < mean/2 || float64(max) > mean*2 {
+		t.Errorf("RVP balance [%d, %d] too skewed around mean %g", min, max, mean)
+	}
+	// Every vertex appears exactly once across machines.
+	total := 0
+	for m := 0; m < k; m++ {
+		total += len(p.Locals(core.MachineID(m)))
+	}
+	if total != g.N() {
+		t.Errorf("locals cover %d vertices, want %d", total, g.N())
+	}
+}
+
+func TestRVPUniformity(t *testing.T) {
+	// Chi-squared style check: machine loads should be near-uniform.
+	g := gen.Path(10000)
+	const k = 16
+	p := NewRVP(g, k, 11)
+	want := float64(g.N()) / k
+	for m := 0; m < k; m++ {
+		got := float64(len(p.Locals(core.MachineID(m))))
+		if math.Abs(got-want) > 6*math.Sqrt(want) {
+			t.Errorf("machine %d load %g deviates from %g beyond 6 sigma", m, got, want)
+		}
+	}
+}
+
+func TestViewGuardsNonLocalAccess(t *testing.T) {
+	g := gen.Path(100)
+	p := NewRVP(g, 4, 5)
+	v := p.View(0)
+	// Find a vertex not homed at machine 0.
+	var foreign int32 = -1
+	for u := int32(0); u < int32(g.N()); u++ {
+		if p.Home(u) != 0 {
+			foreign = u
+			break
+		}
+	}
+	if foreign < 0 {
+		t.Skip("degenerate partition")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("View.OutAdj on a foreign vertex did not panic")
+		}
+	}()
+	v.OutAdj(foreign)
+}
+
+func TestViewLocalAccess(t *testing.T) {
+	g := gen.DirectedCycle(50)
+	p := NewRVP(g, 5, 9)
+	for m := core.MachineID(0); m < 5; m++ {
+		view := p.View(m)
+		for _, u := range view.Locals() {
+			out := view.OutAdj(u)
+			if len(out) != 1 || out[0] != (u+1)%50 {
+				t.Errorf("OutAdj(%d) = %v, want [%d]", u, out, (u+1)%50)
+			}
+			in := view.InAdj(u)
+			if len(in) != 1 || in[0] != (u+49)%50 {
+				t.Errorf("InAdj(%d) = %v, want [%d]", u, in, (u+49)%50)
+			}
+			if view.Degree(u) != 1 {
+				t.Errorf("Degree(%d) = %d, want 1", u, view.Degree(u))
+			}
+			if !view.IsLocal(u) {
+				t.Errorf("IsLocal(%d) = false for a local vertex", u)
+			}
+		}
+	}
+}
+
+func TestREPCoversAllEdges(t *testing.T) {
+	g := gen.Gnp(300, 0.05, 13)
+	const k = 6
+	p := NewREP(g, k, 17)
+	total := 0
+	for m := 0; m < k; m++ {
+		total += len(p.Edges(core.MachineID(m)))
+	}
+	if total != g.M() {
+		t.Errorf("REP covers %d edges, want %d", total, g.M())
+	}
+	min, max := p.Balance()
+	mean := float64(g.M()) / k
+	if float64(min) < mean/2 || float64(max) > 2*mean {
+		t.Errorf("REP balance [%d,%d] too skewed around %g", min, max, mean)
+	}
+}
+
+func TestConvertREPToRVP(t *testing.T) {
+	g := gen.Gnp(400, 0.03, 19)
+	const k = 8
+	rep := NewREP(g, k, 23)
+	res, err := ConvertREPToRVP(rep, core.Config{K: k, Bandwidth: 4, Seed: 29}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Rounds == 0 {
+		t.Error("conversion reported zero rounds")
+	}
+	// Volume sanity: 2 endpoints x 2 words per edge, minus the ~1/k
+	// fraction delivered locally for free (owner == home machine).
+	maxWords := int64(4 * g.M())
+	minWords := int64(float64(maxWords) * (1 - 3.0/float64(k)))
+	if res.Stats.Words > maxWords || res.Stats.Words < minWords {
+		t.Errorf("conversion moved %d words, want in [%d, %d]", res.Stats.Words, minWords, maxWords)
+	}
+}
+
+// TestConversionRoundsScaling checks the Õ(m/k²) shape of footnote 3:
+// quadrupling k should cut conversion rounds by roughly 16 (up to
+// rounding and whp slack).
+func TestConversionRoundsScaling(t *testing.T) {
+	g := gen.Gnp(600, 0.2, 37)
+	rounds := map[int]int64{}
+	for _, k := range []int{4, 16} {
+		rep := NewREP(g, k, 41)
+		res, err := ConvertREPToRVP(rep, core.Config{K: k, Bandwidth: 4, Seed: 43}, 47)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rounds[k] = res.Stats.Rounds
+	}
+	ratio := float64(rounds[4]) / float64(rounds[16])
+	if ratio < 4 {
+		t.Errorf("k 4->16 conversion speedup %.1fx; want >= 4x (ideal ~16x)", ratio)
+	}
+}
+
+func TestDirectedConversion(t *testing.T) {
+	g := gen.DirectedGnp(150, 0.05, 53)
+	const k = 5
+	rep := NewREP(g, k, 59)
+	if _, err := ConvertREPToRVP(rep, core.Config{K: k, Bandwidth: 4, Seed: 61}, 67); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,69 @@
+package triangle
+
+import (
+	"testing"
+
+	"kmachine/internal/core"
+	"kmachine/internal/gen"
+	"kmachine/internal/graph"
+	"kmachine/internal/partition"
+)
+
+func TestCentralizedExact(t *testing.T) {
+	g := gen.Gnp(120, 0.3, 3)
+	p := partition.NewRVP(g, 8, 5)
+	res, err := RunCentralized(p, core.Config{K: 8, Bandwidth: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantCount, wantSum := graph.TriangleChecksum(g.Triangles())
+	if res.Count != wantCount || res.Checksum != wantSum {
+		t.Fatalf("centralized: %d triangles, want %d", res.Count, wantCount)
+	}
+	// All output at machine 0.
+	for i := 1; i < 8; i++ {
+		if res.PerMachine[i] != 0 {
+			t.Errorf("machine %d output %d triangles; centralized should use only machine 0", i, res.PerMachine[i])
+		}
+	}
+}
+
+func TestCentralizedMessageOptimalRoundSuboptimal(t *testing.T) {
+	// The Corollary 2 tradeoff: the centralized strategy uses ~m messages
+	// (minus the free self-deliveries at machine 0) but pays more rounds
+	// than the round-optimal algorithm at the same k.
+	g := gen.Gnp(256, 0.5, 11)
+	const k = 64
+	p := partition.NewRVP(g, k, 13)
+	cfg := core.Config{K: k, Bandwidth: core.DefaultBandwidth(g.N()), Seed: 17}
+	cen, err := RunCentralized(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := Run(p, cfg, AlgorithmOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cen.Count != alg.Count {
+		t.Fatalf("strategies disagree: %d vs %d", cen.Count, alg.Count)
+	}
+	if cen.Stats.Messages > int64(g.M()) {
+		t.Errorf("centralized used %d messages for %d edges", cen.Stats.Messages, g.M())
+	}
+	if cen.Stats.Messages >= alg.Stats.Messages {
+		t.Errorf("centralized (%d msgs) should use fewer messages than round-optimal (%d)",
+			cen.Stats.Messages, alg.Stats.Messages)
+	}
+	if cen.Stats.Rounds <= alg.Stats.Rounds {
+		t.Errorf("centralized (%d rounds) should be slower than round-optimal (%d)",
+			cen.Stats.Rounds, alg.Stats.Rounds)
+	}
+}
+
+func TestCentralizedRejectsDirected(t *testing.T) {
+	g := gen.DirectedCycle(10)
+	p := partition.NewRVP(g, 4, 1)
+	if _, err := RunCentralized(p, core.Config{K: 4, Bandwidth: 4, Seed: 1}); err == nil {
+		t.Error("directed graph accepted")
+	}
+}

@@ -1,0 +1,160 @@
+package triangle
+
+import (
+	"testing"
+
+	"kmachine/internal/core"
+	"kmachine/internal/gen"
+	"kmachine/internal/graph"
+	"kmachine/internal/partition"
+)
+
+func runC4(t *testing.T, g *graph.Graph, k int, seed uint64) *Clique4Result {
+	t.Helper()
+	p := partition.NewRVP(g, k, seed)
+	res, err := RunCliques4(p, core.Config{K: k, Bandwidth: core.DefaultBandwidth(g.N()), Seed: seed + 1}, AlgorithmOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func checkCliques4(t *testing.T, g *graph.Graph, res *Clique4Result, label string) {
+	t.Helper()
+	wantCount, wantSum := graph.Clique4Checksum(g.Cliques4())
+	if res.Count != wantCount {
+		t.Errorf("%s: %d 4-cliques, want %d", label, res.Count, wantCount)
+	}
+	if res.Checksum != wantSum {
+		t.Errorf("%s: checksum mismatch", label)
+	}
+}
+
+func TestColors4(t *testing.T) {
+	cases := map[int]int{2: 1, 15: 1, 16: 2, 80: 2, 81: 3, 256: 4}
+	for k, want := range cases {
+		if got := Colors4(k); got != want {
+			t.Errorf("Colors4(%d) = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestQuadRoundTrip(t *testing.T) {
+	const c = 3
+	seen := map[[4]int]bool{}
+	for m := 0; m < c*c*c*c; m++ {
+		q, ok := quadOf(core.MachineID(m), c)
+		if !ok {
+			t.Fatalf("machine %d should hold a quadruple", m)
+		}
+		if seen[q] {
+			t.Fatalf("duplicate quadruple %v", q)
+		}
+		seen[q] = true
+	}
+	if _, ok := quadOf(core.MachineID(c*c*c*c), c); ok {
+		t.Error("out-of-range machine claims a quadruple")
+	}
+}
+
+func TestPairTargets4Coverage(t *testing.T) {
+	for _, c := range []int{2, 3} {
+		targets := pairTargets4(c)
+		for a := 0; a < c; a++ {
+			for b := a; b < c; b++ {
+				got := map[core.MachineID]bool{}
+				for _, m := range targets[[2]int{a, b}] {
+					if got[m] {
+						t.Fatalf("duplicate target for pair (%d,%d)", a, b)
+					}
+					got[m] = true
+				}
+				for m := 0; m < c*c*c*c; m++ {
+					q, _ := quadOf(core.MachineID(m), c)
+					counts := map[int]int{}
+					for _, x := range q {
+						counts[x]++
+					}
+					var want bool
+					if a == b {
+						want = counts[a] >= 2
+					} else {
+						want = counts[a] >= 1 && counts[b] >= 1
+					}
+					if want != got[core.MachineID(m)] {
+						t.Fatalf("c=%d pair (%d,%d) machine %d (%v): got %v want %v",
+							c, a, b, m, q, got[core.MachineID(m)], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCliques4Gnp(t *testing.T) {
+	for _, k := range []int{16, 81} {
+		g := gen.Gnp(80, 0.4, uint64(k))
+		res := runC4(t, g, k, uint64(k)+5)
+		checkCliques4(t, g, res, "gnp")
+	}
+}
+
+func TestCliques4CompleteGraph(t *testing.T) {
+	g := gen.Complete(20)
+	res := runC4(t, g, 16, 7)
+	if want := int64(20 * 19 * 18 * 17 / 24); res.Count != want {
+		t.Errorf("K20: %d 4-cliques, want %d", res.Count, want)
+	}
+}
+
+func TestCliques4NoneInBipartite(t *testing.T) {
+	g := gen.CompleteBipartite(15, 15)
+	res := runC4(t, g, 16, 9)
+	if res.Count != 0 {
+		t.Errorf("bipartite graph yielded %d 4-cliques", res.Count)
+	}
+}
+
+func TestCliques4NoDuplicates(t *testing.T) {
+	g := gen.Gnp(60, 0.5, 11)
+	p := partition.NewRVP(g, 16, 13)
+	opts := AlgorithmOptions()
+	opts.Collect = true
+	res, err := RunCliques4(p, core.Config{K: 16, Bandwidth: core.DefaultBandwidth(g.N()), Seed: 17}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[graph.Clique4]bool{}
+	for _, c := range res.Cliques {
+		if seen[c] {
+			t.Fatalf("clique %+v output twice", c)
+		}
+		seen[c] = true
+	}
+	checkCliques4(t, g, res, "collect")
+}
+
+func TestCliques4SmallK(t *testing.T) {
+	// k < 16 gives a single color class: one machine enumerates, the
+	// rest proxy. Still exact.
+	g := gen.Gnp(50, 0.4, 19)
+	res := runC4(t, g, 4, 23)
+	checkCliques4(t, g, res, "k=4")
+}
+
+func TestCliques4Deterministic(t *testing.T) {
+	g := gen.Gnp(60, 0.4, 29)
+	a := runC4(t, g, 16, 31)
+	b := runC4(t, g, 16, 31)
+	if a.Count != b.Count || a.Checksum != b.Checksum || a.Stats.Rounds != b.Stats.Rounds {
+		t.Error("identical runs disagree")
+	}
+}
+
+func TestCliques4RejectsDirected(t *testing.T) {
+	g := gen.DirectedCycle(10)
+	p := partition.NewRVP(g, 4, 1)
+	if _, err := RunCliques4(p, core.Config{K: 4, Bandwidth: 4, Seed: 1}, AlgorithmOptions()); err == nil {
+		t.Error("directed graph accepted")
+	}
+}

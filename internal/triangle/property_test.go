@@ -1,0 +1,139 @@
+package triangle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kmachine/internal/core"
+	"kmachine/internal/gen"
+	"kmachine/internal/graph"
+	"kmachine/internal/partition"
+	"kmachine/internal/rng"
+)
+
+// Property tests: for arbitrary small random graphs, partitions and
+// option combinations, the distributed enumerators agree exactly with
+// the sequential ground truths. These are the integration invariants
+// that the shape experiments rely on.
+
+func randomSmallGraph(seed uint64) *graph.Graph {
+	r := rng.New(seed)
+	n := 20 + r.Intn(60)
+	p := 0.05 + 0.45*r.Float64()
+	return gen.Gnp(n, p, seed+1)
+}
+
+func TestPropertyTrianglesMatchSequential(t *testing.T) {
+	f := func(seedRaw uint16, kSel, proxSel, heavySel uint8) bool {
+		seed := uint64(seedRaw)
+		g := randomSmallGraph(seed)
+		k := []int{2, 3, 8, 27}[kSel%4]
+		p := partition.NewRVP(g, k, seed+2)
+		opts := AlgorithmOptions()
+		opts.Proxies = proxSel%2 == 0
+		opts.HeavyDesignation = heavySel%2 == 0
+		res, err := Run(p, core.Config{K: k, Bandwidth: 4, Seed: seed + 3}, opts)
+		if err != nil {
+			return false
+		}
+		wantCount, wantSum := graph.TriangleChecksum(g.Triangles())
+		return res.Count == wantCount && res.Checksum == wantSum
+	}
+	cfg := &quick.Config{MaxCount: 25}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTriadsMatchSequential(t *testing.T) {
+	f := func(seedRaw uint16, kSel uint8) bool {
+		seed := uint64(seedRaw) + 1000
+		g := randomSmallGraph(seed)
+		k := []int{3, 8, 27}[kSel%3]
+		p := partition.NewRVP(g, k, seed+2)
+		opts := AlgorithmOptions()
+		opts.Triads = true
+		res, err := Run(p, core.Config{K: k, Bandwidth: 4, Seed: seed + 3}, opts)
+		if err != nil {
+			return false
+		}
+		var want []graph.Triad
+		g.EnumerateTriads(func(tr graph.Triad) bool { want = append(want, tr); return true })
+		wantCount, wantSum := graph.TriadChecksum(want)
+		return res.Count == wantCount && res.Checksum == wantSum
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCliques4MatchSequential(t *testing.T) {
+	f := func(seedRaw uint16, kSel uint8) bool {
+		seed := uint64(seedRaw) + 2000
+		g := randomSmallGraph(seed)
+		k := []int{4, 16, 81}[kSel%3]
+		p := partition.NewRVP(g, k, seed+2)
+		res, err := RunCliques4(p, core.Config{K: k, Bandwidth: 4, Seed: seed + 3}, AlgorithmOptions())
+		if err != nil {
+			return false
+		}
+		wantCount, wantSum := graph.Clique4Checksum(g.Cliques4())
+		return res.Count == wantCount && res.Checksum == wantSum
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBaselineMatchesAlgorithm(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seed := uint64(seedRaw) + 3000
+		g := randomSmallGraph(seed)
+		p := partition.NewRVP(g, 8, seed+2)
+		cfg := core.Config{K: 8, Bandwidth: 4, Seed: seed + 3}
+		alg, err := Run(p, cfg, AlgorithmOptions())
+		if err != nil {
+			return false
+		}
+		base, err := RunBaseline(p, cfg, Options{})
+		if err != nil {
+			return false
+		}
+		return alg.Count == base.Count && alg.Checksum == base.Checksum
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOutputUniquenessInvariant: the sum over machines of per-machine
+// counts must equal the global count — no triangle is double-counted
+// even with every option combination.
+func TestOutputUniquenessInvariant(t *testing.T) {
+	g := gen.Gnp(90, 0.4, 31)
+	for _, proxies := range []bool{true, false} {
+		for _, heavy := range []bool{true, false} {
+			opts := AlgorithmOptions()
+			opts.Proxies, opts.HeavyDesignation = proxies, heavy
+			p := partition.NewRVP(g, 27, 37)
+			res, err := Run(p, core.Config{K: 27, Bandwidth: 8, Seed: 41}, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum int64
+			for _, c := range res.PerMachine {
+				sum += c
+			}
+			if sum != res.Count {
+				t.Fatalf("proxies=%v heavy=%v: per-machine sum %d != count %d",
+					proxies, heavy, sum, res.Count)
+			}
+			if res.Count != g.CountTriangles() {
+				t.Fatalf("proxies=%v heavy=%v: wrong count", proxies, heavy)
+			}
+		}
+	}
+}

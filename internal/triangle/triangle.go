@@ -1,0 +1,421 @@
+// Package triangle implements the paper's distributed triangle
+// enumeration (§3.2) and its comparators.
+//
+// The main algorithm (Theorem 5, Õ(m/k^{5/3} + n/k^{4/3}) rounds) is the
+// color-partition scheme: vertices are hashed into c = ⌊k^{1/3}⌋ color
+// classes, each of the c³ ordered color triples is assigned to a distinct
+// machine, and each machine enumerates exactly the triangles whose
+// ID-sorted vertices carry its color sequence — so every triangle is
+// output by exactly one machine. Edges reach the triple machines through
+// uniformly random edge proxies (randomized proxy computation, §1.3),
+// with the heavy-vertex designation rule of §3.2 (degree ≥ 2k·log n)
+// deciding which endpoint's home machine ships each edge.
+//
+// The package also provides:
+//
+//   - the conversion-style baseline of Klauck et al. [33]
+//     (Õ(m·n^{1/3}/k²) = Õ(n^{7/3}/k²) on dense graphs): the congested
+//     clique TriPartition of Dolev et al. [21] with n^{1/3} color classes
+//     simulated node-by-node through home machines, no proxies;
+//   - a congested-clique mode (k = n via partition.NewIdentity), which
+//     realises the Θ̃(n^{1/3}) upper bound side of Corollary 1;
+//   - open-triad enumeration (§1.2), reusing the same color machinery.
+package triangle
+
+import (
+	"fmt"
+	"sort"
+
+	"kmachine/internal/core"
+	"kmachine/internal/graph"
+	"kmachine/internal/partition"
+	"kmachine/internal/rng"
+	"kmachine/internal/routing"
+)
+
+// Options configures the color-partition enumerator.
+type Options struct {
+	// Proxies routes edges through uniformly random proxy machines
+	// (default in AlgorithmOptions). Disabling it is the E14 ablation:
+	// designated home machines send straight to the triple machines.
+	Proxies bool
+	// HeavyDesignation enables the degree >= 2k·log n announcement round
+	// and the light-endpoint designation rule. When disabled, a hash coin
+	// picks the sender for every edge regardless of degree.
+	HeavyDesignation bool
+	// Collect materialises every machine's triangle list in the result
+	// (tests); otherwise only counts and checksums are kept.
+	Collect bool
+	// Triads switches the enumeration target from triangles to open
+	// triads (paper §1.2): three vertices with exactly two edges. The
+	// distribution machinery is identical; a triple machine can certify
+	// the *absence* of the closing edge because it holds every edge
+	// between its color classes.
+	Triads bool
+	// ColorSeed salts the vertex -> color hash.
+	ColorSeed uint64
+}
+
+// AlgorithmOptions returns the configuration of the paper's §3.2
+// algorithm.
+func AlgorithmOptions() Options {
+	return Options{Proxies: true, HeavyDesignation: true}
+}
+
+// Result reports a distributed enumeration.
+type Result struct {
+	// Count is the total number of triangles output across machines.
+	Count int64
+	// Checksum is the XOR of graph.HashTriangle over all outputs; equal
+	// counts and checksums against the sequential enumerator verify the
+	// output set without materialising it.
+	Checksum uint64
+	// PerMachine[i] is the number of triangles machine i output (Lemma 9
+	// guarantees some machine outputs >= t/k of them).
+	PerMachine []int64
+	// Triangles is the full output (only when Options.Collect).
+	Triangles []graph.Triangle
+	// Triads is the full output in triad mode (only when Options.Collect).
+	Triads []graph.Triad
+	// Colors is c = ⌊k^{1/3}⌋.
+	Colors int
+	// Stats is the measured communication profile.
+	Stats *core.Stats
+}
+
+// Colors returns the number of color classes for a k-machine run:
+// the largest c with c³ <= k.
+func Colors(k int) int {
+	c := 1
+	for (c+1)*(c+1)*(c+1) <= k {
+		c++
+	}
+	return c
+}
+
+// colorOf hashes a vertex into [0, c).
+func colorOf(seed uint64, v int32, c int) int {
+	return int(rng.Mix(seed^(uint64(uint32(v))+0xd1b54a32d192ed03)) % uint64(c))
+}
+
+// tripleOf returns machine m's ordered color triple, or ok=false if m is
+// not a triple machine (m >= c³; such machines still act as proxies).
+func tripleOf(m core.MachineID, c int) (c1, c2, c3 int, ok bool) {
+	if int(m) >= c*c*c {
+		return 0, 0, 0, false
+	}
+	i := int(m)
+	return i / (c * c), (i / c) % c, i % c, true
+}
+
+// tripleMachine inverts tripleOf.
+func tripleMachine(c1, c2, c3, c int) core.MachineID {
+	return core.MachineID(c1*c*c + c2*c + c3)
+}
+
+// pairTargets returns, for every unordered color pair (a <= b), the
+// machines whose triple contains the pair as a sub-multiset. An edge
+// with endpoint colors {a, b} must reach exactly these machines.
+func pairTargets(c int) map[[2]int]([]core.MachineID) {
+	targets := make(map[[2]int][]core.MachineID)
+	for c1 := 0; c1 < c; c1++ {
+		for c2 := 0; c2 < c; c2++ {
+			for c3 := 0; c3 < c; c3++ {
+				m := tripleMachine(c1, c2, c3, c)
+				triple := []int{c1, c2, c3}
+				seen := map[[2]int]bool{}
+				for i := 0; i < 3; i++ {
+					for j := 0; j < 3; j++ {
+						if i == j {
+							continue
+						}
+						a, b := triple[i], triple[j]
+						if a > b {
+							a, b = b, a
+						}
+						key := [2]int{a, b}
+						if !seen[key] {
+							seen[key] = true
+							targets[key] = append(targets[key], m)
+						}
+					}
+				}
+			}
+		}
+	}
+	return targets
+}
+
+const (
+	kindHeavyAnnounce = iota
+	kindEdgeToProxy
+	kindEdgeFinal
+)
+
+type tmsg struct {
+	Kind uint8
+	U, V int32
+}
+
+type triMachine struct {
+	view *partition.View
+	opts Options
+	k    int
+	c    int
+
+	heavy    map[int32]bool
+	targets  map[[2]int][]core.MachineID
+	edges    [][2]int32 // final edges for enumeration
+	out      []graph.Triangle
+	triads   []graph.Triad
+	count    int64
+	checksum uint64
+}
+
+func (m *triMachine) Step(ctx *core.StepContext, inbox []core.Envelope[tmsg]) ([]core.Envelope[tmsg], bool) {
+	var out []core.Envelope[tmsg]
+	for _, e := range inbox {
+		switch e.Msg.Kind {
+		case kindHeavyAnnounce:
+			m.heavy[e.Msg.U] = true
+		case kindEdgeToProxy:
+			// Forward to every triple machine that needs this edge.
+			a := colorOf(m.opts.ColorSeed, e.Msg.U, m.c)
+			b := colorOf(m.opts.ColorSeed, e.Msg.V, m.c)
+			if a > b {
+				a, b = b, a
+			}
+			for _, target := range m.targets[[2]int{a, b}] {
+				out = append(out, core.Envelope[tmsg]{
+					To:    target,
+					Words: 2,
+					Msg:   tmsg{Kind: kindEdgeFinal, U: e.Msg.U, V: e.Msg.V},
+				})
+			}
+		case kindEdgeFinal:
+			m.edges = append(m.edges, [2]int32{e.Msg.U, e.Msg.V})
+		}
+	}
+
+	switch {
+	case ctx.Superstep == 0:
+		if m.opts.HeavyDesignation {
+			threshold := routing.HeavyDegreeThreshold(m.k, m.view.N())
+			for _, u := range m.view.Locals() {
+				if m.view.Degree(u) >= threshold {
+					m.heavy[u] = true
+					for j := 0; j < m.k; j++ {
+						if core.MachineID(j) == m.view.Self() {
+							continue
+						}
+						out = append(out, core.Envelope[tmsg]{
+							To:    core.MachineID(j),
+							Words: 1,
+							Msg:   tmsg{Kind: kindHeavyAnnounce, U: u},
+						})
+					}
+				}
+			}
+		}
+		return out, false
+
+	case ctx.Superstep == 1:
+		// Ship designated edges.
+		for _, u := range m.view.Locals() {
+			for _, v := range m.view.OutAdj(u) {
+				if routing.DesignatedEndpoint(u, v, m.heavy[u], m.heavy[v], m.opts.ColorSeed) != u {
+					continue
+				}
+				if m.opts.Proxies {
+					proxy := core.MachineID(ctx.RNG.Intn(m.k))
+					out = append(out, core.Envelope[tmsg]{
+						To:    proxy,
+						Words: 2,
+						Msg:   tmsg{Kind: kindEdgeToProxy, U: u, V: v},
+					})
+				} else {
+					a := colorOf(m.opts.ColorSeed, u, m.c)
+					b := colorOf(m.opts.ColorSeed, v, m.c)
+					if a > b {
+						a, b = b, a
+					}
+					for _, target := range m.targets[[2]int{a, b}] {
+						out = append(out, core.Envelope[tmsg]{
+							To:    target,
+							Words: 2,
+							Msg:   tmsg{Kind: kindEdgeFinal, U: u, V: v},
+						})
+					}
+				}
+			}
+		}
+		return out, false
+
+	default:
+		// With proxies, superstep 2 emits the forwards computed above and
+		// superstep 3 enumerates; without, superstep 2 enumerates.
+		finalStep := 2
+		if m.opts.Proxies {
+			finalStep = 3
+		}
+		if ctx.Superstep < finalStep {
+			return out, len(out) == 0
+		}
+		m.enumerate()
+		return out, true
+	}
+}
+
+// enumerate lists the triangles (or triads) whose ID-sorted color
+// sequence matches this machine's triple, using only the edges it
+// received.
+func (m *triMachine) enumerate() {
+	c1, c2, c3, ok := tripleOf(m.view.Self(), m.c)
+	if !ok {
+		return
+	}
+	adj := make(map[int32][]int32)
+	for _, e := range m.edges {
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	for v := range adj {
+		s := adj[v]
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		// Dedupe defensively (each edge should arrive once).
+		w := 0
+		for i, x := range s {
+			if i > 0 && x == s[i-1] {
+				continue
+			}
+			s[w] = x
+			w++
+		}
+		adj[v] = s[:w]
+	}
+	if m.opts.Triads {
+		m.enumerateTriads(adj, c1, c2, c3)
+		return
+	}
+	seed := m.opts.ColorSeed
+	for u, nbrs := range adj {
+		if colorOf(seed, u, m.c) != c1 {
+			continue
+		}
+		for _, v := range nbrs {
+			if v <= u || colorOf(seed, v, m.c) != c2 {
+				continue
+			}
+			// w in adj[u] ∩ adj[v], w > v, color c3.
+			us, vs := adj[u], adj[v]
+			i := sort.Search(len(us), func(i int) bool { return us[i] > v })
+			j := sort.Search(len(vs), func(i int) bool { return vs[i] > v })
+			for i < len(us) && j < len(vs) {
+				switch {
+				case us[i] < vs[j]:
+					i++
+				case us[i] > vs[j]:
+					j++
+				default:
+					w := us[i]
+					if colorOf(seed, w, m.c) == c3 {
+						m.emit(graph.Triangle{A: u, B: v, C: w})
+					}
+					i++
+					j++
+				}
+			}
+		}
+	}
+}
+
+func (m *triMachine) emit(t graph.Triangle) {
+	m.count++
+	m.checksum ^= graph.HashTriangle(t)
+	if m.opts.Collect {
+		m.out = append(m.out, t)
+	}
+}
+
+// enumerateTriads lists open triads (centre u; endpoints v < w, edge
+// {v,w} absent) whose ID-sorted color sequence matches the triple. The
+// machine holds every edge between its color classes, so the absence
+// check is sound.
+func (m *triMachine) enumerateTriads(adj map[int32][]int32, c1, c2, c3 int) {
+	seed := m.opts.ColorSeed
+	hasEdge := func(a, b int32) bool {
+		s := adj[a]
+		i := sort.Search(len(s), func(i int) bool { return s[i] >= b })
+		return i < len(s) && s[i] == b
+	}
+	for u, nbrs := range adj {
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				v, w := nbrs[i], nbrs[j]
+				if hasEdge(v, w) {
+					continue
+				}
+				a, b, c := u, v, w
+				if a > b {
+					a, b = b, a
+				}
+				if b > c {
+					b, c = c, b
+				}
+				if a > b {
+					a, b = b, a
+				}
+				if colorOf(seed, a, m.c) != c1 || colorOf(seed, b, m.c) != c2 || colorOf(seed, c, m.c) != c3 {
+					continue
+				}
+				tr := graph.Triad{Center: u, Left: v, Right: w}
+				m.count++
+				m.checksum ^= graph.HashTriad(tr)
+				if m.opts.Collect {
+					m.triads = append(m.triads, tr)
+				}
+			}
+		}
+	}
+}
+
+// Run executes the color-partition enumeration over the given partition.
+// cfg.K must equal p.K.
+func Run(p *partition.VertexPartition, cfg core.Config, opts Options) (*Result, error) {
+	if cfg.K != p.K {
+		return nil, fmt.Errorf("triangle: cluster k=%d but partition k=%d", cfg.K, p.K)
+	}
+	if p.G.Directed() {
+		return nil, fmt.Errorf("triangle: enumeration needs an undirected graph")
+	}
+	c := Colors(cfg.K)
+	targets := pairTargets(c)
+	machines := make([]*triMachine, cfg.K)
+	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[tmsg] {
+		m := &triMachine{
+			view:    p.View(id),
+			opts:    opts,
+			k:       cfg.K,
+			c:       c,
+			heavy:   make(map[int32]bool),
+			targets: targets,
+		}
+		machines[id] = m
+		return m
+	})
+	stats, err := cluster.Run()
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Colors: c, Stats: stats, PerMachine: make([]int64, cfg.K)}
+	for id, m := range machines {
+		res.Count += m.count
+		res.Checksum ^= m.checksum
+		res.PerMachine[id] = m.count
+		if opts.Collect {
+			res.Triangles = append(res.Triangles, m.out...)
+			res.Triads = append(res.Triads, m.triads...)
+		}
+	}
+	return res, nil
+}
