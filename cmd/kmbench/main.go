@@ -10,9 +10,11 @@
 //	kmbench -run E2,E5      # only the listed experiment IDs
 //	kmbench -seed 7         # perturb all randomness
 //	kmbench -list           # list experiment IDs and exit
+//	kmbench -json           # machine-readable output (BENCH_*.json trajectories)
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -22,11 +24,27 @@ import (
 	"kmachine/internal/experiments"
 )
 
+// jsonReport is the machine-readable output shape of -json: enough
+// metadata to reproduce the run plus every experiment table verbatim,
+// so successive PRs can record BENCH_*.json trajectories and diff them.
+type jsonReport struct {
+	Mode      string      `json:"mode"`
+	Seed      uint64      `json:"seed"`
+	Timestamp string      `json:"timestamp"`
+	Tables    []jsonTable `json:"tables"`
+}
+
+type jsonTable struct {
+	experiments.Table
+	Seconds float64 `json:"seconds"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	seed := flag.Uint64("seed", 1, "seed for all randomness")
 	list := flag.Bool("list", false, "list experiments and exit")
+	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
 	flag.Parse()
 
 	all := experiments.All()
@@ -49,9 +67,16 @@ func main() {
 	if *quick {
 		mode = "quick"
 	}
-	fmt.Printf("kmachine reproduction harness (%s mode, seed %d)\n", mode, *seed)
-	fmt.Printf("paper: Pandurangan, Robinson, Scquizzato — SPAA 2018 (arXiv:1602.08481)\n\n")
+	if !*jsonOut {
+		fmt.Printf("kmachine reproduction harness (%s mode, seed %d)\n", mode, *seed)
+		fmt.Printf("paper: Pandurangan, Robinson, Scquizzato — SPAA 2018 (arXiv:1602.08481)\n\n")
+	}
 
+	report := jsonReport{
+		Mode:      mode,
+		Seed:      *seed,
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
 	ran := 0
 	for _, r := range all {
 		if len(want) > 0 && !want[r.ID] {
@@ -59,12 +84,25 @@ func main() {
 		}
 		start := time.Now()
 		table := r.Run(cfg)
-		table.Fprint(os.Stdout)
-		fmt.Printf("   (%s in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *jsonOut {
+			report.Tables = append(report.Tables, jsonTable{Table: table, Seconds: elapsed.Seconds()})
+		} else {
+			table.Fprint(os.Stdout)
+			fmt.Printf("   (%s in %v)\n\n", r.ID, elapsed.Round(time.Millisecond))
+		}
 		ran++
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "no experiments matched -run=%q; try -list\n", *run)
 		os.Exit(1)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintf(os.Stderr, "encode json: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -1,0 +1,189 @@
+// Command kmnode runs k-machine computations over real TCP sockets.
+//
+// Standalone mode starts ONE machine of the cluster in this process;
+// the k processes (possibly on k hosts) find each other through the
+// -peers list and run the distributed superstep protocol, with machine
+// 0 acting as the coordinator:
+//
+//	kmnode -id 0 -k 4 -listen 127.0.0.1:9000 \
+//	       -peers 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002,127.0.0.1:9003 \
+//	       -algo pagerank -n 10000 -p 0.001 -seed 42
+//	kmnode -id 1 -k 4 -listen 127.0.0.1:9001 -peers ... (same flags)
+//	...
+//
+// Every node builds the same input deterministically from the shared
+// seed (the random-vertex-partition input distribution of §1.1), so no
+// input distribution round is needed — exactly the model's assumption
+// that the input is already partitioned when the computation starts.
+//
+// Local mode spawns the entire k-machine cluster inside this process,
+// every machine with its own listener and dialer on loopback TCP:
+//
+//	kmnode -local 8 -algo pagerank -n 10000 -p 0.001 -seed 42
+//
+// Either way the computation reports the measured round complexity
+// (the paper's T) and, for PageRank, the top-ranked vertices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"kmachine/internal/core"
+	"kmachine/internal/gen"
+	"kmachine/internal/pagerank"
+	"kmachine/internal/partition"
+	"kmachine/internal/transport/node"
+)
+
+func main() {
+	var (
+		local   = flag.Int("local", 0, "spawn a full k-machine cluster over loopback TCP in this process")
+		id      = flag.Int("id", -1, "this node's machine ID (standalone mode)")
+		k       = flag.Int("k", 0, "cluster size (standalone mode)")
+		listen  = flag.String("listen", "", "listen address, e.g. 127.0.0.1:9000 (standalone mode)")
+		peers   = flag.String("peers", "", "comma-separated k listen addresses in machine-ID order (standalone mode)")
+		algo    = flag.String("algo", "pagerank", "computation to run (pagerank)")
+		n       = flag.Int("n", 10000, "number of vertices")
+		p       = flag.Float64("p", 0.0, "G(n,p) edge probability; 0 means 10/n")
+		seed    = flag.Uint64("seed", 1, "seed for graph, partition, and machine randomness")
+		bw      = flag.Int("bandwidth", 0, "per-link words/round; 0 means DefaultBandwidth(n)")
+		eps     = flag.Float64("eps", 0.15, "PageRank reset probability")
+		top     = flag.Int("top", 5, "how many top-ranked vertices to print")
+		timeout = flag.Duration("dial-timeout", 10*time.Second, "how long to wait for peers to come up")
+	)
+	flag.Parse()
+
+	if *algo != "pagerank" {
+		fatalf("unknown -algo %q (supported: pagerank)", *algo)
+	}
+	if *p == 0 {
+		*p = 10 / float64(*n)
+	}
+	if *bw == 0 {
+		*bw = core.DefaultBandwidth(*n)
+	}
+
+	switch {
+	case *local >= 2:
+		runLocal(*local, *n, *p, *seed, *bw, *eps, *top)
+	case *id >= 0:
+		runStandalone(*id, *k, *listen, *peers, *n, *p, *seed, *bw, *eps, *top, *timeout)
+	default:
+		fmt.Fprintln(os.Stderr, "kmnode: need either -local k, or -id with -k/-listen/-peers")
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// buildInput deterministically reconstructs the shared input: every
+// node derives the identical graph and random vertex partition from the
+// seed, the model's "input is already partitioned" assumption.
+func buildInput(n int, p float64, k int, seed uint64) *partition.VertexPartition {
+	g := gen.Gnp(n, p, seed)
+	return partition.NewRVP(g, k, seed+1)
+}
+
+func runLocal(k, n int, p float64, seed uint64, bw int, eps float64, top int) {
+	fmt.Printf("kmnode: local cluster, k=%d machines over loopback TCP, n=%d p=%g seed=%d B=%d words/round\n",
+		k, n, p, seed, bw)
+	part := buildInput(n, p, k, seed)
+	opts := pagerank.AlgorithmOne(eps)
+
+	machines := make([]*pagerank.NodeMachine, k)
+	start := time.Now()
+	stats, err := node.RunLocal(k, bw, seed+2, 0, pagerank.WireCodec(),
+		func(id core.MachineID) core.Machine[pagerank.Wire] {
+			m, err := pagerank.NewNodeMachine(part.View(id), opts)
+			if err != nil {
+				fatalf("machine %d: %v", id, err)
+			}
+			machines[id] = m
+			return m
+		})
+	if err != nil {
+		fatalf("cluster failed: %v", err)
+	}
+	printStats(stats, time.Since(start))
+
+	merged := make(map[int32]float64, n)
+	for _, m := range machines {
+		for v, est := range m.LocalEstimates() {
+			merged[v] = est
+		}
+	}
+	printTop(merged, top, "cluster-wide")
+}
+
+func runStandalone(id, k int, listen, peerList string, n int, p float64, seed uint64, bw int, eps float64, top int, timeout time.Duration) {
+	if k < 2 || listen == "" || peerList == "" {
+		fatalf("standalone mode needs -k >= 2, -listen, and -peers")
+	}
+	peers := strings.Split(peerList, ",")
+	if len(peers) != k {
+		fatalf("-peers lists %d addresses, want k=%d", len(peers), k)
+	}
+	fmt.Printf("kmnode: machine %d/%d on %s, n=%d p=%g seed=%d B=%d words/round\n",
+		id, k, listen, n, p, seed, bw)
+
+	part := buildInput(n, p, k, seed)
+	m, err := pagerank.NewNodeMachine(part.View(core.MachineID(id)), pagerank.AlgorithmOne(eps))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	start := time.Now()
+	stats, err := node.Run(node.Config{
+		ID: id, K: k,
+		ListenAddr:  listen,
+		Peers:       peers,
+		Bandwidth:   bw,
+		Seed:        seed + 2,
+		DialTimeout: timeout,
+	}, m, pagerank.WireCodec())
+	if err != nil {
+		fatalf("machine %d failed: %v", id, err)
+	}
+	if stats != nil {
+		printStats(stats, time.Since(start))
+	}
+	printTop(m.LocalEstimates(), top, fmt.Sprintf("machine %d's", id))
+}
+
+func printStats(s *core.Stats, wall time.Duration) {
+	fmt.Printf("done in %v wall clock\n", wall.Round(time.Millisecond))
+	fmt.Printf("rounds=%d supersteps=%d messages=%d words=%d maxRecvWords=%d\n",
+		s.Rounds, s.Supersteps, s.Messages, s.Words, s.MaxRecvWords)
+}
+
+func printTop(est map[int32]float64, top int, who string) {
+	type ve struct {
+		v int32
+		e float64
+	}
+	ranked := make([]ve, 0, len(est))
+	for v, e := range est {
+		ranked = append(ranked, ve{v, e})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].e != ranked[j].e {
+			return ranked[i].e > ranked[j].e
+		}
+		return ranked[i].v < ranked[j].v
+	})
+	if top > len(ranked) {
+		top = len(ranked)
+	}
+	fmt.Printf("%s top %d vertices by PageRank estimate:\n", who, top)
+	for _, r := range ranked[:top] {
+		fmt.Printf("  v%-8d %.6f\n", r.v, r.e)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "kmnode: "+format+"\n", args...)
+	os.Exit(1)
+}

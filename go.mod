@@ -1,0 +1,3 @@
+module kmachine
+
+go 1.24

@@ -1,0 +1,49 @@
+package conncomp
+
+import (
+	"fmt"
+
+	"kmachine/internal/routing"
+	twire "kmachine/internal/transport/wire"
+)
+
+// Wire is the envelope payload type of a connectivity run: the label /
+// change-flag message in its two-hop routing frame.
+type Wire = wire
+
+// WireCodec returns the binary codec for connectivity envelopes.
+func WireCodec() twire.Codec[Wire] {
+	return routing.HopCodec[cmsg](cmsgCodec{})
+}
+
+type cmsgCodec struct{}
+
+func (cmsgCodec) Append(dst []byte, m cmsg) ([]byte, error) {
+	flags := m.Kind << 1
+	if m.Changed {
+		flags |= 1
+	}
+	dst = append(dst, flags)
+	dst = twire.AppendVarint(dst, int64(m.V))
+	return twire.AppendVarint(dst, int64(m.Label)), nil
+}
+
+func (cmsgCodec) Decode(src []byte) (cmsg, int, error) {
+	if len(src) < 1 {
+		return cmsg{}, 0, fmt.Errorf("conncomp: truncated message")
+	}
+	m := cmsg{Kind: src[0] >> 1, Changed: src[0]&1 != 0}
+	pos := 1
+	v, n, err := twire.Varint(src[pos:])
+	if err != nil {
+		return cmsg{}, 0, err
+	}
+	m.V = int32(v)
+	pos += n
+	l, n, err := twire.Varint(src[pos:])
+	if err != nil {
+		return cmsg{}, 0, err
+	}
+	m.Label = int32(l)
+	return m, pos + n, nil
+}

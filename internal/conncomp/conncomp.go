@@ -214,7 +214,7 @@ func Run(p *partition.VertexPartition, cfg core.Config) (*Result, error) {
 		machines[id] = m
 		return m
 	})
-	stats, err := cluster.Run()
+	stats, err := core.RunOver(cluster, WireCodec())
 	if err != nil {
 		return nil, err
 	}

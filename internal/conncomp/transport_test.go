@@ -1,0 +1,46 @@
+package conncomp
+
+import (
+	"reflect"
+	"testing"
+
+	"kmachine/internal/core"
+	"kmachine/internal/gen"
+	"kmachine/internal/partition"
+	"kmachine/internal/transport"
+)
+
+// Connectivity over real TCP sockets must label every vertex exactly
+// like the loopback run and report identical statistics.
+func TestComponentsOverTCPMatchesInMemory(t *testing.T) {
+	const (
+		n    = 400
+		k    = 4
+		seed = 29
+	)
+	g := gen.Gnp(n, 2.0/float64(n), seed) // sparse: many components
+	p := partition.NewRVP(g, k, seed+1)
+	cfg := core.Config{K: k, Bandwidth: core.DefaultBandwidth(n), Seed: seed + 2}
+
+	mem, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Transport = transport.TCP
+	tcp, err := Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tcp.Label, mem.Label) {
+		t.Error("component labels diverge between tcp and inmem")
+	}
+	if tcp.Components != mem.Components || tcp.Phases != mem.Phases {
+		t.Errorf("tcp (components=%d, phases=%d), inmem (components=%d, phases=%d)",
+			tcp.Components, tcp.Phases, mem.Components, mem.Phases)
+	}
+	if tcp.Stats.Rounds != mem.Stats.Rounds || tcp.Stats.Words != mem.Stats.Words ||
+		tcp.Stats.Supersteps != mem.Stats.Supersteps {
+		t.Errorf("stats diverge: tcp rounds=%d words=%d, inmem rounds=%d words=%d",
+			tcp.Stats.Rounds, tcp.Stats.Words, mem.Stats.Rounds, mem.Stats.Words)
+	}
+}

@@ -34,18 +34,23 @@ import (
 	"sync"
 
 	"kmachine/internal/rng"
+	"kmachine/internal/transport"
+	"kmachine/internal/transport/inmem"
 )
 
 // MachineID identifies one of the k machines.
-type MachineID int32
+type MachineID = transport.MachineID
 
 // Envelope is one message in flight. Words is its size in machine words
 // for bandwidth accounting; From is stamped by the cluster.
-type Envelope[M any] struct {
-	From, To MachineID
-	Words    int32
-	Msg      M
-}
+type Envelope[M any] = transport.Envelope[M]
+
+// Transport moves one superstep's batched envelopes between machines;
+// see the contract in internal/transport. Cluster.RunOn accepts any
+// implementation, and all word/round accounting happens in this package
+// before envelopes reach the transport, so Stats are bit-identical on
+// every substrate.
+type Transport[M any] = transport.Transport[M]
 
 // Machine is one of the k participants. Step consumes the envelopes
 // delivered this superstep and returns the envelopes to send; done
@@ -90,18 +95,28 @@ type Config struct {
 	Seed uint64
 	// MaxSupersteps aborts runaway algorithms; 0 means a generous default.
 	MaxSupersteps int
+	// Transport names the envelope substrate to run on; empty means the
+	// in-memory loopback. Core only stores the name — algorithm Run
+	// functions resolve it through OpenTransport with their message
+	// codec, because building a non-loopback transport needs one.
+	Transport transport.Kind
+}
+
+// Log2Words returns the machine word size for an n-vertex input under
+// the 1 word = ceil(log2 n)+1 bits convention — the shared ceil-log2
+// helper behind DefaultBandwidth and Bits.
+func Log2Words(n int) int {
+	w := 1
+	for v := n; v > 1; v >>= 1 {
+		w++
+	}
+	return w
 }
 
 // DefaultBandwidth returns the bandwidth used by the experiments for an
 // n-vertex input: Θ(log n) words per round, i.e. B = Θ(log² n) bits,
 // squarely in the paper's B = Θ(polylog n) regime.
-func DefaultBandwidth(n int) int {
-	b := 1
-	for v := n; v > 1; v >>= 1 {
-		b++
-	}
-	return b
-}
+func DefaultBandwidth(n int) int { return Log2Words(n) }
 
 // SuperstepStat records one superstep's communication profile.
 type SuperstepStat struct {
@@ -139,11 +154,51 @@ type Stats struct {
 // Bits converts a word count to bits for an n-vertex input under the
 // 1 word = ceil(log2 n)+1 bits convention.
 func Bits(words int64, n int) int64 {
-	w := int64(1)
-	for v := n; v > 1; v >>= 1 {
-		w++
+	return words * int64(Log2Words(n))
+}
+
+// AccountSuperstep computes one superstep's communication profile from
+// the directed link-load matrix (linkWords[i*k+j] = words machine i
+// sent to machine j; self-links must already be excluded — local
+// computation is free) and the cross-machine message count. It also
+// returns the per-machine receive/send totals for the run aggregates.
+//
+// This function is the single home of the paper's §1.1 cost arithmetic
+// — max(1, ceil(max-link-words/Bandwidth)) rounds — shared by the
+// in-process cluster (RunOn) and the standalone coordinator
+// (transport/node), which is what makes Stats bit-identical across
+// substrates by construction.
+func AccountSuperstep(k, bandwidth int, linkWords []int64, messages int64) (ss SuperstepStat, recv, sent []int64) {
+	ss.Messages = messages
+	recv = make([]int64, k)
+	sent = make([]int64, k)
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			w := linkWords[i*k+j]
+			if w == 0 {
+				continue
+			}
+			ss.Words += w
+			recv[j] += w
+			sent[i] += w
+			if w > ss.MaxLinkWords {
+				ss.MaxLinkWords = w
+			}
+		}
 	}
-	return words * w
+	for i := 0; i < k; i++ {
+		if recv[i] > ss.MaxRecvWords {
+			ss.MaxRecvWords = recv[i]
+		}
+		if sent[i] > ss.MaxSentWords {
+			ss.MaxSentWords = sent[i]
+		}
+	}
+	ss.Rounds = 1
+	if r := (ss.MaxLinkWords + int64(bandwidth) - 1) / int64(bandwidth); r > 1 {
+		ss.Rounds = r
+	}
+	return ss, recv, sent
 }
 
 // Cluster coordinates k machines.
@@ -185,8 +240,24 @@ func (c *Cluster[M]) K() int { return c.cfg.K }
 func (c *Cluster[M]) Machine(i MachineID) Machine[M] { return c.machines[int(i)] }
 
 // Run executes supersteps until global quiescence (every machine done and
-// no envelope in flight) and returns the communication statistics.
+// no envelope in flight) and returns the communication statistics. It
+// runs on the in-memory loopback transport; use RunOn for any other
+// substrate (Config.Transport cannot be resolved here because building
+// a non-loopback transport needs a message codec — see OpenTransport).
 func (c *Cluster[M]) Run() (*Stats, error) {
+	if c.cfg.Transport != transport.Default && c.cfg.Transport != transport.InMem {
+		return nil, fmt.Errorf("core: Config.Transport=%q needs a codec; resolve it with OpenTransport and call RunOn", c.cfg.Transport)
+	}
+	t := inmem.New[M](c.cfg.K)
+	defer t.Close()
+	return c.RunOn(t)
+}
+
+// RunOn executes the cluster over the given transport. Envelope
+// validation, From-stamping, and all round/word accounting happen here,
+// before batches reach the transport, so the returned Stats are
+// bit-identical whichever substrate carries the envelopes.
+func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 	k := c.cfg.K
 	stats := &Stats{
 		RecvWords: make([]int64, k),
@@ -197,8 +268,6 @@ func (c *Cluster[M]) Run() (*Stats, error) {
 	outs := make([][]Envelope[M], k)
 	dones := make([]bool, k)
 	linkLoad := make([]int64, k*k) // directed link (from,to) -> words
-	recvThis := make([]int64, k)
-	sentThis := make([]int64, k)
 
 	for step := 0; ; step++ {
 		if step >= c.cfg.MaxSupersteps {
@@ -231,15 +300,13 @@ func (c *Cluster[M]) Run() (*Stats, error) {
 			}
 		}
 
-		// Route and account.
+		// Validate, stamp, and build the link-load matrix; the cost
+		// arithmetic itself lives in AccountSuperstep, shared with the
+		// standalone coordinator.
 		for i := range linkLoad {
 			linkLoad[i] = 0
 		}
-		for i := range recvThis {
-			recvThis[i] = 0
-			sentThis[i] = 0
-		}
-		ss := SuperstepStat{}
+		var messages int64
 		allDone := true
 		for i := 0; i < k; i++ {
 			if !dones[i] {
@@ -257,12 +324,8 @@ func (c *Cluster[M]) Run() (*Stats, error) {
 				if int(e.To) != i {
 					// Link traffic. Self-addressed envelopes are free:
 					// local computation costs nothing in the model.
-					w := int64(e.Words)
-					linkLoad[i*k+int(e.To)] += w
-					recvThis[e.To] += w
-					sentThis[i] += w
-					ss.Messages++
-					ss.Words += w
+					linkLoad[i*k+int(e.To)] += int64(e.Words)
+					messages++
 				}
 			}
 		}
@@ -277,24 +340,10 @@ func (c *Cluster[M]) Run() (*Stats, error) {
 			return stats, nil
 		}
 
-		for _, w := range linkLoad {
-			if w > ss.MaxLinkWords {
-				ss.MaxLinkWords = w
-			}
-		}
+		ss, recvThis, sentThis := AccountSuperstep(k, c.cfg.Bandwidth, linkLoad, messages)
 		for i := 0; i < k; i++ {
-			if recvThis[i] > ss.MaxRecvWords {
-				ss.MaxRecvWords = recvThis[i]
-			}
-			if sentThis[i] > ss.MaxSentWords {
-				ss.MaxSentWords = sentThis[i]
-			}
 			stats.RecvWords[i] += recvThis[i]
 			stats.SentWords[i] += sentThis[i]
-		}
-		ss.Rounds = 1
-		if r := (ss.MaxLinkWords + int64(c.cfg.Bandwidth) - 1) / int64(c.cfg.Bandwidth); r > 1 {
-			ss.Rounds = r
 		}
 		stats.Rounds += ss.Rounds
 		stats.Supersteps++
@@ -302,12 +351,16 @@ func (c *Cluster[M]) Run() (*Stats, error) {
 		stats.Words += ss.Words
 		stats.PerSuperstep = append(stats.PerSuperstep, ss)
 
-		// Deliver: inboxes assembled in machine order for determinism.
-		next := make([][]Envelope[M], k)
+		// Deliver through the transport; the contract guarantees inboxes
+		// come back assembled in sender order for determinism.
+		next, err := t.Exchange(step, outs)
+		if err != nil {
+			return stats, fmt.Errorf("core: transport exchange failed in superstep %d: %w", step, err)
+		}
+		if len(next) != k {
+			return stats, fmt.Errorf("core: transport returned %d inboxes for a %d-machine cluster", len(next), k)
+		}
 		for i := 0; i < k; i++ {
-			for _, e := range outs[i] {
-				next[e.To] = append(next[e.To], e)
-			}
 			outs[i] = nil
 		}
 		inboxes = next

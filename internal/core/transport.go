@@ -1,0 +1,40 @@
+package core
+
+import (
+	"fmt"
+
+	"kmachine/internal/transport"
+	"kmachine/internal/transport/inmem"
+	"kmachine/internal/transport/tcp"
+	"kmachine/internal/transport/wire"
+)
+
+// OpenTransport resolves a transport kind (Config.Transport) to a live
+// Transport for message type M. The codec is only exercised by
+// substrates that actually serialise (tcp); the loopback ignores it.
+// Callers own the returned transport and must Close it after RunOn.
+func OpenTransport[M any](kind transport.Kind, k int, codec wire.Codec[M]) (Transport[M], error) {
+	switch kind {
+	case transport.Default, transport.InMem:
+		return inmem.New[M](k), nil
+	case transport.TCP:
+		if codec == nil {
+			return nil, fmt.Errorf("core: transport %q needs a message codec", kind)
+		}
+		return tcp.New[M](k, codec)
+	default:
+		return nil, fmt.Errorf("core: unknown transport kind %q", kind)
+	}
+}
+
+// RunOver resolves the cluster's Config.Transport with the given codec,
+// runs on it, and closes it — the shared tail of every algorithm's Run
+// function.
+func RunOver[M any](c *Cluster[M], codec wire.Codec[M]) (*Stats, error) {
+	t, err := OpenTransport[M](c.cfg.Transport, c.cfg.K, codec)
+	if err != nil {
+		return nil, err
+	}
+	defer t.Close()
+	return c.RunOn(t)
+}

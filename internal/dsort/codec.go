@@ -1,0 +1,45 @@
+package dsort
+
+import (
+	"fmt"
+
+	"kmachine/internal/routing"
+	twire "kmachine/internal/transport/wire"
+)
+
+// Wire is the envelope payload type of a distributed sort: the sample /
+// key / size / rebalance message in its two-hop routing frame.
+type Wire = wire
+
+// WireCodec returns the binary codec for sort envelopes.
+func WireCodec() twire.Codec[Wire] {
+	return routing.HopCodec[smsg](smsgCodec{})
+}
+
+type smsgCodec struct{}
+
+func (smsgCodec) Append(dst []byte, m smsg) ([]byte, error) {
+	dst = append(dst, m.Kind)
+	dst = twire.AppendUvarint(dst, m.Value)
+	return twire.AppendVarint(dst, m.Count), nil
+}
+
+func (smsgCodec) Decode(src []byte) (smsg, int, error) {
+	if len(src) < 1 {
+		return smsg{}, 0, fmt.Errorf("dsort: truncated message")
+	}
+	m := smsg{Kind: src[0]}
+	pos := 1
+	v, n, err := twire.Uvarint(src[pos:])
+	if err != nil {
+		return smsg{}, 0, err
+	}
+	m.Value = v
+	pos += n
+	c, n, err := twire.Varint(src[pos:])
+	if err != nil {
+		return smsg{}, 0, err
+	}
+	m.Count = c
+	return m, pos + n, nil
+}

@@ -251,7 +251,7 @@ func Run(in *Input, cfg core.Config, samplesPerMachine int) (*Result, error) {
 		machines[id] = m
 		return m
 	})
-	stats, err := cluster.Run()
+	stats, err := core.RunOver(cluster, WireCodec())
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,42 @@
+package dsort
+
+import (
+	"reflect"
+	"testing"
+
+	"kmachine/internal/core"
+	"kmachine/internal/transport"
+)
+
+// A distributed sort over real TCP sockets must return the exact same
+// blocks and measured statistics as the loopback run: the transport
+// may not perturb determinism or accounting.
+func TestSortOverTCPMatchesInMemory(t *testing.T) {
+	const (
+		n    = 600
+		k    = 4
+		seed = 13
+	)
+	mkInput := func() *Input { return RandomInput(n, k, seed, UniformKeys) }
+	cfg := core.Config{K: k, Bandwidth: core.DefaultBandwidth(n), Seed: seed + 1}
+
+	mem, err := Run(mkInput(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Transport = transport.TCP
+	tcp, err := Run(mkInput(), cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tcp.Blocks, mem.Blocks) {
+		t.Error("sorted blocks diverge between tcp and inmem")
+	}
+	if tcp.Stats.Rounds != mem.Stats.Rounds || tcp.Stats.Words != mem.Stats.Words ||
+		tcp.Stats.Messages != mem.Stats.Messages || tcp.Stats.Supersteps != mem.Stats.Supersteps {
+		t.Errorf("stats diverge: tcp %+v, inmem %+v", tcp.Stats, mem.Stats)
+	}
+	if tcp.RebalancedKeys != mem.RebalancedKeys {
+		t.Errorf("rebalanced keys: tcp %d, inmem %d", tcp.RebalancedKeys, mem.RebalancedKeys)
+	}
+}

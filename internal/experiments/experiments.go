@@ -19,19 +19,21 @@ import (
 )
 
 // Table is one experiment's result, printable as an aligned text table.
+// The json tags fix the schema of kmbench -json (the BENCH_*.json
+// trajectory format), so keep them stable.
 type Table struct {
 	// ID is the experiment identifier from DESIGN.md (e.g. "E1").
-	ID string
+	ID string `json:"id"`
 	// Title is a one-line description.
-	Title string
+	Title string `json:"title"`
 	// Claim cites the paper statement being reproduced.
-	Claim string
+	Claim string `json:"claim"`
 	// Header and Rows hold the tabular data.
-	Header []string
-	Rows   [][]string
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 	// Notes carry derived observations (fitted exponents, pass/fail of
 	// the shape check).
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Fprint renders the table with aligned columns.

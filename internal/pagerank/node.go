@@ -1,0 +1,61 @@
+package pagerank
+
+import (
+	"fmt"
+
+	"kmachine/internal/core"
+	"kmachine/internal/partition"
+)
+
+// NodeMachine is one machine of a distributed PageRank computation,
+// packaged for standalone execution (cmd/kmnode): a process that hosts
+// a single machine builds its NodeMachine from the shared partition and
+// drives it with transport/node.Run; afterwards LocalEstimates holds
+// the machine's share of the output.
+type NodeMachine struct {
+	m    *machine
+	n    int
+	opts Options
+}
+
+// NewNodeMachine builds machine view.Self()'s state. opts.Eps must be
+// set; Tokens/Iterations defaults are applied here, so every node of a
+// run resolves to identical options as long as the inputs agree.
+func NewNodeMachine(view *partition.View, opts Options) (*NodeMachine, error) {
+	if opts.Eps <= 0 || opts.Eps >= 1 {
+		return nil, fmt.Errorf("pagerank: eps=%v out of (0,1)", opts.Eps)
+	}
+	opts.ApplyDefaults(view.N())
+	return &NodeMachine{m: newMachine(view, opts), n: view.N(), opts: opts}, nil
+}
+
+// Step implements core.Machine.
+func (nm *NodeMachine) Step(ctx *core.StepContext, inbox []core.Envelope[Wire]) ([]core.Envelope[Wire], bool) {
+	return nm.m.Step(ctx, inbox)
+}
+
+// Options returns the resolved options (after ApplyDefaults).
+func (nm *NodeMachine) Options() Options { return nm.opts }
+
+// LocalPsi returns a copy of the raw visit counts for the vertices
+// homed on this machine.
+func (nm *NodeMachine) LocalPsi() map[int32]int64 {
+	out := make(map[int32]int64, len(nm.m.psi))
+	for v, c := range nm.m.psi {
+		out[v] = c
+	}
+	return out
+}
+
+// LocalEstimates returns the PageRank estimates this machine outputs —
+// the same eps·psi(v)/(n·c·log n) arithmetic Run applies, so a
+// standalone cluster's union of LocalEstimates is bit-identical to an
+// in-process Result.Estimate.
+func (nm *NodeMachine) LocalEstimates() map[int32]float64 {
+	scale := nm.opts.Eps / (float64(nm.n) * float64(nm.opts.Tokens))
+	out := make(map[int32]float64, len(nm.m.psi))
+	for v, c := range nm.m.psi {
+		out[v] = float64(c) * scale
+	}
+	return out
+}

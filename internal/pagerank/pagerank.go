@@ -70,6 +70,19 @@ func ConversionBaseline(eps float64) Options {
 	return Options{Eps: eps}
 }
 
+// ApplyDefaults fills Tokens and Iterations with the paper's defaults
+// for an n-vertex input. Every machine of a run must use the same
+// resolved Options — standalone nodes (cmd/kmnode) call this before
+// NewNodeMachine, and Run calls it for the in-process cluster.
+func (o *Options) ApplyDefaults(n int) {
+	if o.Tokens == 0 {
+		o.Tokens = int(math.Ceil(8 * math.Log2(float64(n)+1)))
+	}
+	if o.Iterations == 0 {
+		o.Iterations = int(math.Ceil(3 * math.Log(float64(n)*float64(o.Tokens)+1) / o.Eps))
+	}
+}
+
 // Result is the outcome of a distributed PageRank computation.
 type Result struct {
 	// Estimate[v] is the PageRank estimate output by v's home machine.
@@ -278,12 +291,7 @@ func Run(p *partition.VertexPartition, cfg core.Config, opts Options) (*Result, 
 		return nil, fmt.Errorf("pagerank: eps=%v out of (0,1)", opts.Eps)
 	}
 	n := p.G.N()
-	if opts.Tokens == 0 {
-		opts.Tokens = int(math.Ceil(8 * math.Log2(float64(n)+1)))
-	}
-	if opts.Iterations == 0 {
-		opts.Iterations = int(math.Ceil(3 * math.Log(float64(n)*float64(opts.Tokens)+1) / opts.Eps))
-	}
+	opts.ApplyDefaults(n)
 
 	machines := make([]*machine, cfg.K)
 	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[wire] {
@@ -291,7 +299,7 @@ func Run(p *partition.VertexPartition, cfg core.Config, opts Options) (*Result, 
 		machines[id] = m
 		return m
 	})
-	stats, err := cluster.Run()
+	stats, err := core.RunOver(cluster, WireCodec())
 	if err != nil {
 		return nil, err
 	}

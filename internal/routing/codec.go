@@ -1,0 +1,44 @@
+package routing
+
+import (
+	"fmt"
+	"math"
+
+	"kmachine/internal/core"
+	"kmachine/internal/transport/wire"
+)
+
+// HopCodec lifts a payload codec to the two-hop Hop[M] framing: the
+// final destination is prepended as a uvarint. Algorithms that route
+// through random intermediates compose this with their message codec to
+// obtain the wire format of their full envelope payload.
+func HopCodec[M any](inner wire.Codec[M]) wire.Codec[Hop[M]] {
+	return hopCodec[M]{inner: inner}
+}
+
+type hopCodec[M any] struct {
+	inner wire.Codec[M]
+}
+
+func (c hopCodec[M]) Append(dst []byte, h Hop[M]) ([]byte, error) {
+	if h.Final < 0 {
+		return dst, fmt.Errorf("routing: hop with negative final destination %d", h.Final)
+	}
+	dst = wire.AppendUvarint(dst, uint64(h.Final))
+	return c.inner.Append(dst, h.Msg)
+}
+
+func (c hopCodec[M]) Decode(src []byte) (Hop[M], int, error) {
+	final, n, err := wire.Uvarint(src)
+	if err != nil {
+		return Hop[M]{}, 0, err
+	}
+	if final > math.MaxInt32 {
+		return Hop[M]{}, 0, fmt.Errorf("routing: hop destination %d out of range", final)
+	}
+	msg, m, err := c.inner.Decode(src[n:])
+	if err != nil {
+		return Hop[M]{}, 0, err
+	}
+	return Hop[M]{Final: core.MachineID(final), Msg: msg}, n + m, nil
+}

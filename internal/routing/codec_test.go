@@ -1,0 +1,38 @@
+package routing
+
+import (
+	"testing"
+
+	"kmachine/internal/core"
+	"kmachine/internal/transport/wire"
+)
+
+type u64Codec struct{}
+
+func (u64Codec) Append(dst []byte, v uint64) ([]byte, error) { return wire.AppendUvarint(dst, v), nil }
+func (u64Codec) Decode(src []byte) (uint64, int, error)      { return wire.Uvarint(src) }
+
+func TestHopCodecRoundTripAndGuards(t *testing.T) {
+	c := HopCodec[uint64](u64Codec{})
+	for _, final := range []core.MachineID{0, 1, 1 << 20} {
+		h := Hop[uint64]{Final: final, Msg: 12345}
+		buf, err := c.Append(nil, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := c.Decode(buf)
+		if err != nil || got != h || n != len(buf) {
+			t.Fatalf("round trip %+v: got %+v (n=%d, err=%v)", h, got, n, err)
+		}
+	}
+	if _, err := c.Append(nil, Hop[uint64]{Final: -1}); err == nil {
+		t.Error("negative Final encoded without error")
+	}
+	// A corrupted frame whose Final decodes above int32 range must be
+	// rejected, not silently truncated into a wrong MachineID.
+	bad := wire.AppendUvarint(nil, 1<<40)
+	bad = wire.AppendUvarint(bad, 7)
+	if _, _, err := c.Decode(bad); err == nil {
+		t.Error("out-of-range Final decoded without error")
+	}
+}

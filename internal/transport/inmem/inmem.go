@@ -1,0 +1,51 @@
+// Package inmem implements the in-process loopback Transport: the
+// routing loop that used to be hard-wired into core.Cluster.Run,
+// extracted behind the transport.Transport interface. It is the default
+// substrate for simulations and tests: envelopes never leave the
+// process and delivery is a pure slice shuffle.
+package inmem
+
+import (
+	"fmt"
+
+	"kmachine/internal/transport"
+)
+
+// Transport is the loopback implementation of transport.Transport.
+type Transport[M any] struct {
+	k      int
+	closed bool
+}
+
+// New returns a loopback transport for a k-machine cluster.
+func New[M any](k int) *Transport[M] {
+	if k < 2 {
+		panic(fmt.Sprintf("inmem: need k >= 2 machines, got %d", k))
+	}
+	return &Transport[M]{k: k}
+}
+
+// Exchange routes outs into per-destination inboxes. Iterating senders
+// in machine order makes inbox assembly deterministic and sender-ID
+// ordered, matching the Transport contract.
+func (t *Transport[M]) Exchange(step int, outs [][]transport.Envelope[M]) ([][]transport.Envelope[M], error) {
+	if t.closed {
+		return nil, fmt.Errorf("inmem: Exchange on closed transport (superstep %d)", step)
+	}
+	if len(outs) != t.k {
+		return nil, fmt.Errorf("inmem: got %d outboxes for a %d-machine cluster", len(outs), t.k)
+	}
+	inboxes := make([][]transport.Envelope[M], t.k)
+	for i := range outs {
+		for _, e := range outs[i] {
+			inboxes[e.To] = append(inboxes[e.To], e)
+		}
+	}
+	return inboxes, nil
+}
+
+// Close implements transport.Transport.
+func (t *Transport[M]) Close() error {
+	t.closed = true
+	return nil
+}

@@ -1,0 +1,464 @@
+// Package node is the standalone k-machine runtime: it drives ONE
+// machine of a cluster whose peers live in other processes, connected
+// by the tcp transport's socket mesh. cmd/kmnode is its CLI.
+//
+// Where core.Cluster steps all k machines in one process and barriers
+// with a sync.WaitGroup, this runtime distributes the loop itself: each
+// node steps its machine, exchanges one superstep's batched envelopes
+// with its peers over TCP, and then reports ⟨done, emitted, per-link
+// word counts⟩ to the coordinator (machine 0). The coordinator runs
+// exactly core's accounting arithmetic on the assembled link-load
+// matrix — max(1, ceil(max-link-words/B)) rounds per superstep — and
+// broadcasts a verdict: continue, stop (carrying the final Stats), or
+// abort. A run over this runtime therefore reports the same Rounds and
+// Words as the same machines under core.Cluster on the loopback
+// transport; the conversion results of Klauck et al. (arXiv:1311.6209)
+// are about precisely this substrate-independence, and the integration
+// tests assert it.
+package node
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"kmachine/internal/core"
+	"kmachine/internal/rng"
+	"kmachine/internal/transport/tcp"
+	"kmachine/internal/transport/wire"
+)
+
+// Config describes one node's place in the cluster.
+type Config struct {
+	// ID is this node's machine ID; K the cluster size.
+	ID, K int
+	// ListenAddr is this node's listen address ("host:port"; port 0
+	// picks a free port, useful only when peers learn it out of band).
+	ListenAddr string
+	// Peers holds the k listen addresses in machine-ID order.
+	Peers []string
+	// Bandwidth is the per-link capacity in words per round.
+	Bandwidth int
+	// Seed derives every machine's random stream, exactly like
+	// core.Config.Seed: node i draws from rng.NewStream(Seed, i).
+	Seed uint64
+	// MaxSupersteps aborts runaway algorithms; 0 means core's default.
+	MaxSupersteps int
+	// DialTimeout bounds mesh construction; 0 means tcp's default.
+	DialTimeout time.Duration
+}
+
+func (cfg *Config) validate() error {
+	if cfg.K < 2 || cfg.ID < 0 || cfg.ID >= cfg.K {
+		return fmt.Errorf("node: invalid id %d for k=%d", cfg.ID, cfg.K)
+	}
+	if cfg.Bandwidth < 1 {
+		return fmt.Errorf("node: need Bandwidth >= 1 word/round, got %d", cfg.Bandwidth)
+	}
+	if cfg.MaxSupersteps == 0 {
+		cfg.MaxSupersteps = 1 << 20
+	}
+	return nil
+}
+
+// Run executes one machine of the cluster: listen, dial the mesh, then
+// drive supersteps until the coordinator calls the computation
+// complete. The returned Stats are the full cluster statistics (the
+// coordinator computes them and ships them in the stop verdict), so
+// every node of a successful run returns identical Stats.
+func Run[M any](cfg Config, m core.Machine[M], codec wire.Codec[M]) (*core.Stats, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	ep, err := tcp.Listen[M](cfg.ID, cfg.K, cfg.ListenAddr, codec)
+	if err != nil {
+		return nil, err
+	}
+	defer ep.Close()
+	if err := ep.Connect(cfg.Peers, cfg.DialTimeout); err != nil {
+		return nil, err
+	}
+	return runLoop(cfg, ep, m)
+}
+
+// RunLocal spawns the full k-machine cluster over loopback TCP inside
+// one process — every machine gets its own listener, dials every peer,
+// and runs the standalone superstep loop (kmnode's -local mode). The
+// factory is called once per machine, like core.NewCluster's.
+func RunLocal[M any](k, bandwidth int, seed uint64, maxSupersteps int, codec wire.Codec[M], factory func(core.MachineID) core.Machine[M]) (*core.Stats, error) {
+	eps, err := tcp.NewLoopbackMesh[M](k, codec)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+	// Factory calls stay sequential, matching core.NewCluster's contract
+	// (factories may append to shared slices without locking).
+	machines := make([]core.Machine[M], k)
+	for i := 0; i < k; i++ {
+		machines[i] = factory(core.MachineID(i))
+	}
+	stats := make([]*core.Stats, k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cfg := Config{ID: i, K: k, Bandwidth: bandwidth, Seed: seed, MaxSupersteps: maxSupersteps}
+			if err := cfg.validate(); err == nil {
+				stats[i], errs[i] = runLoop(cfg, eps[i], machines[i])
+			} else {
+				errs[i] = err
+			}
+			if errs[i] != nil {
+				// A node that bails early must tear its endpoint down
+				// right away: peers are blocked in deadline-free reads
+				// on its connections, and only the close unwedges them
+				// (standalone node.Run gets this from its deferred
+				// Close; here all k share the process).
+				eps[i].Close()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// Prefer the coordinator's error: it aggregates the cluster
+			// view, and on an abort every node returns the same message.
+			if errs[0] != nil {
+				return stats[0], errs[0]
+			}
+			return stats[0], err
+		}
+	}
+	return stats[0], nil
+}
+
+// runLoop is the distributed mirror of core.Cluster.RunOn.
+func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.Stats, error) {
+	r := rng.NewStream(cfg.Seed, uint64(cfg.ID))
+	var coord *coordinator
+	if cfg.ID == 0 {
+		coord = newCoordinator(cfg.K, cfg.Bandwidth)
+	}
+	var inbox []core.Envelope[M]
+	for step := 0; ; step++ {
+		if step >= cfg.MaxSupersteps {
+			// Every node shares MaxSupersteps and steps in lockstep, so
+			// all abort on the same superstep; only the coordinator has
+			// the (partial) statistics.
+			return coordStats(coord), core.ErrMaxSupersteps
+		}
+
+		out, done, stepErr := stepSafely(m, &core.StepContext{
+			Self:      core.MachineID(cfg.ID),
+			K:         cfg.K,
+			Superstep: step,
+			RNG:       r,
+		}, inbox)
+		rep := report{done: done, emitted: len(out) > 0, linkWords: make([]int64, cfg.K)}
+		if stepErr == nil {
+			stepErr = validateAndAccount(cfg, out, &rep)
+		}
+		if stepErr != nil {
+			rep.err = stepErr.Error()
+			out = nil // still participate in the exchange so peers don't hang
+		}
+
+		next, exErr := ep.Exchange(step, out)
+		if exErr != nil {
+			return coordStats(coord), exErr
+		}
+		if err := ep.SendToCoordinator(rep.encode(step)); err != nil {
+			return coordStats(coord), err
+		}
+
+		var verdictPayload []byte
+		if coord != nil {
+			reports, err := ep.CollectReports()
+			if err != nil {
+				return coordStats(coord), err
+			}
+			verdictPayload, err = coord.process(step, reports)
+			if err != nil {
+				return coordStats(coord), err
+			}
+			if err := ep.Broadcast(verdictPayload); err != nil {
+				return coordStats(coord), err
+			}
+		} else {
+			var err error
+			verdictPayload, err = ep.ReceiveVerdict()
+			if err != nil {
+				return nil, err
+			}
+		}
+
+		v, err := decodeVerdict(verdictPayload)
+		if err != nil {
+			return coordStats(coord), err
+		}
+		switch v.kind {
+		case verdictContinue:
+			inbox = next
+		case verdictStop:
+			return v.stats, nil
+		case verdictAbort:
+			return coordStats(coord), errors.New(v.errMsg)
+		}
+	}
+}
+
+// coordStats returns the coordinator's (possibly partial) statistics
+// for error returns, finalized like core's deferred stats.finalize() so
+// MaxRecvWords is consistent on every path.
+func coordStats(c *coordinator) *core.Stats {
+	if c == nil {
+		return nil
+	}
+	c.finalize()
+	return c.stats
+}
+
+// stepSafely runs one Step with core's panic recovery semantics.
+func stepSafely[M any](m core.Machine[M], ctx *core.StepContext, inbox []core.Envelope[M]) (out []core.Envelope[M], done bool, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("node: machine %d panicked in superstep %d: %v", ctx.Self, ctx.Superstep, rec)
+		}
+	}()
+	out, done = m.Step(ctx, inbox)
+	return out, done, nil
+}
+
+// validateAndAccount mirrors core's per-envelope validation and
+// From-stamping, and fills the report's link-word vector (self links
+// are free, exactly like core).
+func validateAndAccount[M any](cfg Config, out []core.Envelope[M], rep *report) error {
+	for j := range out {
+		e := &out[j]
+		if e.To < 0 || int(e.To) >= cfg.K {
+			return fmt.Errorf("node: machine %d sent to invalid machine %d", cfg.ID, e.To)
+		}
+		if e.Words < 0 {
+			return fmt.Errorf("node: machine %d sent negative-size envelope", cfg.ID)
+		}
+		e.From = core.MachineID(cfg.ID)
+		if int(e.To) != cfg.ID {
+			rep.linkWords[e.To] += int64(e.Words)
+			rep.messages++
+		}
+	}
+	return nil
+}
+
+// report is one node's per-superstep account to the coordinator.
+type report struct {
+	done      bool
+	emitted   bool
+	messages  int64
+	linkWords []int64 // words this node sent to each machine (self = 0)
+	err       string
+}
+
+const (
+	repFlagDone = 1 << iota
+	repFlagEmitted
+	repFlagError
+)
+
+func (r *report) encode(step int) []byte {
+	var flags byte
+	if r.done {
+		flags |= repFlagDone
+	}
+	if r.emitted {
+		flags |= repFlagEmitted
+	}
+	if r.err != "" {
+		flags |= repFlagError
+	}
+	buf := []byte{flags}
+	buf = wire.AppendUvarint(buf, uint64(step))
+	buf = wire.AppendUvarint(buf, uint64(r.messages))
+	buf = wire.AppendUvarint(buf, uint64(len(r.linkWords)))
+	for _, w := range r.linkWords {
+		buf = wire.AppendUvarint(buf, uint64(w))
+	}
+	if r.err != "" {
+		buf = append(buf, r.err...)
+	}
+	return buf
+}
+
+func decodeReport(buf []byte, wantStep int) (*report, error) {
+	if len(buf) < 1 {
+		return nil, fmt.Errorf("node: empty report")
+	}
+	flags := buf[0]
+	pos := 1
+	hdr := make([]uint64, 3)
+	for i := range hdr {
+		v, n, err := wire.Uvarint(buf[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("node: corrupt report: %w", err)
+		}
+		hdr[i] = v
+		pos += n
+	}
+	if int(hdr[0]) != wantStep {
+		return nil, fmt.Errorf("node: report for superstep %d, want %d", hdr[0], wantStep)
+	}
+	rep := &report{
+		done:      flags&repFlagDone != 0,
+		emitted:   flags&repFlagEmitted != 0,
+		messages:  int64(hdr[1]),
+		linkWords: make([]int64, hdr[2]),
+	}
+	for i := range rep.linkWords {
+		v, n, err := wire.Uvarint(buf[pos:])
+		if err != nil {
+			return nil, fmt.Errorf("node: corrupt report: %w", err)
+		}
+		rep.linkWords[i] = int64(v)
+		pos += n
+	}
+	if flags&repFlagError != 0 {
+		rep.err = string(buf[pos:])
+	}
+	return rep, nil
+}
+
+// coordinator aggregates reports into core-identical Stats.
+type coordinator struct {
+	k         int
+	bandwidth int
+	stats     *core.Stats
+}
+
+func newCoordinator(k, bandwidth int) *coordinator {
+	return &coordinator{
+		k:         k,
+		bandwidth: bandwidth,
+		stats: &core.Stats{
+			RecvWords: make([]int64, k),
+			SentWords: make([]int64, k),
+		},
+	}
+}
+
+// process runs core's accounting arithmetic on one superstep's reports
+// and returns the verdict to broadcast.
+func (c *coordinator) process(step int, payloads [][]byte) ([]byte, error) {
+	reports := make([]*report, c.k)
+	for i, p := range payloads {
+		rep, err := decodeReport(p, step)
+		if err != nil {
+			return nil, fmt.Errorf("node: coordinator report from %d: %w", i, err)
+		}
+		if len(rep.linkWords) != c.k {
+			return nil, fmt.Errorf("node: report from %d has %d links, want %d", i, len(rep.linkWords), c.k)
+		}
+		reports[i] = rep
+	}
+	for i, rep := range reports {
+		if rep.err != "" {
+			return encodeAbort(fmt.Sprintf("machine %d: %s", i, rep.err)), nil
+		}
+	}
+
+	// Assemble the k×k link-load matrix from the per-node rows and hand
+	// it to the exact accounting function core.RunOn uses — the shared
+	// arithmetic is what makes the two substrates' Stats bit-identical
+	// by construction.
+	linkWords := make([]int64, c.k*c.k)
+	var messages int64
+	allDone, pending := true, false
+	for i, rep := range reports {
+		if !rep.done {
+			allDone = false
+		}
+		if rep.emitted {
+			pending = true
+		}
+		copy(linkWords[i*c.k:(i+1)*c.k], rep.linkWords)
+		messages += rep.messages
+	}
+	if allDone && !pending {
+		// Quiescent: like core, the final silent superstep is free.
+		c.finalize()
+		return encodeStop(c.stats)
+	}
+	ss, recvThis, sentThis := core.AccountSuperstep(c.k, c.bandwidth, linkWords, messages)
+	for i := 0; i < c.k; i++ {
+		c.stats.RecvWords[i] += recvThis[i]
+		c.stats.SentWords[i] += sentThis[i]
+	}
+	c.stats.Rounds += ss.Rounds
+	c.stats.Supersteps++
+	c.stats.Messages += ss.Messages
+	c.stats.Words += ss.Words
+	c.stats.PerSuperstep = append(c.stats.PerSuperstep, ss)
+	return []byte{verdictContinue}, nil
+}
+
+func (c *coordinator) finalize() {
+	for _, w := range c.stats.RecvWords {
+		if w > c.stats.MaxRecvWords {
+			c.stats.MaxRecvWords = w
+		}
+	}
+}
+
+// Verdict kinds (first payload byte).
+const (
+	verdictContinue = byte(iota)
+	verdictStop
+	verdictAbort
+)
+
+type verdict struct {
+	kind   byte
+	stats  *core.Stats
+	errMsg string
+}
+
+func encodeStop(stats *core.Stats) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.WriteByte(verdictStop)
+	if err := gob.NewEncoder(&buf).Encode(stats); err != nil {
+		return nil, fmt.Errorf("node: encode final stats: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func encodeAbort(msg string) []byte {
+	return append([]byte{verdictAbort}, msg...)
+}
+
+func decodeVerdict(buf []byte) (verdict, error) {
+	if len(buf) < 1 {
+		return verdict{}, fmt.Errorf("node: empty verdict")
+	}
+	v := verdict{kind: buf[0]}
+	switch v.kind {
+	case verdictContinue:
+	case verdictStop:
+		v.stats = &core.Stats{}
+		if err := gob.NewDecoder(bytes.NewReader(buf[1:])).Decode(v.stats); err != nil {
+			return verdict{}, fmt.Errorf("node: decode final stats: %w", err)
+		}
+	case verdictAbort:
+		v.errMsg = string(buf[1:])
+	default:
+		return verdict{}, fmt.Errorf("node: unknown verdict kind %d", v.kind)
+	}
+	return v, nil
+}

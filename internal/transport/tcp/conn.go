@@ -1,0 +1,26 @@
+package tcp
+
+import (
+	"bufio"
+	"net"
+)
+
+// bufWriter / bufReader are the buffered halves of a connection; named
+// so the Endpoint fields read as intent rather than bufio plumbing.
+type bufWriter = bufio.Writer
+type bufReader = bufio.Reader
+
+const connBufSize = 64 << 10
+
+func newDataConn(c net.Conn) *dataConn {
+	if tc, ok := c.(*net.TCPConn); ok {
+		// Batches are written once per superstep and flushed whole;
+		// Nagle only adds latency to the barrier frames.
+		tc.SetNoDelay(true)
+	}
+	return &dataConn{
+		c: c,
+		w: bufio.NewWriterSize(c, connBufSize),
+		r: bufio.NewReaderSize(c, connBufSize),
+	}
+}

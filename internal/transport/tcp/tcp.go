@@ -1,0 +1,587 @@
+// Package tcp runs the k-machine cluster over real sockets: every
+// machine owns a net.Listener and dials every peer, giving the full
+// point-to-point mesh of the model (§1.1) as k·(k-1) actual TCP
+// connections. Envelopes cross machine boundaries as length-prefixed
+// binary frames (transport/wire), one batch frame per (sender,
+// receiver) pair per superstep — empty batches included, which is how a
+// receiver knows a superstep's input is complete.
+//
+// Machine 0 additionally acts as the coordinator: every other machine
+// holds a control connection to it, used for the superstep barrier
+// (Transport.Exchange) and for the report/verdict protocol of the
+// standalone runtime (transport/node).
+//
+// The package knows nothing about rounds or words: cost accounting
+// stays in core, which is what keeps Stats bit-identical between this
+// transport and the in-memory loopback.
+package tcp
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"kmachine/internal/transport"
+	"kmachine/internal/transport/wire"
+)
+
+// Connection-type byte carried in the HELLO frame that opens every
+// dialed connection.
+const (
+	helloData = byte(iota)
+	helloCtrl
+)
+
+// DefaultDialTimeout bounds mesh construction: peers of a standalone
+// node may start seconds apart.
+const DefaultDialTimeout = 10 * time.Second
+
+type dataConn struct {
+	c net.Conn
+	w *wbuf
+	r *rbuf
+}
+
+// wbuf/rbuf are tiny aliases to keep struct fields readable.
+type wbuf = bufWriter
+type rbuf = bufReader
+
+// Endpoint is one machine's socket stack: its listener, the k-1 dialed
+// data connections (writes), the k-1 accepted data connections (reads),
+// and the control connection to the coordinator (or, on the
+// coordinator, from every peer).
+type Endpoint[M any] struct {
+	id    int
+	k     int
+	codec wire.Codec[M]
+	ln    net.Listener
+
+	out []*dataConn // out[j]: dialed conn for writing to peer j
+	in  []*dataConn // in[j]: accepted conn for reading from peer j
+
+	ctrl     *dataConn   // id>0: connection to the coordinator
+	ctrlIn   []*dataConn // id==0: ctrlIn[j] accepted from peer j
+	ownQueue [][]byte    // id==0: coordinator's loopback report queue
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+// Listen opens machine id's listener on addr ("host:0" picks a free
+// port). Connect must be called before the endpoint can exchange.
+func Listen[M any](id, k int, addr string, codec wire.Codec[M]) (*Endpoint[M], error) {
+	if k < 2 || id < 0 || id >= k {
+		return nil, fmt.Errorf("tcp: invalid endpoint id %d for k=%d", id, k)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("tcp: machine %d listen %s: %w", id, addr, err)
+	}
+	return &Endpoint[M]{
+		id:    id,
+		k:     k,
+		codec: codec,
+		ln:    ln,
+		out:   make([]*dataConn, k),
+		in:    make([]*dataConn, k),
+	}, nil
+}
+
+// Addr returns the listener's concrete address (useful with ":0").
+func (e *Endpoint[M]) Addr() string { return e.ln.Addr().String() }
+
+// ID returns the machine ID this endpoint serves.
+func (e *Endpoint[M]) ID() int { return e.id }
+
+// K returns the cluster size.
+func (e *Endpoint[M]) K() int { return e.k }
+
+// Connect completes the mesh: it dials a data connection to every peer
+// in peers (indexed by machine ID; peers[e.id] is ignored) plus a
+// control connection to peer 0, while accepting the mirror-image
+// connections on its own listener. Dials are retried until timeout so
+// nodes may start in any order.
+func (e *Endpoint[M]) Connect(peers []string, timeout time.Duration) error {
+	if len(peers) != e.k {
+		return fmt.Errorf("tcp: machine %d got %d peer addresses for k=%d", e.id, len(peers), e.k)
+	}
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	deadline := time.Now().Add(timeout)
+
+	wantAccept := e.k - 1 // data conns from every peer
+	if e.id == 0 {
+		e.ctrlIn = make([]*dataConn, e.k)
+		wantAccept += e.k - 1 // plus every peer's control conn
+	}
+
+	var wg sync.WaitGroup
+	var dialErr, acceptErr error
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		dialErr = e.dialAll(peers, deadline)
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		acceptErr = e.acceptAll(wantAccept, deadline)
+	}()
+	wg.Wait()
+
+	if dialErr != nil || acceptErr != nil {
+		e.Close()
+		if dialErr != nil {
+			return dialErr
+		}
+		return acceptErr
+	}
+	return nil
+}
+
+func (e *Endpoint[M]) dialAll(peers []string, deadline time.Time) error {
+	dial := func(addr string, kind byte) (*dataConn, error) {
+		var lastErr error
+		for time.Now().Before(deadline) {
+			c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
+			if err != nil {
+				lastErr = err
+				time.Sleep(20 * time.Millisecond)
+				continue
+			}
+			dc := newDataConn(c)
+			hello := []byte{kind}
+			hello = wire.AppendUvarint(hello, uint64(e.id))
+			if err := wire.WriteFrame(dc.w, hello); err != nil {
+				c.Close()
+				return nil, err
+			}
+			if err := dc.w.Flush(); err != nil {
+				c.Close()
+				return nil, err
+			}
+			return dc, nil
+		}
+		return nil, fmt.Errorf("tcp: machine %d dial %s timed out: %v", e.id, addr, lastErr)
+	}
+	for j := 0; j < e.k; j++ {
+		if j == e.id {
+			continue
+		}
+		dc, err := dial(peers[j], helloData)
+		if err != nil {
+			return err
+		}
+		e.out[j] = dc
+	}
+	if e.id != 0 {
+		dc, err := dial(peers[0], helloCtrl)
+		if err != nil {
+			return err
+		}
+		e.ctrl = dc
+	}
+	return nil
+}
+
+func (e *Endpoint[M]) acceptAll(want int, deadline time.Time) error {
+	type deadliner interface{ SetDeadline(time.Time) error }
+	if d, ok := e.ln.(deadliner); ok {
+		d.SetDeadline(deadline)
+		defer d.SetDeadline(time.Time{})
+	}
+	for got := 0; got < want; got++ {
+		c, err := e.ln.Accept()
+		if err != nil {
+			return fmt.Errorf("tcp: machine %d accept: %w", e.id, err)
+		}
+		dc := newDataConn(c)
+		hello, err := wire.ReadFrame(dc.r)
+		if err != nil {
+			c.Close()
+			return fmt.Errorf("tcp: machine %d bad hello: %w", e.id, err)
+		}
+		if len(hello) < 2 {
+			c.Close()
+			return fmt.Errorf("tcp: machine %d short hello", e.id)
+		}
+		from, _, err := wire.Uvarint(hello[1:])
+		if err != nil || int(from) >= e.k || int(from) == e.id {
+			c.Close()
+			return fmt.Errorf("tcp: machine %d hello from invalid peer %d", e.id, from)
+		}
+		switch hello[0] {
+		case helloData:
+			if e.in[from] != nil {
+				c.Close()
+				return fmt.Errorf("tcp: machine %d got duplicate data conn from %d", e.id, from)
+			}
+			e.in[from] = dc
+		case helloCtrl:
+			if e.id != 0 {
+				c.Close()
+				return fmt.Errorf("tcp: machine %d (not coordinator) got control conn from %d", e.id, from)
+			}
+			if e.ctrlIn[from] != nil {
+				c.Close()
+				return fmt.Errorf("tcp: coordinator got duplicate control conn from %d", from)
+			}
+			e.ctrlIn[from] = dc
+		default:
+			c.Close()
+			return fmt.Errorf("tcp: machine %d unknown hello kind %d", e.id, hello[0])
+		}
+	}
+	return nil
+}
+
+// Exchange ships this machine's superstep batch to every peer and
+// collects the peers' batches: one frame per directed pair, empty
+// batches included. Self-addressed envelopes never touch a socket. The
+// returned inbox is assembled in sender-ID order, self-addressed
+// envelopes at position e.id, exactly like the loopback transport.
+func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transport.Envelope[M], error) {
+	perDest := make([][]transport.Envelope[M], e.k)
+	for _, env := range out {
+		if env.To < 0 || int(env.To) >= e.k {
+			e.Close() // peers are waiting on our batch; unblock them
+			return nil, fmt.Errorf("tcp: machine %d envelope to invalid machine %d", e.id, env.To)
+		}
+		perDest[env.To] = append(perDest[env.To], env)
+	}
+
+	perSender := make([][]transport.Envelope[M], e.k)
+	var wg sync.WaitGroup
+	errs := make([]error, 2*e.k)
+
+	// On any error, tear the endpoint down immediately: the peers (and
+	// our own reader goroutines below) are blocked in reads with no
+	// deadline, and closing the connections is what converts a wedged
+	// cluster into an error cascade — each endpoint's failed read
+	// closes it in turn. Without this a single broken connection
+	// deadlocks Exchange forever.
+	fail := func(slot int, err error) {
+		errs[slot] = err
+		e.Close()
+	}
+
+	// Writers: one batch frame per peer, flushed immediately.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for j := 0; j < e.k; j++ {
+			if j == e.id {
+				continue
+			}
+			buf, err := wire.AppendBatch(nil, step, transport.MachineID(e.id), perDest[j], e.codec)
+			if err == nil {
+				if err = wire.WriteFrame(e.out[j].w, buf); err == nil {
+					err = e.out[j].w.Flush()
+				}
+			}
+			if err != nil {
+				fail(j, fmt.Errorf("tcp: machine %d send to %d (superstep %d): %w", e.id, j, step, err))
+				return
+			}
+		}
+	}()
+
+	// Readers: every incoming connection delivers exactly one batch
+	// frame per superstep; read them concurrently so no peer's write
+	// can block on our unread input.
+	for j := 0; j < e.k; j++ {
+		if j == e.id {
+			continue
+		}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			frame, err := wire.ReadFrame(e.in[j].r)
+			if err != nil {
+				fail(e.k+j, fmt.Errorf("tcp: machine %d recv from %d (superstep %d): %w", e.id, j, step, err))
+				return
+			}
+			gotStep, from, envs, err := wire.DecodeBatch(frame, e.codec)
+			if err != nil {
+				fail(e.k+j, fmt.Errorf("tcp: machine %d decode from %d: %w", e.id, j, err))
+				return
+			}
+			if gotStep != step || int(from) != j {
+				fail(e.k+j, fmt.Errorf("tcp: machine %d expected (superstep %d, from %d), got (%d, %d)",
+					e.id, step, j, gotStep, from))
+				return
+			}
+			perSender[j] = envs
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	var inbox []transport.Envelope[M]
+	for s := 0; s < e.k; s++ {
+		if s == e.id {
+			inbox = append(inbox, perDest[s]...)
+			continue
+		}
+		inbox = append(inbox, perSender[s]...)
+	}
+	return inbox, nil
+}
+
+// SendToCoordinator ships one control payload to machine 0. On the
+// coordinator itself the payload loops back locally.
+func (e *Endpoint[M]) SendToCoordinator(payload []byte) error {
+	if e.id == 0 {
+		e.ownQueue = append(e.ownQueue, payload)
+		return nil
+	}
+	if err := wire.WriteFrame(e.ctrl.w, payload); err != nil {
+		return err
+	}
+	return e.ctrl.w.Flush()
+}
+
+// CollectReports (coordinator only) returns one control payload per
+// machine, indexed by machine ID; position 0 is the coordinator's own
+// loop-back payload.
+func (e *Endpoint[M]) CollectReports() ([][]byte, error) {
+	if e.id != 0 {
+		return nil, fmt.Errorf("tcp: machine %d is not the coordinator", e.id)
+	}
+	if len(e.ownQueue) == 0 {
+		return nil, fmt.Errorf("tcp: coordinator has no local report queued")
+	}
+	reports := make([][]byte, e.k)
+	reports[0] = e.ownQueue[0]
+	e.ownQueue = e.ownQueue[1:]
+	var wg sync.WaitGroup
+	errs := make([]error, e.k)
+	for j := 1; j < e.k; j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			frame, err := wire.ReadFrame(e.ctrlIn[j].r)
+			if err != nil {
+				errs[j] = fmt.Errorf("tcp: coordinator read report from %d: %w", j, err)
+				return
+			}
+			reports[j] = frame
+		}(j)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return reports, nil
+}
+
+// Broadcast (coordinator only) sends one control payload to every other
+// machine.
+func (e *Endpoint[M]) Broadcast(payload []byte) error {
+	if e.id != 0 {
+		return fmt.Errorf("tcp: machine %d is not the coordinator", e.id)
+	}
+	for j := 1; j < e.k; j++ {
+		if err := wire.WriteFrame(e.ctrlIn[j].w, payload); err != nil {
+			return fmt.Errorf("tcp: coordinator broadcast to %d: %w", j, err)
+		}
+		if err := e.ctrlIn[j].w.Flush(); err != nil {
+			return fmt.Errorf("tcp: coordinator broadcast to %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// ReceiveVerdict (non-coordinator) blocks for the coordinator's next
+// control payload.
+func (e *Endpoint[M]) ReceiveVerdict() ([]byte, error) {
+	if e.id == 0 {
+		return nil, fmt.Errorf("tcp: the coordinator does not receive verdicts")
+	}
+	return wire.ReadFrame(e.ctrl.r)
+}
+
+// Barrier runs one coordinator-driven superstep barrier: every machine
+// reports "superstep done" to machine 0, which releases them all once
+// the last report is in.
+func (e *Endpoint[M]) Barrier(step int) error {
+	payload := wire.AppendUvarint(nil, uint64(step))
+	if err := e.SendToCoordinator(payload); err != nil {
+		return fmt.Errorf("tcp: machine %d barrier send (superstep %d): %w", e.id, step, err)
+	}
+	if e.id == 0 {
+		reports, err := e.CollectReports()
+		if err != nil {
+			return fmt.Errorf("tcp: barrier collect (superstep %d): %w", step, err)
+		}
+		for j, r := range reports {
+			got, _, err := wire.Uvarint(r)
+			if err != nil || got != uint64(step) {
+				return fmt.Errorf("tcp: barrier report from %d: step %d, want %d (err=%v)", j, got, step, err)
+			}
+		}
+		return e.Broadcast(payload)
+	}
+	release, err := e.ReceiveVerdict()
+	if err != nil {
+		return fmt.Errorf("tcp: machine %d barrier release (superstep %d): %w", e.id, step, err)
+	}
+	got, _, err := wire.Uvarint(release)
+	if err != nil || got != uint64(step) {
+		return fmt.Errorf("tcp: machine %d barrier release: step %d, want %d (err=%v)", e.id, got, step, err)
+	}
+	return nil
+}
+
+// Close tears down the listener and every connection.
+func (e *Endpoint[M]) Close() error {
+	e.closeOnce.Do(func() {
+		var errs []string
+		record := func(err error) {
+			if err != nil {
+				errs = append(errs, err.Error())
+			}
+		}
+		if e.ln != nil {
+			record(e.ln.Close())
+		}
+		for _, dc := range e.out {
+			if dc != nil {
+				record(dc.c.Close())
+			}
+		}
+		for _, dc := range e.in {
+			if dc != nil {
+				record(dc.c.Close())
+			}
+		}
+		if e.ctrl != nil {
+			record(e.ctrl.c.Close())
+		}
+		for _, dc := range e.ctrlIn {
+			if dc != nil {
+				record(dc.c.Close())
+			}
+		}
+		if len(errs) > 0 {
+			e.closeErr = fmt.Errorf("tcp: close machine %d: %s", e.id, strings.Join(errs, "; "))
+		}
+	})
+	return e.closeErr
+}
+
+// NewLoopbackMesh builds the complete k-endpoint mesh over loopback TCP
+// inside one process: k listeners on 127.0.0.1, every ordered pair
+// connected. Used by the cluster Transport and by kmnode -local.
+func NewLoopbackMesh[M any](k int, codec wire.Codec[M]) ([]*Endpoint[M], error) {
+	eps := make([]*Endpoint[M], k)
+	addrs := make([]string, k)
+	for i := 0; i < k; i++ {
+		e, err := Listen[M](i, k, "127.0.0.1:0", codec)
+		if err != nil {
+			for _, prev := range eps[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		eps[i] = e
+		addrs[i] = e.Addr()
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = eps[i].Connect(addrs, DefaultDialTimeout)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			for _, e := range eps {
+				e.Close()
+			}
+			return nil, err
+		}
+	}
+	return eps, nil
+}
+
+// Transport is the cluster-side transport.Transport implementation: all
+// k machines live in this process, but every envelope crosses a real
+// loopback TCP connection and every superstep ends with the
+// coordinator-driven barrier.
+type Transport[M any] struct {
+	eps []*Endpoint[M]
+}
+
+// New builds a loopback-TCP transport for a k-machine cluster.
+func New[M any](k int, codec wire.Codec[M]) (*Transport[M], error) {
+	eps, err := NewLoopbackMesh(k, codec)
+	if err != nil {
+		return nil, err
+	}
+	return &Transport[M]{eps: eps}, nil
+}
+
+// Exchange implements transport.Transport: each endpoint ships its
+// batch over its sockets concurrently, then all pass the coordinator
+// barrier before any inbox is released to the cluster.
+func (t *Transport[M]) Exchange(step int, outs [][]transport.Envelope[M]) ([][]transport.Envelope[M], error) {
+	k := len(t.eps)
+	if len(outs) != k {
+		return nil, fmt.Errorf("tcp: got %d outboxes for a %d-machine cluster", len(outs), k)
+	}
+	inboxes := make([][]transport.Envelope[M], k)
+	errs := make([]error, k)
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inbox, err := t.eps[i].Exchange(step, outs[i])
+			if err != nil {
+				// Exchange already closed the endpoint; the close
+				// cascades error returns to every peer blocked on this
+				// endpoint's connections, so no goroutine hangs here.
+				errs[i] = err
+				return
+			}
+			if err := t.eps[i].Barrier(step); err != nil {
+				t.eps[i].Close()
+				errs[i] = err
+				return
+			}
+			inboxes[i] = inbox
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return inboxes, nil
+}
+
+// Close tears down every endpoint.
+func (t *Transport[M]) Close() error {
+	var first error
+	for _, e := range t.eps {
+		if err := e.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

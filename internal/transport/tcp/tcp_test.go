@@ -1,0 +1,212 @@
+package tcp
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"kmachine/internal/rng"
+	"kmachine/internal/transport"
+	"kmachine/internal/transport/inmem"
+	"kmachine/internal/transport/wire"
+)
+
+type testMsg struct {
+	Tag int64
+}
+
+type testCodec struct{}
+
+func (testCodec) Append(dst []byte, m testMsg) ([]byte, error) {
+	return wire.AppendVarint(dst, m.Tag), nil
+}
+
+func (testCodec) Decode(src []byte) (testMsg, int, error) {
+	v, n, err := wire.Varint(src)
+	return testMsg{Tag: v}, n, err
+}
+
+// randomOuts builds a deterministic random traffic pattern, including
+// self-addressed envelopes and silent machines.
+func randomOuts(r *rng.RNG, k int) [][]transport.Envelope[testMsg] {
+	outs := make([][]transport.Envelope[testMsg], k)
+	for i := 0; i < k; i++ {
+		for n := r.Intn(20); n > 0; n-- {
+			outs[i] = append(outs[i], transport.Envelope[testMsg]{
+				From:  transport.MachineID(i),
+				To:    transport.MachineID(r.Intn(k)),
+				Words: int32(r.Intn(50)),
+				Msg:   testMsg{Tag: int64(r.Uint64() >> 1)},
+			})
+		}
+	}
+	return outs
+}
+
+func TestTCPExchangeMatchesLoopback(t *testing.T) {
+	const k = 5
+	tr, err := New[testMsg](k, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	lb := inmem.New[testMsg](k)
+
+	rT, rL := rng.New(99), rng.New(99)
+	for step := 0; step < 30; step++ {
+		outsT := randomOuts(rT, k)
+		outsL := randomOuts(rL, k)
+		got, err := tr.Exchange(step, outsT)
+		if err != nil {
+			t.Fatalf("superstep %d: %v", step, err)
+		}
+		want, err := lb.Exchange(step, outsL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < k; j++ {
+			if len(got[j]) == 0 && len(want[j]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got[j], want[j]) {
+				t.Fatalf("superstep %d inbox %d:\n tcp:    %+v\n inmem:  %+v", step, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestTCPEmptySuperstep(t *testing.T) {
+	const k = 3
+	tr, err := New[testMsg](k, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	inboxes, err := tr.Exchange(0, make([][]transport.Envelope[testMsg], k))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, in := range inboxes {
+		if len(in) != 0 {
+			t.Errorf("machine %d got %d envelopes from an empty superstep", j, len(in))
+		}
+	}
+}
+
+// TestBrokenConnectionErrorsInsteadOfDeadlocking is the regression test
+// for the error-cascade teardown: a connection failing mid-run must
+// surface as an Exchange error on every machine, not wedge the cluster
+// in deadline-free reads.
+func TestBrokenConnectionErrorsInsteadOfDeadlocking(t *testing.T) {
+	const k = 3
+	tr, err := New[testMsg](k, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if _, err := tr.Exchange(0, make([][]transport.Envelope[testMsg], k)); err != nil {
+		t.Fatalf("healthy superstep: %v", err)
+	}
+	// Sever one data connection behind the transport's back.
+	tr.eps[0].out[1].c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := tr.Exchange(1, make([][]transport.Envelope[testMsg], k))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Exchange succeeded over a severed connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Exchange deadlocked on a severed connection")
+	}
+}
+
+func TestEndpointBarrierSynchronises(t *testing.T) {
+	const k = 4
+	eps, err := NewLoopbackMesh[testMsg](k, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, e := range eps {
+			e.Close()
+		}
+	}()
+	for step := 0; step < 5; step++ {
+		var wg sync.WaitGroup
+		errs := make([]error, k)
+		for i := range eps {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				errs[i] = eps[i].Barrier(step)
+			}(i)
+		}
+		wg.Wait()
+		for i, err := range errs {
+			if err != nil {
+				t.Fatalf("machine %d barrier (superstep %d): %v", i, step, err)
+			}
+		}
+	}
+}
+
+func TestCoordinatorReportVerdictRoundTrip(t *testing.T) {
+	const k = 4
+	eps, err := NewLoopbackMesh[testMsg](k, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, e := range eps {
+			e.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	errs := make([]error, k)
+	for i := range eps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := eps[i].SendToCoordinator([]byte(fmt.Sprintf("report-%d", i))); err != nil {
+				errs[i] = err
+				return
+			}
+			if i == 0 {
+				reports, err := eps[0].CollectReports()
+				if err != nil {
+					errs[0] = err
+					return
+				}
+				for j, r := range reports {
+					if string(r) != fmt.Sprintf("report-%d", j) {
+						errs[0] = fmt.Errorf("report %d = %q", j, r)
+						return
+					}
+				}
+				errs[0] = eps[0].Broadcast([]byte("verdict"))
+				return
+			}
+			v, err := eps[i].ReceiveVerdict()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if string(v) != "verdict" {
+				errs[i] = fmt.Errorf("verdict = %q", v)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("machine %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Package transport defines the substrate the k-machine cluster runs
+// on: the envelope types that cross machine boundaries and the
+// Transport interface that moves one superstep's batched envelopes
+// between machines.
+//
+// The package deliberately knows nothing about algorithms, graphs, or
+// cost accounting. The paper's round/word accounting (§1.1) lives in
+// internal/core and is computed from the outgoing envelope batches
+// *before* they are handed to a Transport, so Stats are bit-identical
+// on every implementation — the Klauck–Nanongkai–Pandurangan–Robinson
+// conversion results (arXiv:1311.6209) are exactly about porting
+// message-passing algorithms across substrates without changing their
+// communication cost, and the accounting split enforces that here.
+//
+// Implementations:
+//
+//   - transport/inmem — the in-process loopback used by simulations and
+//     tests (the default);
+//   - transport/tcp — each machine has its own listener and dials every
+//     peer over real net.Conns, with per-superstep batch framing
+//     (transport/wire) and a coordinator-driven barrier;
+//   - transport/node — the standalone runtime that drives ONE machine
+//     of a cluster whose peers live in other processes (cmd/kmnode).
+package transport
+
+// MachineID identifies one of the k machines.
+type MachineID int32
+
+// Envelope is one message in flight. Words is its size in machine words
+// for bandwidth accounting; From is stamped by the cluster before the
+// envelope reaches a Transport.
+type Envelope[M any] struct {
+	From, To MachineID
+	Words    int32
+	Msg      M
+}
+
+// Transport moves one superstep's envelopes between the k machines.
+//
+// Exchange is called once per superstep with outs[i] holding the
+// envelopes machine i emitted, already validated (To in range, Words
+// >= 0) and stamped with From. It returns inboxes[j], the envelopes
+// delivered to machine j for the next superstep, assembled in sender-ID
+// order (self-addressed envelopes of machine j appear at position j of
+// that order). Exchange is a barrier: it returns only after every
+// machine's batch has been routed, so a superstep cannot overtake a
+// straggler.
+//
+// A Transport carries payloads verbatim and must preserve both the
+// per-sender envelope order and the Words field — the accounting in
+// core depends on it.
+type Transport[M any] interface {
+	Exchange(step int, outs [][]Envelope[M]) (inboxes [][]Envelope[M], err error)
+
+	// Close releases transport resources (listeners, connections).
+	// Exchange must not be called after Close.
+	Close() error
+}
+
+// Kind names a Transport implementation for configuration surfaces
+// (core.Config.Transport, kmachine.RunConfig.Transport).
+type Kind string
+
+const (
+	// Default resolves to InMem.
+	Default Kind = ""
+	// InMem is the in-process loopback transport.
+	InMem Kind = "inmem"
+	// TCP runs every machine as its own listener+dialer over loopback
+	// TCP connections.
+	TCP Kind = "tcp"
+)

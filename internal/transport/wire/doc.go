@@ -1,0 +1,48 @@
+// Package wire is the binary codec shared by every non-loopback
+// transport: length-prefixed frames, varint-encoded envelope headers,
+// and a Codec[M] abstraction for algorithm payloads.
+//
+// # Wire format
+//
+// All integers are LEB128 varints: unsigned ("uvarint") for counts,
+// identifiers, and sizes; zigzag-signed ("varint") for payload fields
+// that may be negative. Multi-byte values have no fixed width and no
+// endianness concerns.
+//
+// Frame — the unit written to a net.Conn:
+//
+//	frame     := length payload
+//	length    := uvarint              // payload size in bytes, <= MaxFrame
+//
+// Batch — one (sender, receiver, superstep) shipment of envelopes; the
+// TCP transport writes exactly one batch frame per peer per superstep,
+// empty batches included, which is what lets a receiver detect that a
+// superstep's input is complete:
+//
+//	batch     := superstep sender count envelope*
+//	superstep := uvarint              // zero-based superstep index
+//	sender    := uvarint              // MachineID of the writing machine
+//	count     := uvarint              // number of envelopes that follow
+//
+// Envelope — header plus algorithm payload:
+//
+//	envelope  := from to words msg
+//	from      := uvarint              // MachineID, stamped by core
+//	to        := uvarint              // MachineID
+//	words     := uvarint              // size in machine words (cost model)
+//	msg       := Codec[M]-defined bytes
+//
+// The envelope Words field travels on the wire even though the receiver
+// could often recompute it, because the cost accounting in core treats
+// it as authoritative: a transport must hand back exactly the word
+// counts it was given.
+//
+// # Payload codecs
+//
+// Codec[M] implementations live next to the message types they
+// serialise: pagerank.WireCodec, dsort.WireCodec, conncomp.WireCodec,
+// and triangle.WireCodec / triangle.BaselineWireCodec, each composed
+// with routing.HopCodec when the algorithm routes through Valiant
+// two-hop intermediates. Every codec has a round-trip property test in
+// its home package.
+package wire

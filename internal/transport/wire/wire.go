@@ -1,0 +1,194 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"kmachine/internal/transport"
+)
+
+// Codec serialises one algorithm's message type M. Append writes m to
+// dst and returns the extended slice; Decode reads one message from the
+// front of src and returns it with the number of bytes consumed.
+//
+// A Codec must round-trip exactly: Decode(Append(nil, m)) == (m,
+// len(Append(nil, m)), nil) for every message the algorithm can emit.
+// The per-algorithm implementations live next to their message types
+// (pagerank.WireCodec, dsort.WireCodec, conncomp.WireCodec,
+// triangle.WireCodec) so unexported message structs stay unexported.
+type Codec[M any] interface {
+	Append(dst []byte, m M) ([]byte, error)
+	Decode(src []byte) (M, int, error)
+}
+
+// MaxFrame is the largest frame Read/WriteFrame accept: 1 GiB, far
+// above any single superstep batch yet small enough to reject a
+// corrupted length prefix before allocating.
+const MaxFrame = 1 << 30
+
+// ErrFrameTooLarge reports a length prefix above MaxFrame.
+var ErrFrameTooLarge = fmt.Errorf("wire: frame exceeds %d bytes", MaxFrame)
+
+// AppendUvarint appends x in unsigned LEB128.
+func AppendUvarint(dst []byte, x uint64) []byte {
+	return binary.AppendUvarint(dst, x)
+}
+
+// Uvarint decodes an unsigned LEB128 value from the front of src.
+func Uvarint(src []byte) (uint64, int, error) {
+	x, n := binary.Uvarint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("wire: truncated or overlong uvarint")
+	}
+	return x, n, nil
+}
+
+// AppendVarint appends x in zigzag LEB128 (negative-friendly).
+func AppendVarint(dst []byte, x int64) []byte {
+	return binary.AppendVarint(dst, x)
+}
+
+// Varint decodes a zigzag LEB128 value from the front of src.
+func Varint(src []byte) (int64, int, error) {
+	x, n := binary.Varint(src)
+	if n <= 0 {
+		return 0, 0, fmt.Errorf("wire: truncated or overlong varint")
+	}
+	return x, n, nil
+}
+
+// AppendEnvelope appends one envelope: uvarint From, To, Words headers
+// followed by the codec-encoded payload.
+func AppendEnvelope[M any](dst []byte, e transport.Envelope[M], c Codec[M]) ([]byte, error) {
+	if e.From < 0 || e.To < 0 || e.Words < 0 {
+		return dst, fmt.Errorf("wire: envelope with negative header field: from=%d to=%d words=%d", e.From, e.To, e.Words)
+	}
+	dst = AppendUvarint(dst, uint64(e.From))
+	dst = AppendUvarint(dst, uint64(e.To))
+	dst = AppendUvarint(dst, uint64(e.Words))
+	return c.Append(dst, e.Msg)
+}
+
+// DecodeEnvelope decodes one envelope from the front of src, returning
+// the bytes consumed. Header values above int32 range are corruption
+// (AppendEnvelope rejects negatives, so a valid header always fits):
+// rejecting them here keeps silently-truncated Words out of core's
+// accounting.
+func DecodeEnvelope[M any](src []byte, c Codec[M]) (transport.Envelope[M], int, error) {
+	var e transport.Envelope[M]
+	pos := 0
+	for _, f := range []*transport.MachineID{&e.From, &e.To} {
+		v, n, err := Uvarint(src[pos:])
+		if err != nil {
+			return e, 0, err
+		}
+		if v > math.MaxInt32 {
+			return e, 0, fmt.Errorf("wire: machine ID %d out of range", v)
+		}
+		*f = transport.MachineID(v)
+		pos += n
+	}
+	w, n, err := Uvarint(src[pos:])
+	if err != nil {
+		return e, 0, err
+	}
+	if w > math.MaxInt32 {
+		return e, 0, fmt.Errorf("wire: envelope words %d out of range", w)
+	}
+	e.Words = int32(w)
+	pos += n
+	msg, n, err := c.Decode(src[pos:])
+	if err != nil {
+		return e, 0, err
+	}
+	e.Msg = msg
+	return e, pos + n, nil
+}
+
+// AppendBatch appends one superstep batch: uvarint superstep, uvarint
+// sender, uvarint count, then count envelopes. The batch is the unit
+// the TCP transport frames per (sender, receiver, superstep) — empty
+// batches are legal and mark "nothing for you this superstep".
+func AppendBatch[M any](dst []byte, step int, from transport.MachineID, envs []transport.Envelope[M], c Codec[M]) ([]byte, error) {
+	dst = AppendUvarint(dst, uint64(step))
+	dst = AppendUvarint(dst, uint64(from))
+	dst = AppendUvarint(dst, uint64(len(envs)))
+	var err error
+	for _, e := range envs {
+		if dst, err = AppendEnvelope(dst, e, c); err != nil {
+			return dst, err
+		}
+	}
+	return dst, nil
+}
+
+// DecodeBatch decodes a batch produced by AppendBatch.
+func DecodeBatch[M any](src []byte, c Codec[M]) (step int, from transport.MachineID, envs []transport.Envelope[M], err error) {
+	pos := 0
+	hdr := make([]uint64, 3)
+	for i := range hdr {
+		v, n, err := Uvarint(src[pos:])
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		hdr[i] = v
+		pos += n
+	}
+	step, from = int(hdr[0]), transport.MachineID(hdr[1])
+	count := hdr[2]
+	if count > uint64(len(src)-pos) {
+		// Each envelope needs >= 1 byte; a count beyond the remaining
+		// bytes is corruption, not a big batch.
+		return 0, 0, nil, fmt.Errorf("wire: batch claims %d envelopes in %d bytes", count, len(src)-pos)
+	}
+	envs = make([]transport.Envelope[M], 0, count)
+	for i := uint64(0); i < count; i++ {
+		e, n, err := DecodeEnvelope(src[pos:], c)
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		envs = append(envs, e)
+		pos += n
+	}
+	if pos != len(src) {
+		return 0, 0, nil, fmt.Errorf("wire: %d trailing bytes after batch", len(src)-pos)
+	}
+	return step, from, envs, nil
+}
+
+// WriteFrame writes a length-prefixed frame: uvarint payload length
+// followed by the payload bytes.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	if _, err := w.Write(hdr[:n]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.ByteReader) ([]byte, error) {
+	size, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if size > MaxFrame {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, size)
+	br, ok := r.(io.Reader)
+	if !ok {
+		return nil, fmt.Errorf("wire: ReadFrame needs an io.Reader, got %T", r)
+	}
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,170 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+
+	"kmachine/internal/rng"
+	"kmachine/internal/transport"
+)
+
+// pairMsg is a minimal payload for envelope/batch tests.
+type pairMsg struct {
+	A int64
+	B uint64
+}
+
+type pairCodec struct{}
+
+func (pairCodec) Append(dst []byte, m pairMsg) ([]byte, error) {
+	dst = AppendVarint(dst, m.A)
+	return AppendUvarint(dst, m.B), nil
+}
+
+func (pairCodec) Decode(src []byte) (pairMsg, int, error) {
+	a, n, err := Varint(src)
+	if err != nil {
+		return pairMsg{}, 0, err
+	}
+	b, m, err := Uvarint(src[n:])
+	if err != nil {
+		return pairMsg{}, 0, err
+	}
+	return pairMsg{A: a, B: b}, n + m, nil
+}
+
+func TestVarintRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	for i := 0; i < 2000; i++ {
+		u := r.Uint64() >> uint(r.Intn(64))
+		s := int64(r.Uint64()) >> uint(r.Intn(64))
+		buf := AppendUvarint(nil, u)
+		gu, n, err := Uvarint(buf)
+		if err != nil || gu != u || n != len(buf) {
+			t.Fatalf("uvarint %d: got %d (n=%d, err=%v)", u, gu, n, err)
+		}
+		buf = AppendVarint(nil, s)
+		gs, n, err := Varint(buf)
+		if err != nil || gs != s || n != len(buf) {
+			t.Fatalf("varint %d: got %d (n=%d, err=%v)", s, gs, n, err)
+		}
+	}
+}
+
+func TestEnvelopeRoundTripProperty(t *testing.T) {
+	r := rng.New(7)
+	c := pairCodec{}
+	for i := 0; i < 2000; i++ {
+		want := transport.Envelope[pairMsg]{
+			From:  transport.MachineID(r.Intn(1 << 20)),
+			To:    transport.MachineID(r.Intn(1 << 20)),
+			Words: int32(r.Intn(1 << 30)),
+			Msg:   pairMsg{A: int64(r.Uint64()) >> uint(r.Intn(64)), B: r.Uint64()},
+		}
+		buf, err := AppendEnvelope(nil, want, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, n, err := DecodeEnvelope(buf, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want || n != len(buf) {
+			t.Fatalf("round trip: got %+v (n=%d), want %+v (len=%d)", got, n, want, len(buf))
+		}
+	}
+}
+
+func TestEnvelopeRejectsNegativeHeaders(t *testing.T) {
+	c := pairCodec{}
+	for _, e := range []transport.Envelope[pairMsg]{
+		{From: -1, To: 0, Words: 1},
+		{From: 0, To: -2, Words: 1},
+		{From: 0, To: 0, Words: -1},
+	} {
+		if _, err := AppendEnvelope(nil, e, c); err == nil {
+			t.Errorf("envelope %+v encoded without error", e)
+		}
+	}
+}
+
+func TestBatchRoundTripProperty(t *testing.T) {
+	r := rng.New(42)
+	c := pairCodec{}
+	for trial := 0; trial < 200; trial++ {
+		step := r.Intn(1 << 16)
+		from := transport.MachineID(r.Intn(64))
+		envs := make([]transport.Envelope[pairMsg], r.Intn(50))
+		for i := range envs {
+			envs[i] = transport.Envelope[pairMsg]{
+				From:  from,
+				To:    transport.MachineID(r.Intn(64)),
+				Words: int32(r.Intn(1000)),
+				Msg:   pairMsg{A: int64(r.Uint64()) >> 3, B: r.Uint64()},
+			}
+		}
+		buf, err := AppendBatch(nil, step, from, envs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotStep, gotFrom, gotEnvs, err := DecodeBatch(buf, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotStep != step || gotFrom != from || len(gotEnvs) != len(envs) {
+			t.Fatalf("batch header: got (%d,%d,%d), want (%d,%d,%d)",
+				gotStep, gotFrom, len(gotEnvs), step, from, len(envs))
+		}
+		for i := range envs {
+			if gotEnvs[i] != envs[i] {
+				t.Fatalf("envelope %d: got %+v, want %+v", i, gotEnvs[i], envs[i])
+			}
+		}
+	}
+}
+
+func TestBatchRejectsCorruption(t *testing.T) {
+	c := pairCodec{}
+	buf, err := AppendBatch(nil, 3, 1, []transport.Envelope[pairMsg]{
+		{From: 1, To: 2, Words: 4, Msg: pairMsg{A: -9, B: 11}},
+	}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecodeBatch(buf[:len(buf)-1], c); err == nil {
+		t.Error("truncated batch decoded without error")
+	}
+	if _, _, _, err := DecodeBatch(append(buf, 0xff), c); err == nil {
+		t.Error("batch with trailing bytes decoded without error")
+	}
+	huge := AppendUvarint(nil, 0)
+	huge = AppendUvarint(huge, 0)
+	huge = AppendUvarint(huge, 1<<40) // absurd count, no envelopes
+	if _, _, _, err := DecodeBatch(huge, c); err == nil {
+		t.Error("batch with absurd count decoded without error")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 100000)}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bufio.NewReader(&buf)
+	for _, p := range payloads {
+		got, err := ReadFrame(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("frame payload: got %d bytes, want %d", len(got), len(p))
+		}
+	}
+	if _, err := ReadFrame(r); err == nil {
+		t.Error("read past final frame succeeded")
+	}
+}

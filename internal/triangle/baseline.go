@@ -159,7 +159,7 @@ func RunBaseline(p *partition.VertexPartition, cfg core.Config, opts Options) (*
 		machines[id] = m
 		return m
 	})
-	stats, err := cluster.Run()
+	stats, err := core.RunOver(cluster, BaselineWireCodec())
 	if err != nil {
 		return nil, err
 	}

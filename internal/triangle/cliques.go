@@ -247,7 +247,7 @@ func RunCliques4(p *partition.VertexPartition, cfg core.Config, opts Options) (*
 		machines[id] = m
 		return m
 	})
-	stats, err := cluster.Run()
+	stats, err := core.RunOver(cluster, WireCodec())
 	if err != nil {
 		return nil, err
 	}

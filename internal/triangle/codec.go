@@ -1,0 +1,73 @@
+package triangle
+
+import (
+	"fmt"
+
+	twire "kmachine/internal/transport/wire"
+)
+
+// Wire is the envelope payload type of the paper's triangle / 4-clique
+// enumeration: ⟨kind, u, v⟩ edge and announcement messages. These
+// travel without the two-hop frame — proxy indirection is explicit in
+// the algorithm's superstep structure.
+type Wire = tmsg
+
+// BaselineWire is the payload of the conversion-style TriPartition
+// baseline: ⟨deputy, u, v⟩ edge copies.
+type BaselineWire = bmsg
+
+// WireCodec returns the binary codec for triangle envelopes.
+func WireCodec() twire.Codec[Wire] { return tmsgCodec{} }
+
+// BaselineWireCodec returns the binary codec for baseline envelopes.
+func BaselineWireCodec() twire.Codec[BaselineWire] { return bmsgCodec{} }
+
+type tmsgCodec struct{}
+
+func (tmsgCodec) Append(dst []byte, m tmsg) ([]byte, error) {
+	dst = append(dst, m.Kind)
+	dst = twire.AppendVarint(dst, int64(m.U))
+	return twire.AppendVarint(dst, int64(m.V)), nil
+}
+
+func (tmsgCodec) Decode(src []byte) (tmsg, int, error) {
+	if len(src) < 1 {
+		return tmsg{}, 0, fmt.Errorf("triangle: truncated message")
+	}
+	m := tmsg{Kind: src[0]}
+	pos := 1
+	u, n, err := twire.Varint(src[pos:])
+	if err != nil {
+		return tmsg{}, 0, err
+	}
+	m.U = int32(u)
+	pos += n
+	v, n, err := twire.Varint(src[pos:])
+	if err != nil {
+		return tmsg{}, 0, err
+	}
+	m.V = int32(v)
+	return m, pos + n, nil
+}
+
+type bmsgCodec struct{}
+
+func (bmsgCodec) Append(dst []byte, m bmsg) ([]byte, error) {
+	dst = twire.AppendVarint(dst, int64(m.Deputy))
+	dst = twire.AppendVarint(dst, int64(m.U))
+	return twire.AppendVarint(dst, int64(m.V)), nil
+}
+
+func (bmsgCodec) Decode(src []byte) (bmsg, int, error) {
+	var m bmsg
+	pos := 0
+	for _, f := range []*int32{&m.Deputy, &m.U, &m.V} {
+		v, n, err := twire.Varint(src[pos:])
+		if err != nil {
+			return bmsg{}, 0, err
+		}
+		*f = int32(v)
+		pos += n
+	}
+	return m, pos, nil
+}

@@ -9,9 +9,10 @@
 //
 // This root package is the user-facing API: it re-exports the stable
 // types and wraps the common entry points. The implementation lives in
-// the internal packages (core, graph, gen, partition, routing, pagerank,
-// triangle, dsort, conncomp, infotheory, lowerbound); see DESIGN.md for
-// the system inventory and EXPERIMENTS.md for the reproduction results.
+// the internal packages (core, transport, graph, gen, partition,
+// routing, pagerank, triangle, dsort, conncomp, infotheory,
+// lowerbound); see DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduction results.
 //
 // Quick start:
 //
@@ -31,6 +32,7 @@ import (
 	"kmachine/internal/infotheory"
 	"kmachine/internal/pagerank"
 	"kmachine/internal/partition"
+	"kmachine/internal/transport"
 	"kmachine/internal/triangle"
 )
 
@@ -94,8 +96,32 @@ func CongestedCliquePartition(g *Graph) *VertexPartition { return partition.NewI
 // B = Θ(log² n) bits.
 func DefaultBandwidth(n int) int { return core.DefaultBandwidth(n) }
 
+// TransportKind names the substrate envelopes travel on.
+type TransportKind = transport.Kind
+
+const (
+	// TransportInMem is the in-process loopback (the default).
+	TransportInMem = transport.InMem
+	// TransportTCP runs every machine as its own listener+dialer over
+	// loopback TCP: every envelope crosses a real socket as a binary
+	// frame, and every superstep ends with a coordinator-driven
+	// barrier. Measured Stats are bit-identical to TransportInMem — the
+	// cost accounting happens in core before envelopes reach a
+	// transport.
+	TransportTCP = transport.TCP
+)
+
+// RunConfig carries the execution-substrate options shared by all
+// distributed entry points; algorithm configs embed it.
+type RunConfig struct {
+	// Transport selects the envelope substrate; empty means
+	// TransportInMem.
+	Transport TransportKind
+}
+
 // PageRankConfig configures a distributed PageRank run.
 type PageRankConfig struct {
+	RunConfig
 	// Eps is the reset probability; 0 means 0.15.
 	Eps float64
 	// Bandwidth overrides the per-link words/round; 0 means
@@ -131,7 +157,7 @@ func PageRank(p *VertexPartition, cfg PageRankConfig) (*PageRankResult, error) {
 	}
 	opts.Tokens = cfg.Tokens
 	opts.Iterations = cfg.Iterations
-	return pagerank.Run(p, core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed}, opts)
+	return pagerank.Run(p, core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed, Transport: cfg.Transport}, opts)
 }
 
 // SequentialPageRank returns the exact PageRank vector by power
@@ -146,6 +172,7 @@ func SequentialPageRank(g *Graph, eps float64) []float64 {
 
 // TriangleConfig configures a distributed triangle enumeration.
 type TriangleConfig struct {
+	RunConfig
 	// Bandwidth overrides the per-link words/round; 0 means default.
 	Bandwidth int
 	// Seed drives all machine randomness.
@@ -167,7 +194,7 @@ func Triangles(p *VertexPartition, cfg TriangleConfig) (*TriangleResult, error) 
 	if cfg.Bandwidth == 0 {
 		cfg.Bandwidth = core.DefaultBandwidth(p.G.N())
 	}
-	ccfg := core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed}
+	ccfg := core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed, Transport: cfg.Transport}
 	if cfg.Baseline {
 		return triangle.RunBaseline(p, ccfg, triangle.Options{Collect: cfg.Collect})
 	}
@@ -185,7 +212,7 @@ func OpenTriads(p *VertexPartition, cfg TriangleConfig) (*TriangleResult, error)
 	opts := triangle.AlgorithmOptions()
 	opts.Collect = cfg.Collect
 	opts.Triads = true
-	return triangle.Run(p, core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed}, opts)
+	return triangle.Run(p, core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed, Transport: cfg.Transport}, opts)
 }
 
 // Clique4 is a set of four mutually adjacent vertices, A < B < C < D.
@@ -204,7 +231,7 @@ func Cliques4(p *VertexPartition, cfg TriangleConfig) (*Clique4Result, error) {
 	}
 	opts := triangle.AlgorithmOptions()
 	opts.Collect = cfg.Collect
-	return triangle.RunCliques4(p, core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed}, opts)
+	return triangle.RunCliques4(p, core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed, Transport: cfg.Transport}, opts)
 }
 
 // SortResult is the outcome of a distributed sort.
@@ -214,11 +241,16 @@ type SortResult = dsort.Result
 // machine i ends with the i-th block of order statistics (§1.3; the GLBT
 // gives Ω̃(n/k²) and this matches it).
 func Sort(n, k int, bandwidth int, seed uint64) (*SortResult, error) {
+	return SortOver(RunConfig{}, n, k, bandwidth, seed)
+}
+
+// SortOver is Sort over an explicit substrate (RunConfig.Transport).
+func SortOver(rc RunConfig, n, k int, bandwidth int, seed uint64) (*SortResult, error) {
 	in := dsort.RandomInput(n, k, seed, dsort.UniformKeys)
 	if bandwidth == 0 {
 		bandwidth = core.DefaultBandwidth(n)
 	}
-	return dsort.Run(in, core.Config{K: k, Bandwidth: bandwidth, Seed: seed + 1}, 0)
+	return dsort.Run(in, core.Config{K: k, Bandwidth: bandwidth, Seed: seed + 1, Transport: rc.Transport}, 0)
 }
 
 // ComponentsResult is the outcome of a connectivity run.
@@ -227,10 +259,16 @@ type ComponentsResult = conncomp.Result
 // ConnectedComponents labels every vertex with the minimum vertex ID of
 // its component.
 func ConnectedComponents(p *VertexPartition, bandwidth int, seed uint64) (*ComponentsResult, error) {
+	return ConnectedComponentsOver(RunConfig{}, p, bandwidth, seed)
+}
+
+// ConnectedComponentsOver is ConnectedComponents over an explicit
+// substrate (RunConfig.Transport).
+func ConnectedComponentsOver(rc RunConfig, p *VertexPartition, bandwidth int, seed uint64) (*ComponentsResult, error) {
 	if bandwidth == 0 {
 		bandwidth = core.DefaultBandwidth(p.G.N())
 	}
-	return conncomp.Run(p, core.Config{K: p.K, Bandwidth: bandwidth, Seed: seed})
+	return conncomp.Run(p, core.Config{K: p.K, Bandwidth: bandwidth, Seed: seed, Transport: rc.Transport})
 }
 
 // PageRankLowerBound returns Theorem 2's Ω(n/(B·k²)) instantiation of

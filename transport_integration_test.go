@@ -1,0 +1,152 @@
+package kmachine_test
+
+// Transport-equivalence integration tests: the same computation over
+// the in-memory loopback and over real loopback TCP sockets must agree
+// bit-for-bit — estimates AND the measured communication statistics.
+// This is the executable form of the conversion results the paper
+// builds on (Klauck et al., arXiv:1311.6209): the cost of a k-machine
+// algorithm is a property of its message pattern, not of the substrate
+// that carries the messages, and our accounting lives in core precisely
+// so that Stats cannot drift between transports.
+
+import (
+	"math"
+	"testing"
+
+	"kmachine"
+)
+
+// TestPageRankOverTCPMatchesInMemory is the acceptance bar for the
+// transport subsystem: distributed PageRank over transport/tcp
+// (loopback, k=8) must produce byte-identical Estimate and identical
+// Rounds/Words to the transport/inmem run on the same seed.
+func TestPageRankOverTCPMatchesInMemory(t *testing.T) {
+	const (
+		n    = 300
+		k    = 8
+		seed = 1234
+	)
+	g := kmachine.Gnp(n, 0.04, seed)
+	p := kmachine.RandomVertexPartition(g, k, seed+1)
+
+	base := kmachine.PageRankConfig{Eps: 0.15, Seed: seed + 2}
+	mem, err := kmachine.PageRank(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	overTCP := base
+	overTCP.Transport = kmachine.TransportTCP
+	tcp, err := kmachine.PageRank(p, overTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if tcp.Stats.Rounds != mem.Stats.Rounds {
+		t.Errorf("Rounds: tcp %d, inmem %d", tcp.Stats.Rounds, mem.Stats.Rounds)
+	}
+	if tcp.Stats.Words != mem.Stats.Words {
+		t.Errorf("Words: tcp %d, inmem %d", tcp.Stats.Words, mem.Stats.Words)
+	}
+	if tcp.Stats.Messages != mem.Stats.Messages || tcp.Stats.Supersteps != mem.Stats.Supersteps {
+		t.Errorf("Messages/Supersteps: tcp (%d,%d), inmem (%d,%d)",
+			tcp.Stats.Messages, tcp.Stats.Supersteps, mem.Stats.Messages, mem.Stats.Supersteps)
+	}
+	for i := range mem.Stats.RecvWords {
+		if tcp.Stats.RecvWords[i] != mem.Stats.RecvWords[i] || tcp.Stats.SentWords[i] != mem.Stats.SentWords[i] {
+			t.Errorf("machine %d: tcp (recv=%d,sent=%d), inmem (recv=%d,sent=%d)", i,
+				tcp.Stats.RecvWords[i], tcp.Stats.SentWords[i], mem.Stats.RecvWords[i], mem.Stats.SentWords[i])
+		}
+	}
+	for v := range mem.Estimate {
+		if math.Float64bits(tcp.Estimate[v]) != math.Float64bits(mem.Estimate[v]) {
+			t.Fatalf("vertex %d: tcp estimate %v, inmem %v (not byte-identical)", v, tcp.Estimate[v], mem.Estimate[v])
+		}
+		if tcp.Psi[v] != mem.Psi[v] {
+			t.Fatalf("vertex %d: tcp psi %d, inmem %d", v, tcp.Psi[v], mem.Psi[v])
+		}
+	}
+}
+
+// TestSortAndComponentsOverTCPViaPublicAPI covers the remaining public
+// entry points: SortOver and ConnectedComponentsOver must honor the
+// transport knob and agree with their loopback twins.
+func TestSortAndComponentsOverTCPViaPublicAPI(t *testing.T) {
+	overTCP := kmachine.RunConfig{Transport: kmachine.TransportTCP}
+
+	memSort, err := kmachine.Sort(500, 4, 0, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpSort, err := kmachine.SortOver(overTCP, 500, 4, 0, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcpSort.Stats.Rounds != memSort.Stats.Rounds || tcpSort.Stats.Words != memSort.Stats.Words {
+		t.Errorf("sort stats: tcp (rounds=%d, words=%d), inmem (rounds=%d, words=%d)",
+			tcpSort.Stats.Rounds, tcpSort.Stats.Words, memSort.Stats.Rounds, memSort.Stats.Words)
+	}
+	for i := range memSort.Blocks {
+		if len(tcpSort.Blocks[i]) != len(memSort.Blocks[i]) {
+			t.Fatalf("machine %d block size: tcp %d, inmem %d", i, len(tcpSort.Blocks[i]), len(memSort.Blocks[i]))
+		}
+		for j := range memSort.Blocks[i] {
+			if tcpSort.Blocks[i][j] != memSort.Blocks[i][j] {
+				t.Fatalf("machine %d key %d diverges", i, j)
+			}
+		}
+	}
+
+	g := kmachine.Gnp(300, 0.008, 31)
+	p := kmachine.RandomVertexPartition(g, 4, 32)
+	memCC, err := kmachine.ConnectedComponents(p, 0, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpCC, err := kmachine.ConnectedComponentsOver(overTCP, p, 0, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcpCC.Components != memCC.Components || tcpCC.Stats.Rounds != memCC.Stats.Rounds {
+		t.Errorf("components: tcp (%d comps, %d rounds), inmem (%d comps, %d rounds)",
+			tcpCC.Components, tcpCC.Stats.Rounds, memCC.Components, memCC.Stats.Rounds)
+	}
+	for v := range memCC.Label {
+		if tcpCC.Label[v] != memCC.Label[v] {
+			t.Fatalf("vertex %d label: tcp %d, inmem %d", v, tcpCC.Label[v], memCC.Label[v])
+		}
+	}
+}
+
+// TestTrianglesOverTCPMatchesInMemory extends the equivalence to the
+// paper's triangle enumeration (no two-hop framing, different payload
+// codec — a different wire path than PageRank).
+func TestTrianglesOverTCPMatchesInMemory(t *testing.T) {
+	const (
+		n    = 150
+		k    = 8
+		seed = 77
+	)
+	g := kmachine.Gnp(n, 0.08, seed)
+	p := kmachine.RandomVertexPartition(g, k, seed+1)
+
+	base := kmachine.TriangleConfig{Seed: seed + 2, Collect: true}
+	mem, err := kmachine.Triangles(p, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	overTCP := base
+	overTCP.Transport = kmachine.TransportTCP
+	tcp, err := kmachine.Triangles(p, overTCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tcp.Count != mem.Count || tcp.Checksum != mem.Checksum {
+		t.Errorf("enumeration: tcp (count=%d, sum=%x), inmem (count=%d, sum=%x)",
+			tcp.Count, tcp.Checksum, mem.Count, mem.Checksum)
+	}
+	if tcp.Stats.Rounds != mem.Stats.Rounds || tcp.Stats.Words != mem.Stats.Words {
+		t.Errorf("stats: tcp (rounds=%d, words=%d), inmem (rounds=%d, words=%d)",
+			tcp.Stats.Rounds, tcp.Stats.Words, mem.Stats.Rounds, mem.Stats.Words)
+	}
+}
