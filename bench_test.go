@@ -136,6 +136,7 @@ func BenchmarkTriangleBaseline(b *testing.B) {
 	p := partition.NewRVP(g, 27, 2)
 	cfg := core.Config{K: 27, Bandwidth: core.DefaultBandwidth(g.N()), Seed: 3}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := triangle.RunBaseline(p, cfg, triangle.Options{}); err != nil {
 			b.Fatal(err)
@@ -148,6 +149,7 @@ func BenchmarkCongestedClique(b *testing.B) {
 	p := partition.NewIdentity(g)
 	cfg := core.Config{K: g.N(), Bandwidth: 1, Seed: 3}
 	b.ReportAllocs()
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := triangle.Run(p, cfg, triangle.AlgorithmOptions()); err != nil {
 			b.Fatal(err)
@@ -175,6 +177,7 @@ func BenchmarkRandomRouting(b *testing.B) {
 	for _, k := range []int{8, 32} {
 		b.Run(fmt.Sprintf("k=%d/x=2048", k), func(b *testing.B) {
 			b.ReportAllocs()
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := routing.RandomRouteExperiment(k, 2048, 4, uint64(i)); err != nil {
 					b.Fatal(err)

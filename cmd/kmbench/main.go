@@ -11,6 +11,9 @@
 //	kmbench -seed 7         # perturb all randomness
 //	kmbench -list           # list experiment IDs and exit
 //	kmbench -json           # machine-readable output (BENCH_*.json trajectories)
+//	kmbench -cpuprofile cpu.out -memprofile mem.out
+//	                        # write pprof profiles of the run, so perf
+//	                        # work can show where the time goes
 package main
 
 import (
@@ -18,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -40,19 +45,65 @@ type jsonTable struct {
 }
 
 func main() {
+	// All work happens in kmbenchMain so error exits unwind through the
+	// profiling defers: os.Exit here, after it returns, never truncates
+	// a started CPU profile or skips the heap snapshot.
+	if err := kmbenchMain(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func kmbenchMain() (err error) {
 	quick := flag.Bool("quick", false, "run reduced-size experiments")
 	run := flag.String("run", "", "comma-separated experiment IDs (default: all)")
 	seed := flag.Uint64("seed", 1, "seed for all randomness")
 	list := flag.Bool("list", false, "list experiments and exit")
 	jsonOut := flag.Bool("json", false, "emit machine-readable JSON instead of text tables")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("create cpu profile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		// Written on the way out so the snapshot covers the whole run; a
+		// profile error surfaces in the exit code unless the run itself
+		// already failed.
+		defer func() {
+			f, ferr := os.Create(*memProfile)
+			if ferr != nil {
+				ferr = fmt.Errorf("create mem profile: %w", ferr)
+			} else {
+				defer f.Close()
+				runtime.GC() // settle live-heap numbers before the snapshot
+				if werr := pprof.WriteHeapProfile(f); werr != nil {
+					ferr = fmt.Errorf("write mem profile: %w", werr)
+				}
+			}
+			if err == nil {
+				err = ferr
+			} else if ferr != nil {
+				fmt.Fprintln(os.Stderr, ferr)
+			}
+		}()
+	}
 
 	all := experiments.All()
 	if *list {
 		for _, r := range all {
 			fmt.Printf("%-4s %s\n", r.ID, r.Name)
 		}
-		return
+		return nil
 	}
 
 	want := map[string]bool{}
@@ -94,15 +145,14 @@ func main() {
 		ran++
 	}
 	if ran == 0 {
-		fmt.Fprintf(os.Stderr, "no experiments matched -run=%q; try -list\n", *run)
-		os.Exit(1)
+		return fmt.Errorf("no experiments matched -run=%q; try -list", *run)
 	}
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
-			fmt.Fprintf(os.Stderr, "encode json: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("encode json: %w", err)
 		}
 	}
+	return nil
 }

@@ -1,0 +1,140 @@
+// Golden determinism tests: a run is a pure function of (machines,
+// Config), so Stats and outputs at a fixed seed must be bit-identical
+// across engine rewrites. The constants below were recorded from the
+// pre-persistent-worker engine (PR 1); the rebuilt engine (persistent
+// workers, sparse link accounting, recycled transport buffers) must
+// reproduce every one of them exactly — this is the regression fence
+// for "strict behavioral equivalence" across perf work.
+package kmachine_test
+
+import (
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"kmachine/internal/conncomp"
+	"kmachine/internal/core"
+	"kmachine/internal/dsort"
+	"kmachine/internal/gen"
+	"kmachine/internal/pagerank"
+	"kmachine/internal/partition"
+	"kmachine/internal/triangle"
+)
+
+func hashU64s(t *testing.T, xs []uint64) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	var b [8]byte
+	for _, u := range xs {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(u >> (8 * i))
+		}
+		h.Write(b[:])
+	}
+	return h.Sum64()
+}
+
+func checkStats(t *testing.T, s *core.Stats, rounds, messages, words, maxRecv int64, supersteps int) {
+	t.Helper()
+	if s.Rounds != rounds || s.Supersteps != supersteps || s.Messages != messages ||
+		s.Words != words || s.MaxRecvWords != maxRecv {
+		t.Errorf("stats = Rounds=%d Supersteps=%d Messages=%d Words=%d MaxRecvWords=%d,\nwant     Rounds=%d Supersteps=%d Messages=%d Words=%d MaxRecvWords=%d",
+			s.Rounds, s.Supersteps, s.Messages, s.Words, s.MaxRecvWords,
+			rounds, supersteps, messages, words, maxRecv)
+	}
+}
+
+func TestGoldenPageRank(t *testing.T) {
+	g := gen.Gnp(500, 0.02, 1)
+	p := partition.NewRVP(g, 8, 2)
+	opts := pagerank.AlgorithmOne(0.15)
+	opts.Tokens, opts.Iterations = 4, 12
+	res, err := pagerank.Run(p, core.Config{K: 8, Bandwidth: core.DefaultBandwidth(500), Seed: 3}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStats(t, res.Stats, 107, 13603, 27206, 3666, 24)
+	est := make([]uint64, len(res.Estimate))
+	for i, x := range res.Estimate {
+		est[i] = math.Float64bits(x)
+	}
+	if h := hashU64s(t, est); h != 0x5e6b23a01fad7808 {
+		t.Errorf("Estimate hash = %#x, want 0x5e6b23a01fad7808", h)
+	}
+	psi := make([]uint64, len(res.Psi))
+	for i, x := range res.Psi {
+		psi[i] = uint64(x)
+	}
+	if h := hashU64s(t, psi); h != 0xc3af0f89763e7395 {
+		t.Errorf("Psi hash = %#x, want 0xc3af0f89763e7395", h)
+	}
+}
+
+func TestGoldenDistributedSort(t *testing.T) {
+	in := dsort.RandomInput(3000, 8, 1, dsort.UniformKeys)
+	res, err := dsort.Run(in, core.Config{K: 8, Bandwidth: 8, Seed: 3}, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStats(t, res.Stats, 27, 8538, 8538, 1109, 6)
+	var flat []uint64
+	for _, blk := range res.Blocks {
+		flat = append(flat, blk...)
+	}
+	if h := hashU64s(t, flat); h != 0x8276147cfa083e13 {
+		t.Errorf("Blocks hash = %#x, want 0x8276147cfa083e13", h)
+	}
+	if res.RebalancedKeys != 212 {
+		t.Errorf("RebalancedKeys = %d, want 212", res.RebalancedKeys)
+	}
+}
+
+func TestGoldenTriangle(t *testing.T) {
+	g := gen.Gnp(96, 0.5, 1)
+	p := partition.NewRVP(g, 8, 2)
+	res, err := triangle.Run(p, core.Config{K: 8, Bandwidth: core.DefaultBandwidth(96), Seed: 3}, triangle.AlgorithmOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStats(t, res.Stats, 88, 12092, 24184, 3672, 3)
+	if res.Count != 18591 {
+		t.Errorf("Count = %d, want 18591", res.Count)
+	}
+}
+
+func TestGoldenConnComp(t *testing.T) {
+	g := gen.Gnp(400, 0.01, 1)
+	p := partition.NewRVP(g, 8, 2)
+	res, err := conncomp.Run(p, core.Config{K: 8, Bandwidth: core.DefaultBandwidth(400), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStats(t, res.Stats, 103, 14350, 28308, 3801, 21)
+	lbl := make([]uint64, len(res.Label))
+	for i, l := range res.Label {
+		lbl[i] = uint64(int64(l))
+	}
+	if h := hashU64s(t, lbl); h != 0xebcb72bede0a8c30 {
+		t.Errorf("Label hash = %#x, want 0xebcb72bede0a8c30", h)
+	}
+	if res.Components != 10 {
+		t.Errorf("Components = %d, want 10", res.Components)
+	}
+}
+
+// TestGoldenDropPerSuperstep: the retention knob must change nothing
+// except PerSuperstep itself.
+func TestGoldenDropPerSuperstep(t *testing.T) {
+	g := gen.Gnp(500, 0.02, 1)
+	p := partition.NewRVP(g, 8, 2)
+	opts := pagerank.AlgorithmOne(0.15)
+	opts.Tokens, opts.Iterations = 4, 12
+	res, err := pagerank.Run(p, core.Config{K: 8, Bandwidth: core.DefaultBandwidth(500), Seed: 3, DropPerSuperstep: true}, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkStats(t, res.Stats, 107, 13603, 27206, 3666, 24)
+	if res.Stats.PerSuperstep != nil {
+		t.Errorf("DropPerSuperstep run retained %d per-superstep stats", len(res.Stats.PerSuperstep))
+	}
+}

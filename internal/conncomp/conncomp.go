@@ -20,7 +20,7 @@ package conncomp
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"kmachine/internal/core"
 	"kmachine/internal/partition"
@@ -51,6 +51,10 @@ type ccMachine struct {
 	anyChange    bool // set when a label changed in the last phase
 	flagsChanged bool // OR of all machines' change flags
 	flagsSeen    int
+
+	// DeliverInto scratch, recycled across supersteps.
+	delivBuf []cmsg
+	outBuf   []core.Envelope[wire]
 }
 
 func newCCMachine(view *partition.View) *ccMachine {
@@ -118,7 +122,9 @@ func (m *ccMachine) relax() {
 }
 
 func (m *ccMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) ([]core.Envelope[wire], bool) {
-	delivered, out := routing.Deliver(m.view.Self(), inbox)
+	delivered, out := routing.DeliverInto(m.view.Self(), inbox, m.delivBuf[:0], m.outBuf[:0])
+	m.delivBuf = delivered[:0]
+	defer func() { m.outBuf = out[:0] }()
 	for _, d := range delivered {
 		switch d.Kind {
 		case kindLabel:
@@ -165,7 +171,7 @@ func (m *ccMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) ([]
 		for w := range cand {
 			keys = append(keys, w)
 		}
-		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		slices.Sort(keys)
 		for _, w := range keys {
 			out = routing.Route(out, ctx.RNG, ctx.K, m.view.HomeOf(w), 2,
 				cmsg{Kind: kindLabel, V: w, Label: cand[w]})

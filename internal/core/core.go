@@ -31,7 +31,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sync"
 
 	"kmachine/internal/rng"
 	"kmachine/internal/transport"
@@ -58,6 +57,14 @@ type Transport[M any] = transport.Transport[M]
 // be woken by incoming messages, and must then return done again once
 // idle). The computation terminates when every machine reports done and
 // no envelope is in flight.
+//
+// Buffer ownership: ctx and inbox are only valid for the duration of
+// the Step call — the engine reuses the StepContext across supersteps
+// and the transport recycles inbox storage (see the ownership rule on
+// transport.Transport). A machine that needs an envelope beyond its
+// Step must copy it. The returned out slice may be one the machine
+// recycles: the engine and transport finish reading it before the next
+// Step of the same machine begins.
 type Machine[M any] interface {
 	Step(ctx *StepContext, inbox []Envelope[M]) (out []Envelope[M], done bool)
 }
@@ -95,6 +102,12 @@ type Config struct {
 	Seed uint64
 	// MaxSupersteps aborts runaway algorithms; 0 means a generous default.
 	MaxSupersteps int
+	// DropPerSuperstep disables Stats.PerSuperstep retention. Long runs
+	// execute millions of supersteps and the per-phase breakdown is the
+	// only Stats component that grows with them; dropping it keeps a
+	// run's memory footprint constant. All other Stats fields are
+	// unaffected.
+	DropPerSuperstep bool
 	// Transport names the envelope substrate to run on; empty means the
 	// in-memory loopback. Core only stores the name — algorithm Run
 	// functions resolve it through OpenTransport with their message
@@ -160,18 +173,23 @@ func Bits(words int64, n int) int64 {
 // AccountSuperstep computes one superstep's communication profile from
 // the directed link-load matrix (linkWords[i*k+j] = words machine i
 // sent to machine j; self-links must already be excluded — local
-// computation is free) and the cross-machine message count. It also
-// returns the per-machine receive/send totals for the run aggregates.
+// computation is free) and the cross-machine message count. recv and
+// sent are caller-owned scratch vectors of length k: the function
+// zeroes and then fills them with the per-machine receive/send totals
+// for the run aggregates, so a caller accounting many supersteps can
+// thread the same two slices through every call and allocate nothing.
 //
-// This function is the single home of the paper's §1.1 cost arithmetic
-// — max(1, ceil(max-link-words/Bandwidth)) rounds — shared by the
-// in-process cluster (RunOn) and the standalone coordinator
-// (transport/node), which is what makes Stats bit-identical across
-// substrates by construction.
-func AccountSuperstep(k, bandwidth int, linkWords []int64, messages int64) (ss SuperstepStat, recv, sent []int64) {
-	ss.Messages = messages
-	recv = make([]int64, k)
-	sent = make([]int64, k)
+// Together with accountSparse (the engine's touched-links variant, same
+// arithmetic over a sparse index list) this is the home of the paper's
+// §1.1 cost model — max(1, ceil(max-link-words/Bandwidth)) rounds —
+// shared by the in-process cluster (RunOn) and the standalone
+// coordinator (transport/node), which is what makes Stats bit-identical
+// across substrates by construction.
+func AccountSuperstep(k, bandwidth int, linkWords []int64, messages int64, recv, sent []int64) SuperstepStat {
+	ss := SuperstepStat{Messages: messages}
+	for i := 0; i < k; i++ {
+		recv[i], sent[i] = 0, 0
+	}
 	for i := 0; i < k; i++ {
 		for j := 0; j < k; j++ {
 			w := linkWords[i*k+j]
@@ -186,7 +204,39 @@ func AccountSuperstep(k, bandwidth int, linkWords []int64, messages int64) (ss S
 			}
 		}
 	}
+	finishSuperstep(&ss, bandwidth, recv, sent)
+	return ss
+}
+
+// accountSparse is AccountSuperstep over a sparse link set: touched
+// lists the indices of linkLoad with traffic this superstep (built by
+// the engine while stamping envelopes), and each visited entry is
+// re-zeroed so linkLoad is clean for the next superstep without an
+// O(k²) sweep. The sums and maxima are order-independent, so the
+// resulting SuperstepStat is identical to the dense computation.
+func accountSparse(k, bandwidth int, linkLoad []int64, touched []int32, messages int64, recv, sent []int64) SuperstepStat {
+	ss := SuperstepStat{Messages: messages}
 	for i := 0; i < k; i++ {
+		recv[i], sent[i] = 0, 0
+	}
+	for _, idx := range touched {
+		w := linkLoad[idx]
+		linkLoad[idx] = 0
+		ss.Words += w
+		recv[int(idx)%k] += w
+		sent[int(idx)/k] += w
+		if w > ss.MaxLinkWords {
+			ss.MaxLinkWords = w
+		}
+	}
+	finishSuperstep(&ss, bandwidth, recv, sent)
+	return ss
+}
+
+// finishSuperstep derives the per-machine extremes and the round charge
+// — the arithmetic tail shared by the dense and sparse accountings.
+func finishSuperstep(ss *SuperstepStat, bandwidth int, recv, sent []int64) {
+	for i := range recv {
 		if recv[i] > ss.MaxRecvWords {
 			ss.MaxRecvWords = recv[i]
 		}
@@ -198,7 +248,6 @@ func AccountSuperstep(k, bandwidth int, linkWords []int64, messages int64) (ss S
 	if r := (ss.MaxLinkWords + int64(bandwidth) - 1) / int64(bandwidth); r > 1 {
 		ss.Rounds = r
 	}
-	return ss, recv, sent
 }
 
 // Cluster coordinates k machines.
@@ -251,120 +300,6 @@ func (c *Cluster[M]) Run() (*Stats, error) {
 	t := inmem.New[M](c.cfg.K)
 	defer t.Close()
 	return c.RunOn(t)
-}
-
-// RunOn executes the cluster over the given transport. Envelope
-// validation, From-stamping, and all round/word accounting happen here,
-// before batches reach the transport, so the returned Stats are
-// bit-identical whichever substrate carries the envelopes.
-func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
-	k := c.cfg.K
-	stats := &Stats{
-		RecvWords: make([]int64, k),
-		SentWords: make([]int64, k),
-	}
-	defer stats.finalize()
-	inboxes := make([][]Envelope[M], k)
-	outs := make([][]Envelope[M], k)
-	dones := make([]bool, k)
-	linkLoad := make([]int64, k*k) // directed link (from,to) -> words
-
-	for step := 0; ; step++ {
-		if step >= c.cfg.MaxSupersteps {
-			return stats, ErrMaxSupersteps
-		}
-		var wg sync.WaitGroup
-		panics := make([]error, k)
-		for i := 0; i < k; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				defer func() {
-					if r := recover(); r != nil {
-						panics[i] = fmt.Errorf("core: machine %d panicked in superstep %d: %v", i, step, r)
-					}
-				}()
-				ctx := &StepContext{
-					Self:      MachineID(i),
-					K:         k,
-					Superstep: step,
-					RNG:       c.rngs[i],
-				}
-				outs[i], dones[i] = c.machines[i].Step(ctx, inboxes[i])
-			}(i)
-		}
-		wg.Wait()
-		for _, perr := range panics {
-			if perr != nil {
-				return stats, perr
-			}
-		}
-
-		// Validate, stamp, and build the link-load matrix; the cost
-		// arithmetic itself lives in AccountSuperstep, shared with the
-		// standalone coordinator.
-		for i := range linkLoad {
-			linkLoad[i] = 0
-		}
-		var messages int64
-		allDone := true
-		for i := 0; i < k; i++ {
-			if !dones[i] {
-				allDone = false
-			}
-			for j := range outs[i] {
-				e := &outs[i][j]
-				if e.To < 0 || int(e.To) >= k {
-					return stats, fmt.Errorf("core: machine %d sent to invalid machine %d", i, e.To)
-				}
-				if e.Words < 0 {
-					return stats, fmt.Errorf("core: machine %d sent negative-size envelope", i)
-				}
-				e.From = MachineID(i)
-				if int(e.To) != i {
-					// Link traffic. Self-addressed envelopes are free:
-					// local computation costs nothing in the model.
-					linkLoad[i*k+int(e.To)] += int64(e.Words)
-					messages++
-				}
-			}
-		}
-		pending := false
-		for i := 0; i < k; i++ {
-			if len(outs[i]) > 0 {
-				pending = true
-				break
-			}
-		}
-		if allDone && !pending {
-			return stats, nil
-		}
-
-		ss, recvThis, sentThis := AccountSuperstep(k, c.cfg.Bandwidth, linkLoad, messages)
-		for i := 0; i < k; i++ {
-			stats.RecvWords[i] += recvThis[i]
-			stats.SentWords[i] += sentThis[i]
-		}
-		stats.Rounds += ss.Rounds
-		stats.Supersteps++
-		stats.Messages += ss.Messages
-		stats.Words += ss.Words
-		stats.PerSuperstep = append(stats.PerSuperstep, ss)
-
-		// Deliver through the transport; the contract guarantees inboxes
-		// come back assembled in sender order for determinism.
-		next, err := t.Exchange(step, outs)
-		if err != nil {
-			return stats, fmt.Errorf("core: transport exchange failed in superstep %d: %w", step, err)
-		}
-		if len(next) != k {
-			return stats, fmt.Errorf("core: transport returned %d inboxes for a %d-machine cluster", len(next), k)
-		}
-		for i := 0; i < k; i++ {
-			outs[i] = nil
-		}
-		inboxes = next
-	}
 }
 
 // finalize computes MaxRecvWords from the per-machine totals; Run defers

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the superstep engine behind Cluster.RunOn: k persistent
+// per-machine worker goroutines coordinated by a reusable two-phase
+// barrier. The engine is built so that a steady-state superstep
+// allocates nothing:
+//
+//   - workers are spawned once per run, not once per superstep (no
+//     go/WaitGroup churn in the loop);
+//   - each worker owns one StepContext for the whole run, with only the
+//     Superstep field updated between barriers;
+//   - link loads are accumulated sparsely — only the links actually
+//     touched this superstep are visited and re-zeroed, instead of
+//     clearing the dense k×k matrix every superstep;
+//   - the per-machine receive/send scratch vectors are reused across
+//     supersteps (see accountSparse / AccountSuperstep).
+//
+// The superstep protocol is two barrier phases per superstep:
+//
+//	coordinator                      worker i
+//	write ctxs[*].Superstep
+//	start.Await() ───────────────▶   start.Await()
+//	                                 outs[i], dones[i] = Step(...)
+//	done.Await()  ◀───────────────   done.Await()
+//	validate, account, Exchange
+//
+// All engine state (inboxes, outs, dones, panics, ctxs) is handed back
+// and forth through the barriers, whose internal mutex establishes the
+// happens-before edges; no other synchronisation is needed. Shutdown
+// (normal termination, error, or panic propagation) sets stop before
+// releasing the start barrier one last time, so workers always exit and
+// a run never leaks goroutines.
+
+// barrier is a reusable generation-counted rendezvous for n
+// participants: the p-th Await of a generation releases everyone, and
+// the barrier is immediately ready for the next generation.
+type barrier struct {
+	mu      sync.Mutex
+	cond    sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond.L = &b.mu
+	return b
+}
+
+// Await blocks until all n participants have arrived.
+func (b *barrier) Await() {
+	b.mu.Lock()
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.mu.Unlock()
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// engine is the per-run worker-pool state.
+type engine[M any] struct {
+	machines []Machine[M]
+	start    *barrier // releases workers into a superstep
+	done     *barrier // collects workers after their Step
+	stop     bool     // set (pre-start-barrier) to shut workers down
+
+	inboxes [][]Envelope[M]
+	outs    [][]Envelope[M]
+	dones   []bool
+	panics  []error
+	ctxs    []StepContext
+}
+
+// worker is the long-lived goroutine driving machine i.
+func (e *engine[M]) worker(i int) {
+	for {
+		e.start.Await()
+		if e.stop {
+			return
+		}
+		e.stepMachine(i)
+		e.done.Await()
+	}
+}
+
+// stepMachine runs one Step with panic recovery; a recovered panic is
+// surfaced to the coordinator through panics[i].
+func (e *engine[M]) stepMachine(i int) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.panics[i] = fmt.Errorf("core: machine %d panicked in superstep %d: %v", i, e.ctxs[i].Superstep, r)
+		}
+	}()
+	e.outs[i], e.dones[i] = e.machines[i].Step(&e.ctxs[i], e.inboxes[i])
+}
+
+// superstep drives one start/step/done cycle for all workers.
+func (e *engine[M]) superstep(step int) {
+	for i := range e.ctxs {
+		e.ctxs[i].Superstep = step
+	}
+	e.start.Await()
+	// Workers are stepping their machines here.
+	e.done.Await()
+}
+
+// shutdown releases the workers with the stop flag set so they exit.
+// It is deferred by RunOn, covering every return path exactly once.
+func (e *engine[M]) shutdown() {
+	e.stop = true
+	e.start.Await()
+}
+
+// RunOn executes the cluster over the given transport. Envelope
+// validation, From-stamping, and all round/word accounting happen here,
+// before batches reach the transport, so the returned Stats are
+// bit-identical whichever substrate carries the envelopes.
+func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
+	k := c.cfg.K
+	stats := &Stats{
+		RecvWords: make([]int64, k),
+		SentWords: make([]int64, k),
+	}
+	defer stats.finalize()
+
+	e := &engine[M]{
+		machines: c.machines,
+		start:    newBarrier(k + 1),
+		done:     newBarrier(k + 1),
+		inboxes:  make([][]Envelope[M], k),
+		outs:     make([][]Envelope[M], k),
+		dones:    make([]bool, k),
+		panics:   make([]error, k),
+		ctxs:     make([]StepContext, k),
+	}
+	for i := 0; i < k; i++ {
+		e.ctxs[i] = StepContext{Self: MachineID(i), K: k, RNG: c.rngs[i]}
+		go e.worker(i)
+	}
+	defer e.shutdown()
+
+	// Link-load accumulator: linkLoad is dense (k×k) but only the
+	// entries in touched are nonzero, so accounting and re-zeroing cost
+	// O(touched links), not O(k²). recvS/sentS are the per-superstep
+	// scratch reused by accountSparse.
+	linkLoad := make([]int64, k*k)
+	touched := make([]int32, 0, 4*k)
+	recvS := make([]int64, k)
+	sentS := make([]int64, k)
+
+	for step := 0; ; step++ {
+		if step >= c.cfg.MaxSupersteps {
+			return stats, ErrMaxSupersteps
+		}
+		e.superstep(step)
+		for _, perr := range e.panics {
+			if perr != nil {
+				return stats, perr
+			}
+		}
+
+		// Validate, stamp, and accumulate the touched link loads; the
+		// cost arithmetic itself lives in accountSparse/AccountSuperstep,
+		// shared with the standalone coordinator.
+		var messages int64
+		allDone, pending := true, false
+		for i := 0; i < k; i++ {
+			if !e.dones[i] {
+				allDone = false
+			}
+			if len(e.outs[i]) > 0 {
+				pending = true
+			}
+			for j := range e.outs[i] {
+				env := &e.outs[i][j]
+				if env.To < 0 || int(env.To) >= k {
+					return stats, fmt.Errorf("core: machine %d sent to invalid machine %d", i, env.To)
+				}
+				if env.Words < 0 {
+					return stats, fmt.Errorf("core: machine %d sent negative-size envelope", i)
+				}
+				env.From = MachineID(i)
+				if int(env.To) == i {
+					// Self-addressed envelopes are free: local
+					// computation costs nothing in the model.
+					continue
+				}
+				messages++
+				if w := int64(env.Words); w > 0 {
+					idx := i*k + int(env.To)
+					if linkLoad[idx] == 0 {
+						touched = append(touched, int32(idx))
+					}
+					linkLoad[idx] += w
+				}
+			}
+		}
+		if allDone && !pending {
+			return stats, nil
+		}
+
+		ss := accountSparse(k, c.cfg.Bandwidth, linkLoad, touched, messages, recvS, sentS)
+		touched = touched[:0]
+		for i := 0; i < k; i++ {
+			stats.RecvWords[i] += recvS[i]
+			stats.SentWords[i] += sentS[i]
+		}
+		stats.Rounds += ss.Rounds
+		stats.Supersteps++
+		stats.Messages += ss.Messages
+		stats.Words += ss.Words
+		if !c.cfg.DropPerSuperstep {
+			stats.PerSuperstep = append(stats.PerSuperstep, ss)
+		}
+
+		// Deliver through the transport; the contract guarantees inboxes
+		// come back assembled in sender order for determinism, and the
+		// ownership rule lets the transport recycle inbox storage across
+		// supersteps (double-buffered, so superstep s inboxes stay valid
+		// while s+1 is assembled).
+		next, err := t.Exchange(step, e.outs)
+		if err != nil {
+			return stats, fmt.Errorf("core: transport exchange failed in superstep %d: %w", step, err)
+		}
+		if len(next) != k {
+			return stats, fmt.Errorf("core: transport returned %d inboxes for a %d-machine cluster", len(next), k)
+		}
+		e.inboxes = next
+	}
+}

@@ -23,8 +23,9 @@
 package dsort
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"kmachine/internal/core"
 	"kmachine/internal/rng"
@@ -97,10 +98,84 @@ type sortMachine struct {
 	final     []uint64
 	rebal     int64
 	sizesIn   int
+
+	// DeliverInto scratch, recycled across supersteps.
+	delivBuf []smsg
+	outBuf   []core.Envelope[wire]
+	// sortTmp is the radix-sort ping-pong buffer, shared by the three
+	// key sorts of a run.
+	sortTmp []uint64
+}
+
+// sortKeys sorts xs ascending. Comparison sort below a small cutoff,
+// LSD radix above it: the phase sorts dominate the run's local work and
+// a byte-wise radix pass over uniform uint64 keys avoids pdqsort's
+// branch-miss-heavy comparisons. The output is the ascending multiset
+// either way, so run behaviour is unchanged.
+func (m *sortMachine) sortKeys(xs []uint64) {
+	const radixCutoff = 128
+	if len(xs) < radixCutoff {
+		slices.Sort(xs)
+		return
+	}
+	if cap(m.sortTmp) < len(xs) {
+		m.sortTmp = make([]uint64, len(xs))
+	}
+	var counts [8][256]int
+	for _, x := range xs {
+		for b := 0; b < 8; b++ {
+			counts[b][byte(x>>(8*b))]++
+		}
+	}
+	src, dst := xs, m.sortTmp[:len(xs)]
+	for b := 0; b < 8; b++ {
+		c := &counts[b]
+		distinct := 0
+		for d := 0; d < 256 && distinct < 2; d++ {
+			if c[d] > 0 {
+				distinct++
+			}
+		}
+		if distinct < 2 {
+			continue // constant digit column: nothing to move
+		}
+		sum := 0
+		for d := 0; d < 256; d++ {
+			n := c[d]
+			c[d] = sum
+			sum += n
+		}
+		for _, x := range src {
+			d := byte(x >> (8 * b))
+			dst[c[d]] = x
+			c[d]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &xs[0] {
+		copy(xs, src)
+	}
+}
+
+// searchGreater returns the smallest index i with xs[i] > key (len(xs)
+// if none) — sort.Search semantics without the per-probe closure call.
+func searchGreater[T cmp.Ordered](xs []T, key T) int {
+	lo, hi := 0, len(xs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if xs[mid] > key {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
 }
 
 func (m *sortMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) ([]core.Envelope[wire], bool) {
-	delivered, out := routing.Deliver(core.MachineID(ctx.Self), inbox)
+	delivered, out := routing.DeliverInto(core.MachineID(ctx.Self), inbox, m.delivBuf[:0], m.outBuf[:0])
+	m.delivBuf = delivered[:0]
+	defer func() { m.outBuf = out[:0] }()
 	for _, d := range delivered {
 		switch d.Kind {
 		case kindSample:
@@ -142,13 +217,13 @@ func (m *sortMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) (
 
 	case 1:
 		// Phase 2: derive splitters and route keys to bucket machines.
-		sort.Slice(m.samples, func(i, j int) bool { return m.samples[i] < m.samples[j] })
+		m.sortKeys(m.samples)
 		m.splitters = make([]uint64, 0, ctx.K-1)
 		for j := 1; j < ctx.K; j++ {
 			m.splitters = append(m.splitters, m.samples[j*len(m.samples)/ctx.K])
 		}
 		for _, key := range m.keys {
-			b := sort.Search(len(m.splitters), func(i int) bool { return m.splitters[i] > key })
+			b := searchGreater(m.splitters, key)
 			if core.MachineID(b) == ctx.Self {
 				m.bucket = append(m.bucket, key)
 				continue
@@ -163,7 +238,7 @@ func (m *sortMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) (
 
 	case 3:
 		// Phase 3a: broadcast bucket size.
-		sort.Slice(m.bucket, func(i, j int) bool { return m.bucket[i] < m.bucket[j] })
+		m.sortKeys(m.bucket)
 		m.sizes = nil
 		m.sizesIn = 0
 		for j := 0; j < ctx.K; j++ {
@@ -199,7 +274,7 @@ func (m *sortMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) (
 		bounds := blockBounds(m.n, ctx.K)
 		for i, key := range m.bucket {
 			rank := prefix + int64(i)
-			target := core.MachineID(sort.Search(ctx.K, func(j int) bool { return bounds[j+1] > rank }))
+			target := core.MachineID(searchGreater(bounds[1:ctx.K+1], rank))
 			if target == ctx.Self {
 				m.final = append(m.final, key)
 				continue
@@ -214,7 +289,7 @@ func (m *sortMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) (
 		return out, false
 
 	default:
-		sort.Slice(m.final, func(i, j int) bool { return m.final[i] < m.final[j] })
+		m.sortKeys(m.final)
 		return out, true
 	}
 }
@@ -248,6 +323,19 @@ func Run(in *Input, cfg core.Config, samplesPerMachine int) (*Result, error) {
 	machines := make([]*sortMachine, k)
 	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[wire] {
 		m := &sortMachine{k: k, n: n, samplesPer: samplesPerMachine, keys: in.Keys[id]}
+		// Presize the working buffers to the phase maxima (whp): the
+		// run is only ~7 supersteps, too few to amortise append-growth
+		// chains, and these caps make the big phases allocation-flat.
+		// Capacities only — contents and behaviour are unchanged.
+		sz := len(in.Keys[id]) + k
+		if bc := (k-1)*samplesPerMachine + k; bc > sz {
+			sz = bc // phase 1 broadcasts (k-1)·samplesPer sample envelopes
+		}
+		m.outBuf = make([]core.Envelope[wire], 0, sz)
+		m.delivBuf = make([]smsg, 0, sz)
+		m.samples = make([]uint64, 0, k*samplesPerMachine)
+		m.bucket = make([]uint64, 0, sz)
+		m.final = make([]uint64, 0, sz)
 		machines[id] = m
 		return m
 	})

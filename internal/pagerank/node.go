@@ -40,9 +40,10 @@ func (nm *NodeMachine) Options() Options { return nm.opts }
 // LocalPsi returns a copy of the raw visit counts for the vertices
 // homed on this machine.
 func (nm *NodeMachine) LocalPsi() map[int32]int64 {
-	out := make(map[int32]int64, len(nm.m.psi))
-	for v, c := range nm.m.psi {
-		out[v] = c
+	locals := nm.m.view.Locals()
+	out := make(map[int32]int64, len(locals))
+	for _, v := range locals {
+		out[v] = nm.m.psi[v]
 	}
 	return out
 }
@@ -53,9 +54,10 @@ func (nm *NodeMachine) LocalPsi() map[int32]int64 {
 // in-process Result.Estimate.
 func (nm *NodeMachine) LocalEstimates() map[int32]float64 {
 	scale := nm.opts.Eps / (float64(nm.n) * float64(nm.opts.Tokens))
-	out := make(map[int32]float64, len(nm.m.psi))
-	for v, c := range nm.m.psi {
-		out[v] = float64(c) * scale
+	locals := nm.m.view.Locals()
+	out := make(map[int32]float64, len(locals))
+	for _, v := range locals {
+		out[v] = float64(nm.m.psi[v]) * scale
 	}
 	return out
 }

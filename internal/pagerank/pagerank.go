@@ -32,7 +32,7 @@ package pagerank
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"kmachine/internal/core"
 	"kmachine/internal/partition"
@@ -119,53 +119,97 @@ type machine struct {
 	view *partition.View
 	opts Options
 
-	tokens map[int32]int64
-	psi    map[int32]int64
-	// byIn[u] lists the local vertices that are out-neighbours of u
-	// (receiver side of the heavy path).
-	byIn map[int32][]int32
+	// tokens/psi are dense over the global vertex space (nonzero only at
+	// local vertices): O(n) per machine instead of a map's O(n/k), but
+	// the hot loops touch them once per token and the simulation already
+	// holds dense O(n) partition state, so the constant-time unchecked
+	// index is worth the k× footprint at simulator scale.
+	tokens []int64
+	psi    []int64
+	// byIn(u) = byInIdx[byInOff[u]:byInOff[u+1]] lists the local
+	// vertices that are out-neighbours of u (receiver side of the heavy
+	// path) — a CSR index built count-then-place, replacing a
+	// map-of-slices whose per-key appends dominated construction cost.
+	byInOff []int32
+	byInIdx []int32
 	// heavyDist caches per-vertex alias tables over destination machines.
 	heavyDist map[int32]*rng.Alias
+
+	// Per-superstep scratch, recycled across supersteps so a
+	// steady-state Step allocates nothing: accVals/accKeys form the
+	// sparse per-destination-vertex counter behind flushLight (dense
+	// values plus the list of touched keys, re-zeroed on flush), beta
+	// the heavy-path per-machine counts, delivBuf/outBuf the
+	// DeliverInto scratch.
+	accVals  []int64
+	accKeys  []int32
+	beta     []int64
+	delivBuf []msg
+	outBuf   []core.Envelope[wire]
 
 	iter int
 }
 
 func newMachine(view *partition.View, opts Options) *machine {
+	n := view.N()
 	m := &machine{
 		view:      view,
 		opts:      opts,
-		tokens:    make(map[int32]int64),
-		psi:       make(map[int32]int64),
-		byIn:      make(map[int32][]int32),
+		tokens:    make([]int64, n),
+		psi:       make([]int64, n),
+		byInOff:   make([]int32, n+1),
 		heavyDist: make(map[int32]*rng.Alias),
+		accVals:   make([]int64, n),
+		beta:      make([]int64, view.K()),
 	}
 	for _, v := range view.Locals() {
 		m.tokens[v] = int64(opts.Tokens)
 		m.psi[v] = int64(opts.Tokens)
 		for _, u := range view.InAdj(v) {
-			m.byIn[u] = append(m.byIn[u], v)
+			m.byInOff[u+1]++
+		}
+	}
+	for u := 0; u < n; u++ {
+		m.byInOff[u+1] += m.byInOff[u]
+	}
+	m.byInIdx = make([]int32, m.byInOff[n])
+	pos := make([]int32, n)
+	copy(pos, m.byInOff[:n])
+	// Placement order matches the old per-key append order: locals in
+	// increasing ID order, each local's in-neighbours in CSR order.
+	for _, v := range view.Locals() {
+		for _, u := range view.InAdj(v) {
+			m.byInIdx[pos[u]] = v
+			pos[u]++
 		}
 	}
 	return m
 }
 
+// byIn returns the local out-neighbours of u.
+func (m *machine) byIn(u int32) []int32 {
+	return m.byInIdx[m.byInOff[u]:m.byInOff[u+1]]
+}
+
 type wire = routing.Hop[msg]
 
 func (m *machine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) ([]core.Envelope[wire], bool) {
-	delivered, out := routing.Deliver(m.view.Self(), inbox)
+	delivered, out := routing.DeliverInto(m.view.Self(), inbox, m.delivBuf[:0], m.outBuf[:0])
+	m.delivBuf = delivered[:0]
 	for _, d := range delivered {
 		m.receive(ctx, d)
 	}
 	// Even supersteps start walk iterations; odd ones only relay/receive.
 	if ctx.Superstep%2 != 0 {
+		m.outBuf = out
 		return out, m.iter >= m.opts.Iterations
 	}
 	if m.iter >= m.opts.Iterations {
+		m.outBuf = out
 		return out, len(out) == 0
 	}
 	m.iter++
 
-	alpha := make(map[int32]int64) // light path: destination vertex -> count
 	for _, u := range m.view.Locals() {
 		t := m.tokens[u]
 		if t == 0 {
@@ -184,57 +228,66 @@ func (m *machine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) ([]co
 			continue
 		}
 		if m.opts.HeavyPath && t >= int64(ctx.K) {
-			m.walkHeavy(ctx, u, t, adj, &out)
+			out = m.walkHeavy(ctx, u, t, adj, out)
 			continue
 		}
 		if m.opts.Aggregate {
+			// Light path: accumulate destination-vertex counts across
+			// all local sources (the paper's α), flushed once below.
 			for i := int64(0); i < t; i++ {
 				v := adj[ctx.RNG.Intn(len(adj))]
-				alpha[v]++
+				if m.accVals[v] == 0 {
+					m.accKeys = append(m.accKeys, v)
+				}
+				m.accVals[v]++
 			}
 			continue
 		}
 		// Baseline granularity: per (source, destination-vertex) counts,
 		// flushed per source vertex — no cross-vertex merging.
-		perDest := make(map[int32]int64)
 		for i := int64(0); i < t; i++ {
 			v := adj[ctx.RNG.Intn(len(adj))]
-			perDest[v]++
+			if m.accVals[v] == 0 {
+				m.accKeys = append(m.accKeys, v)
+			}
+			m.accVals[v]++
 		}
-		m.flushLight(ctx, perDest, &out)
+		out = m.flushLight(ctx, out)
 	}
 	if m.opts.Aggregate {
-		m.flushLight(ctx, alpha, &out)
+		out = m.flushLight(ctx, out)
 	}
+	m.outBuf = out
 	return out, false
 }
 
-// flushLight emits one ⟨count, dest:v⟩ message per destination vertex,
-// in sorted vertex order for determinism.
-func (m *machine) flushLight(ctx *core.StepContext, counts map[int32]int64, out *[]core.Envelope[wire]) {
-	if len(counts) == 0 {
-		return
+// flushLight emits one ⟨count, dest:v⟩ message per accumulated
+// destination vertex, in sorted vertex order for determinism, and
+// resets the accumulator (zeroing only the touched entries).
+func (m *machine) flushLight(ctx *core.StepContext, out []core.Envelope[wire]) []core.Envelope[wire] {
+	if len(m.accKeys) == 0 {
+		return out
 	}
-	keys := make([]int32, 0, len(counts))
-	for v := range counts {
-		keys = append(keys, v)
-	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	keys := m.accKeys
+	slices.Sort(keys)
 	for _, v := range keys {
-		payload := msg{Kind: kindLight, V: v, Count: counts[v]}
+		payload := msg{Kind: kindLight, V: v, Count: m.accVals[v]}
+		m.accVals[v] = 0
 		home := m.view.HomeOf(v)
 		if m.opts.TwoHop {
-			*out = routing.Route(*out, ctx.RNG, ctx.K, home, msgWords, payload)
+			out = routing.Route(out, ctx.RNG, ctx.K, home, msgWords, payload)
 		} else {
-			*out = routing.RouteDirect(*out, home, msgWords, payload)
+			out = routing.RouteDirect(out, home, msgWords, payload)
 		}
 	}
+	m.accKeys = keys[:0]
+	return out
 }
 
 // walkHeavy implements Algorithm 1 lines 18-27: sample a destination
 // machine per token from the degree distribution and send one count
 // message per machine.
-func (m *machine) walkHeavy(ctx *core.StepContext, u int32, t int64, adj []int32, out *[]core.Envelope[wire]) {
+func (m *machine) walkHeavy(ctx *core.StepContext, u int32, t int64, adj []int32, out []core.Envelope[wire]) []core.Envelope[wire] {
 	dist, ok := m.heavyDist[u]
 	if !ok {
 		weights := make([]float64, ctx.K)
@@ -244,7 +297,10 @@ func (m *machine) walkHeavy(ctx *core.StepContext, u int32, t int64, adj []int32
 		dist = rng.NewAlias(weights)
 		m.heavyDist[u] = dist
 	}
-	beta := make([]int64, ctx.K)
+	beta := m.beta
+	for j := range beta {
+		beta[j] = 0
+	}
 	for i := int64(0); i < t; i++ {
 		beta[dist.Sample(ctx.RNG)]++
 	}
@@ -254,9 +310,10 @@ func (m *machine) walkHeavy(ctx *core.StepContext, u int32, t int64, adj []int32
 		}
 		// Heavy messages go direct: there is at most one per (vertex,
 		// machine) pair, so they cannot congest a link (Lemma 12).
-		*out = routing.RouteDirect(*out, core.MachineID(j), msgWords,
+		out = routing.RouteDirect(out, core.MachineID(j), msgWords,
 			msg{Kind: kindHeavy, V: u, Count: c})
 	}
+	return out
 }
 
 // receive processes a delivered payload.
@@ -268,7 +325,7 @@ func (m *machine) receive(ctx *core.StepContext, d msg) {
 	case kindHeavy:
 		// Distribute d.Count tokens of source vertex d.V uniformly among
 		// its locally hosted out-neighbours (Algorithm 1 lines 31-36).
-		local := m.byIn[d.V]
+		local := m.byIn(d.V)
 		if len(local) == 0 {
 			panic(fmt.Sprintf("pagerank: machine %d got heavy tokens for %d but hosts no neighbour",
 				m.view.Self(), d.V))
@@ -314,7 +371,8 @@ func Run(p *partition.VertexPartition, cfg core.Config, opts Options) (*Result, 
 	}
 	scale := opts.Eps / (float64(n) * float64(opts.Tokens))
 	for id, m := range machines {
-		for v, count := range m.psi {
+		for _, v := range m.view.Locals() {
+			count := m.psi[v]
 			res.Psi[v] = count
 			res.Estimate[v] = float64(count) * scale
 			res.OutputsPerMachine[id]++

@@ -58,6 +58,16 @@ func RouteDirect[M any](out []core.Envelope[Hop[M]], final core.MachineID, words
 // Deliver partitions an inbox into payloads that have arrived (Final is
 // the receiving machine) and second-hop forwards to emit this superstep.
 func Deliver[M any](self core.MachineID, inbox []core.Envelope[Hop[M]]) (delivered []M, forwards []core.Envelope[Hop[M]]) {
+	return DeliverInto(self, inbox, nil, nil)
+}
+
+// DeliverInto is Deliver appending into caller-provided scratch
+// (typically machine-owned buffers passed as buf[:0]), so a machine
+// stepping every superstep can recycle its delivery and forward slices
+// instead of growing fresh ones each time. Payload and forward values
+// are copied out of inbox, never aliased, so the scratch stays valid
+// after the transport recycles the inbox storage.
+func DeliverInto[M any](self core.MachineID, inbox []core.Envelope[Hop[M]], delivered []M, forwards []core.Envelope[Hop[M]]) ([]M, []core.Envelope[Hop[M]]) {
 	for _, e := range inbox {
 		if e.Msg.Final == self {
 			delivered = append(delivered, e.Msg.Msg)

@@ -3,6 +3,14 @@
 // extracted behind the transport.Transport interface. It is the default
 // substrate for simulations and tests: envelopes never leave the
 // process and delivery is a pure slice shuffle.
+//
+// Exchange assembles inboxes count-then-place: one pass over the
+// outboxes counts the per-destination envelopes, the k inboxes are then
+// carved out of a single flat buffer, and a second pass places every
+// envelope at its final position. The flat buffer and the inbox headers
+// are double-buffered and recycled across supersteps (the transport
+// ownership rule), so a steady-state superstep performs no allocation
+// at all once the buffers have grown to the run's working set.
 package inmem
 
 import (
@@ -11,10 +19,26 @@ import (
 	"kmachine/internal/transport"
 )
 
+// exchangeBuf is one generation of recycled inbox storage.
+type exchangeBuf[M any] struct {
+	flat    []transport.Envelope[M]
+	inboxes [][]transport.Envelope[M]
+}
+
 // Transport is the loopback implementation of transport.Transport.
 type Transport[M any] struct {
 	k      int
 	closed bool
+
+	// bufs are the two inbox-buffer generations: gen selects the one the
+	// next Exchange assembles into, so the inboxes handed out by the
+	// previous call — and any envelopes still aliasing them — stay
+	// untouched while the current superstep is built.
+	bufs [2]exchangeBuf[M]
+	gen  int
+
+	counts []int // per-destination envelope counts / placement cursors
+	starts []int // prefix offsets of each inbox within flat
 }
 
 // New returns a loopback transport for a k-machine cluster.
@@ -22,12 +46,18 @@ func New[M any](k int) *Transport[M] {
 	if k < 2 {
 		panic(fmt.Sprintf("inmem: need k >= 2 machines, got %d", k))
 	}
-	return &Transport[M]{k: k}
+	return &Transport[M]{
+		k:      k,
+		counts: make([]int, k),
+		starts: make([]int, k+1),
+	}
 }
 
 // Exchange routes outs into per-destination inboxes. Iterating senders
 // in machine order makes inbox assembly deterministic and sender-ID
-// ordered, matching the Transport contract.
+// ordered, matching the Transport contract; the returned inboxes obey
+// the contract's ownership rule (valid until the second-following
+// Exchange).
 func (t *Transport[M]) Exchange(step int, outs [][]transport.Envelope[M]) ([][]transport.Envelope[M], error) {
 	if t.closed {
 		return nil, fmt.Errorf("inmem: Exchange on closed transport (superstep %d)", step)
@@ -35,13 +65,52 @@ func (t *Transport[M]) Exchange(step int, outs [][]transport.Envelope[M]) ([][]t
 	if len(outs) != t.k {
 		return nil, fmt.Errorf("inmem: got %d outboxes for a %d-machine cluster", len(outs), t.k)
 	}
-	inboxes := make([][]transport.Envelope[M], t.k)
+
+	counts := t.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	total := 0
 	for i := range outs {
-		for _, e := range outs[i] {
-			inboxes[e.To] = append(inboxes[e.To], e)
+		for j := range outs[i] {
+			to := outs[i][j].To
+			if to < 0 || int(to) >= t.k {
+				return nil, fmt.Errorf("inmem: envelope to invalid machine %d (superstep %d)", to, step)
+			}
+			counts[to]++
+		}
+		total += len(outs[i])
+	}
+
+	b := &t.bufs[t.gen]
+	t.gen ^= 1
+	if cap(b.flat) < total {
+		b.flat = make([]transport.Envelope[M], total)
+	}
+	flat := b.flat[:total]
+	if b.inboxes == nil {
+		b.inboxes = make([][]transport.Envelope[M], t.k)
+	}
+
+	starts := t.starts
+	starts[0] = 0
+	for j := 0; j < t.k; j++ {
+		starts[j+1] = starts[j] + counts[j]
+		counts[j] = starts[j] // reuse counts as the placement cursors
+	}
+	for i := range outs {
+		for j := range outs[i] {
+			to := outs[i][j].To
+			flat[counts[to]] = outs[i][j]
+			counts[to]++
 		}
 	}
-	return inboxes, nil
+	for j := 0; j < t.k; j++ {
+		// Cap-limit each inbox so an append by a misbehaving caller
+		// cannot clobber its neighbour's envelopes.
+		b.inboxes[j] = flat[starts[j]:starts[j+1]:starts[j+1]]
+	}
+	return b.inboxes, nil
 }
 
 // Close implements transport.Transport.

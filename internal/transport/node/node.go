@@ -47,6 +47,11 @@ type Config struct {
 	Seed uint64
 	// MaxSupersteps aborts runaway algorithms; 0 means core's default.
 	MaxSupersteps int
+	// DropPerSuperstep disables Stats.PerSuperstep retention on the
+	// coordinator, exactly like core.Config.DropPerSuperstep; only the
+	// coordinator's value matters (the field travels inside the final
+	// stop verdict, so all nodes still return identical Stats).
+	DropPerSuperstep bool
 	// DialTimeout bounds mesh construction; 0 means tcp's default.
 	DialTimeout time.Duration
 }
@@ -146,9 +151,11 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 	r := rng.NewStream(cfg.Seed, uint64(cfg.ID))
 	var coord *coordinator
 	if cfg.ID == 0 {
-		coord = newCoordinator(cfg.K, cfg.Bandwidth)
+		coord = newCoordinator(cfg.K, cfg.Bandwidth, cfg.DropPerSuperstep)
 	}
 	var inbox []core.Envelope[M]
+	linkScratch := make([]int64, cfg.K) // per-superstep link row, reused
+	ctx := &core.StepContext{Self: core.MachineID(cfg.ID), K: cfg.K, RNG: r}
 	for step := 0; ; step++ {
 		if step >= cfg.MaxSupersteps {
 			// Every node shares MaxSupersteps and steps in lockstep, so
@@ -157,13 +164,12 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 			return coordStats(coord), core.ErrMaxSupersteps
 		}
 
-		out, done, stepErr := stepSafely(m, &core.StepContext{
-			Self:      core.MachineID(cfg.ID),
-			K:         cfg.K,
-			Superstep: step,
-			RNG:       r,
-		}, inbox)
-		rep := report{done: done, emitted: len(out) > 0, linkWords: make([]int64, cfg.K)}
+		ctx.Superstep = step
+		out, done, stepErr := stepSafely(m, ctx, inbox)
+		for i := range linkScratch {
+			linkScratch[i] = 0
+		}
+		rep := report{done: done, emitted: len(out) > 0, linkWords: linkScratch}
 		if stepErr == nil {
 			stepErr = validateAndAccount(cfg, out, &rep)
 		}
@@ -336,28 +342,39 @@ func decodeReport(buf []byte, wantStep int) (*report, error) {
 	return rep, nil
 }
 
-// coordinator aggregates reports into core-identical Stats.
+// coordinator aggregates reports into core-identical Stats. The
+// linkWords/recvS/sentS scratch is reused across supersteps, mirroring
+// the allocation-free accounting of core's engine.
 type coordinator struct {
-	k         int
-	bandwidth int
-	stats     *core.Stats
+	k                int
+	bandwidth        int
+	dropPerSuperstep bool
+	stats            *core.Stats
+	linkWords        []int64
+	recvS, sentS     []int64
+	reports          []*report
 }
 
-func newCoordinator(k, bandwidth int) *coordinator {
+func newCoordinator(k, bandwidth int, dropPerSuperstep bool) *coordinator {
 	return &coordinator{
-		k:         k,
-		bandwidth: bandwidth,
+		k:                k,
+		bandwidth:        bandwidth,
+		dropPerSuperstep: dropPerSuperstep,
 		stats: &core.Stats{
 			RecvWords: make([]int64, k),
 			SentWords: make([]int64, k),
 		},
+		linkWords: make([]int64, k*k),
+		recvS:     make([]int64, k),
+		sentS:     make([]int64, k),
+		reports:   make([]*report, k),
 	}
 }
 
 // process runs core's accounting arithmetic on one superstep's reports
 // and returns the verdict to broadcast.
 func (c *coordinator) process(step int, payloads [][]byte) ([]byte, error) {
-	reports := make([]*report, c.k)
+	reports := c.reports
 	for i, p := range payloads {
 		rep, err := decodeReport(p, step)
 		if err != nil {
@@ -377,8 +394,8 @@ func (c *coordinator) process(step int, payloads [][]byte) ([]byte, error) {
 	// Assemble the k×k link-load matrix from the per-node rows and hand
 	// it to the exact accounting function core.RunOn uses — the shared
 	// arithmetic is what makes the two substrates' Stats bit-identical
-	// by construction.
-	linkWords := make([]int64, c.k*c.k)
+	// by construction. Every row is fully overwritten, so the reused
+	// scratch matrix needs no zeroing between supersteps.
 	var messages int64
 	allDone, pending := true, false
 	for i, rep := range reports {
@@ -388,7 +405,7 @@ func (c *coordinator) process(step int, payloads [][]byte) ([]byte, error) {
 		if rep.emitted {
 			pending = true
 		}
-		copy(linkWords[i*c.k:(i+1)*c.k], rep.linkWords)
+		copy(c.linkWords[i*c.k:(i+1)*c.k], rep.linkWords)
 		messages += rep.messages
 	}
 	if allDone && !pending {
@@ -396,16 +413,18 @@ func (c *coordinator) process(step int, payloads [][]byte) ([]byte, error) {
 		c.finalize()
 		return encodeStop(c.stats)
 	}
-	ss, recvThis, sentThis := core.AccountSuperstep(c.k, c.bandwidth, linkWords, messages)
+	ss := core.AccountSuperstep(c.k, c.bandwidth, c.linkWords, messages, c.recvS, c.sentS)
 	for i := 0; i < c.k; i++ {
-		c.stats.RecvWords[i] += recvThis[i]
-		c.stats.SentWords[i] += sentThis[i]
+		c.stats.RecvWords[i] += c.recvS[i]
+		c.stats.SentWords[i] += c.sentS[i]
 	}
 	c.stats.Rounds += ss.Rounds
 	c.stats.Supersteps++
 	c.stats.Messages += ss.Messages
 	c.stats.Words += ss.Words
-	c.stats.PerSuperstep = append(c.stats.PerSuperstep, ss)
+	if !c.dropPerSuperstep {
+		c.stats.PerSuperstep = append(c.stats.PerSuperstep, ss)
+	}
 	return []byte{verdictContinue}, nil
 }
 

@@ -65,6 +65,18 @@ type Endpoint[M any] struct {
 	ctrlIn   []*dataConn // id==0: ctrlIn[j] accepted from peer j
 	ownQueue [][]byte    // id==0: coordinator's loopback report queue
 
+	// Per-superstep scratch, recycled across Exchange calls (the
+	// transport ownership rule). perDest/tx/frame/rx are dead once
+	// Exchange returns and are single-buffered; the assembled inbox is
+	// handed to the caller and double-buffered so the previous
+	// superstep's envelopes survive while the next one is built.
+	perDest [][]transport.Envelope[M] // outgoing split by destination
+	tx      [][]byte                  // per-peer batch encode buffers
+	frame   [][]byte                  // per-peer frame read buffers
+	rx      [][]transport.Envelope[M] // per-peer decoded batches
+	inboxes [2][]transport.Envelope[M]
+	gen     int
+
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -80,12 +92,16 @@ func Listen[M any](id, k int, addr string, codec wire.Codec[M]) (*Endpoint[M], e
 		return nil, fmt.Errorf("tcp: machine %d listen %s: %w", id, addr, err)
 	}
 	return &Endpoint[M]{
-		id:    id,
-		k:     k,
-		codec: codec,
-		ln:    ln,
-		out:   make([]*dataConn, k),
-		in:    make([]*dataConn, k),
+		id:      id,
+		k:       k,
+		codec:   codec,
+		ln:      ln,
+		out:     make([]*dataConn, k),
+		in:      make([]*dataConn, k),
+		perDest: make([][]transport.Envelope[M], k),
+		tx:      make([][]byte, k),
+		frame:   make([][]byte, k),
+		rx:      make([][]transport.Envelope[M], k),
 	}, nil
 }
 
@@ -245,7 +261,10 @@ func (e *Endpoint[M]) acceptAll(want int, deadline time.Time) error {
 // returned inbox is assembled in sender-ID order, self-addressed
 // envelopes at position e.id, exactly like the loopback transport.
 func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transport.Envelope[M], error) {
-	perDest := make([][]transport.Envelope[M], e.k)
+	perDest := e.perDest
+	for j := range perDest {
+		perDest[j] = perDest[j][:0]
+	}
 	for _, env := range out {
 		if env.To < 0 || int(env.To) >= e.k {
 			e.Close() // peers are waiting on our batch; unblock them
@@ -254,7 +273,7 @@ func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transpo
 		perDest[env.To] = append(perDest[env.To], env)
 	}
 
-	perSender := make([][]transport.Envelope[M], e.k)
+	perSender := e.rx
 	var wg sync.WaitGroup
 	errs := make([]error, 2*e.k)
 
@@ -269,7 +288,9 @@ func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transpo
 		e.Close()
 	}
 
-	// Writers: one batch frame per peer, flushed immediately.
+	// Writers: one batch frame per peer, flushed immediately. The
+	// per-peer encode buffer is recycled: WriteFrame has copied it into
+	// the connection's bufio writer before the next peer is encoded.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
@@ -277,7 +298,8 @@ func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transpo
 			if j == e.id {
 				continue
 			}
-			buf, err := wire.AppendBatch(nil, step, transport.MachineID(e.id), perDest[j], e.codec)
+			buf, err := wire.AppendBatch(e.tx[j][:0], step, transport.MachineID(e.id), perDest[j], e.codec)
+			e.tx[j] = buf[:0]
 			if err == nil {
 				if err = wire.WriteFrame(e.out[j].w, buf); err == nil {
 					err = e.out[j].w.Flush()
@@ -300,12 +322,17 @@ func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transpo
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
-			frame, err := wire.ReadFrame(e.in[j].r)
+			// Both the frame buffer and the decoded-envelope scratch are
+			// per-peer, so each is touched by exactly one goroutine; the
+			// decoded values are copied into the inbox below, freeing
+			// both for reuse next superstep.
+			frame, err := wire.ReadFrameInto(e.in[j].r, e.frame[j])
 			if err != nil {
 				fail(e.k+j, fmt.Errorf("tcp: machine %d recv from %d (superstep %d): %w", e.id, j, step, err))
 				return
 			}
-			gotStep, from, envs, err := wire.DecodeBatch(frame, e.codec)
+			e.frame[j] = frame[:0]
+			gotStep, from, envs, err := wire.DecodeBatchInto(frame, e.codec, e.rx[j])
 			if err != nil {
 				fail(e.k+j, fmt.Errorf("tcp: machine %d decode from %d: %w", e.id, j, err))
 				return
@@ -325,7 +352,20 @@ func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transpo
 		}
 	}
 
-	var inbox []transport.Envelope[M]
+	// Assemble the inbox in sender-ID order into the double-buffered
+	// storage: the previous superstep's inbox (the other generation) is
+	// still readable by the caller per the ownership rule.
+	total := len(perDest[e.id])
+	for s := 0; s < e.k; s++ {
+		if s != e.id {
+			total += len(perSender[s])
+		}
+	}
+	buf := e.inboxes[e.gen]
+	if cap(buf) < total {
+		buf = make([]transport.Envelope[M], 0, total)
+	}
+	inbox := buf[:0]
 	for s := 0; s < e.k; s++ {
 		if s == e.id {
 			inbox = append(inbox, perDest[s]...)
@@ -333,6 +373,8 @@ func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transpo
 		}
 		inbox = append(inbox, perSender[s]...)
 	}
+	e.inboxes[e.gen] = inbox
+	e.gen ^= 1
 	return inbox, nil
 }
 
@@ -524,6 +566,11 @@ func NewLoopbackMesh[M any](k int, codec wire.Codec[M]) ([]*Endpoint[M], error) 
 // coordinator-driven barrier.
 type Transport[M any] struct {
 	eps []*Endpoint[M]
+	// inboxes are the double-buffered outer slices handed to the
+	// cluster; the envelope storage inside is owned (and recycled) by
+	// the endpoints.
+	inboxes [2][][]transport.Envelope[M]
+	gen     int
 }
 
 // New builds a loopback-TCP transport for a k-machine cluster.
@@ -543,7 +590,11 @@ func (t *Transport[M]) Exchange(step int, outs [][]transport.Envelope[M]) ([][]t
 	if len(outs) != k {
 		return nil, fmt.Errorf("tcp: got %d outboxes for a %d-machine cluster", len(outs), k)
 	}
-	inboxes := make([][]transport.Envelope[M], k)
+	if t.inboxes[t.gen] == nil {
+		t.inboxes[t.gen] = make([][]transport.Envelope[M], k)
+	}
+	inboxes := t.inboxes[t.gen]
+	t.gen ^= 1
 	errs := make([]error, k)
 	var wg sync.WaitGroup
 	for i := 0; i < k; i++ {

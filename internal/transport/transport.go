@@ -49,6 +49,18 @@ type Envelope[M any] struct {
 // A Transport carries payloads verbatim and must preserve both the
 // per-sender envelope order and the Words field — the accounting in
 // core depends on it.
+//
+// Buffer ownership. A Transport may recycle inbox storage: the inboxes
+// returned by Exchange (both the outer slice and the envelope storage
+// it points into) remain valid only until the second-following Exchange
+// call on the same transport. Implementations double-buffer so that the
+// previous superstep's inboxes — and any outgoing envelopes that alias
+// them, e.g. second-hop forwards — are never overwritten while the
+// current superstep is assembled; callers that need an envelope beyond
+// that window must copy it. Symmetrically, outs stays owned by the
+// caller: a Transport must finish reading it before Exchange returns
+// and must not retain or mutate it afterwards, so machines may recycle
+// their outbox slices across supersteps.
 type Transport[M any] interface {
 	Exchange(step int, outs [][]Envelope[M]) (inboxes [][]Envelope[M], err error)
 

@@ -15,6 +15,10 @@ import (
 //
 // A Codec must round-trip exactly: Decode(Append(nil, m)) == (m,
 // len(Append(nil, m)), nil) for every message the algorithm can emit.
+// Decode must return a self-contained value that does not alias src —
+// transports recycle their frame buffers across supersteps (see
+// ReadFrameInto), so a message holding a sub-slice of src would be
+// corrupted one superstep later.
 // The per-algorithm implementations live next to their message types
 // (pagerank.WireCodec, dsort.WireCodec, conncomp.WireCodec,
 // triangle.WireCodec) so unexported message structs stay unexported.
@@ -126,8 +130,17 @@ func AppendBatch[M any](dst []byte, step int, from transport.MachineID, envs []t
 
 // DecodeBatch decodes a batch produced by AppendBatch.
 func DecodeBatch[M any](src []byte, c Codec[M]) (step int, from transport.MachineID, envs []transport.Envelope[M], err error) {
+	return DecodeBatchInto(src, c, nil)
+}
+
+// DecodeBatchInto is DecodeBatch appending into dst[:0], so a transport
+// decoding one batch per peer per superstep can recycle its envelope
+// scratch instead of allocating a fresh slice every frame. Decoded
+// envelopes are self-contained values (a Codec must not alias src), so
+// the caller may reuse the frame buffer once DecodeBatchInto returns.
+func DecodeBatchInto[M any](src []byte, c Codec[M], dst []transport.Envelope[M]) (step int, from transport.MachineID, envs []transport.Envelope[M], err error) {
 	pos := 0
-	hdr := make([]uint64, 3)
+	var hdr [3]uint64
 	for i := range hdr {
 		v, n, err := Uvarint(src[pos:])
 		if err != nil {
@@ -143,7 +156,10 @@ func DecodeBatch[M any](src []byte, c Codec[M]) (step int, from transport.Machin
 		// bytes is corruption, not a big batch.
 		return 0, 0, nil, fmt.Errorf("wire: batch claims %d envelopes in %d bytes", count, len(src)-pos)
 	}
-	envs = make([]transport.Envelope[M], 0, count)
+	envs = dst[:0]
+	if free := uint64(cap(envs)); free < count {
+		envs = make([]transport.Envelope[M], 0, count)
+	}
 	for i := uint64(0); i < count; i++ {
 		e, n, err := DecodeEnvelope(src[pos:], c)
 		if err != nil {
@@ -175,6 +191,14 @@ func WriteFrame(w io.Writer, payload []byte) error {
 
 // ReadFrame reads one length-prefixed frame from r.
 func ReadFrame(r io.ByteReader) ([]byte, error) {
+	return ReadFrameInto(r, nil)
+}
+
+// ReadFrameInto is ReadFrame reusing buf's storage when it has the
+// capacity, so a connection reading one frame per superstep can recycle
+// its read buffer. The returned slice aliases buf on reuse; it is valid
+// until the next ReadFrameInto call with the same buffer.
+func ReadFrameInto(r io.ByteReader, buf []byte) ([]byte, error) {
 	size, err := binary.ReadUvarint(r)
 	if err != nil {
 		return nil, err
@@ -182,10 +206,15 @@ func ReadFrame(r io.ByteReader) ([]byte, error) {
 	if size > MaxFrame {
 		return nil, ErrFrameTooLarge
 	}
-	payload := make([]byte, size)
+	payload := buf[:0]
+	if uint64(cap(payload)) < size {
+		payload = make([]byte, size)
+	} else {
+		payload = payload[:size]
+	}
 	br, ok := r.(io.Reader)
 	if !ok {
-		return nil, fmt.Errorf("wire: ReadFrame needs an io.Reader, got %T", r)
+		return nil, fmt.Errorf("wire: ReadFrameInto needs an io.Reader, got %T", r)
 	}
 	if _, err := io.ReadFull(br, payload); err != nil {
 		return nil, err

@@ -117,6 +117,23 @@ type RunConfig struct {
 	// Transport selects the envelope substrate; empty means
 	// TransportInMem.
 	Transport TransportKind
+	// DropPerSuperstep disables Stats.PerSuperstep retention — the only
+	// Stats component that grows with the superstep count — keeping
+	// long runs' memory footprint constant. All other Stats fields are
+	// unaffected.
+	DropPerSuperstep bool
+}
+
+// coreConfig is the shared translation of a RunConfig into the
+// substrate options of a core.Config.
+func (rc RunConfig) coreConfig(k, bandwidth int, seed uint64) core.Config {
+	return core.Config{
+		K:                k,
+		Bandwidth:        bandwidth,
+		Seed:             seed,
+		Transport:        rc.Transport,
+		DropPerSuperstep: rc.DropPerSuperstep,
+	}
 }
 
 // PageRankConfig configures a distributed PageRank run.
@@ -157,7 +174,7 @@ func PageRank(p *VertexPartition, cfg PageRankConfig) (*PageRankResult, error) {
 	}
 	opts.Tokens = cfg.Tokens
 	opts.Iterations = cfg.Iterations
-	return pagerank.Run(p, core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed, Transport: cfg.Transport}, opts)
+	return pagerank.Run(p, cfg.coreConfig(p.K, cfg.Bandwidth, cfg.Seed), opts)
 }
 
 // SequentialPageRank returns the exact PageRank vector by power
@@ -194,7 +211,7 @@ func Triangles(p *VertexPartition, cfg TriangleConfig) (*TriangleResult, error) 
 	if cfg.Bandwidth == 0 {
 		cfg.Bandwidth = core.DefaultBandwidth(p.G.N())
 	}
-	ccfg := core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed, Transport: cfg.Transport}
+	ccfg := cfg.coreConfig(p.K, cfg.Bandwidth, cfg.Seed)
 	if cfg.Baseline {
 		return triangle.RunBaseline(p, ccfg, triangle.Options{Collect: cfg.Collect})
 	}
@@ -212,7 +229,7 @@ func OpenTriads(p *VertexPartition, cfg TriangleConfig) (*TriangleResult, error)
 	opts := triangle.AlgorithmOptions()
 	opts.Collect = cfg.Collect
 	opts.Triads = true
-	return triangle.Run(p, core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed, Transport: cfg.Transport}, opts)
+	return triangle.Run(p, cfg.coreConfig(p.K, cfg.Bandwidth, cfg.Seed), opts)
 }
 
 // Clique4 is a set of four mutually adjacent vertices, A < B < C < D.
@@ -231,7 +248,7 @@ func Cliques4(p *VertexPartition, cfg TriangleConfig) (*Clique4Result, error) {
 	}
 	opts := triangle.AlgorithmOptions()
 	opts.Collect = cfg.Collect
-	return triangle.RunCliques4(p, core.Config{K: p.K, Bandwidth: cfg.Bandwidth, Seed: cfg.Seed, Transport: cfg.Transport}, opts)
+	return triangle.RunCliques4(p, cfg.coreConfig(p.K, cfg.Bandwidth, cfg.Seed), opts)
 }
 
 // SortResult is the outcome of a distributed sort.
@@ -250,7 +267,7 @@ func SortOver(rc RunConfig, n, k int, bandwidth int, seed uint64) (*SortResult, 
 	if bandwidth == 0 {
 		bandwidth = core.DefaultBandwidth(n)
 	}
-	return dsort.Run(in, core.Config{K: k, Bandwidth: bandwidth, Seed: seed + 1, Transport: rc.Transport}, 0)
+	return dsort.Run(in, rc.coreConfig(k, bandwidth, seed+1), 0)
 }
 
 // ComponentsResult is the outcome of a connectivity run.
@@ -268,7 +285,7 @@ func ConnectedComponentsOver(rc RunConfig, p *VertexPartition, bandwidth int, se
 	if bandwidth == 0 {
 		bandwidth = core.DefaultBandwidth(p.G.N())
 	}
-	return conncomp.Run(p, core.Config{K: p.K, Bandwidth: bandwidth, Seed: seed, Transport: rc.Transport})
+	return conncomp.Run(p, rc.coreConfig(p.K, bandwidth, seed))
 }
 
 // PageRankLowerBound returns Theorem 2's Ω(n/(B·k²)) instantiation of
