@@ -1,0 +1,63 @@
+// Package cliutil holds the small amount of input-construction code
+// shared by the repository's CLIs (cmd/pagerank, cmd/triangles):
+// building a named graph family from flags and partitioning it over the
+// k machines.
+package cliutil
+
+import (
+	"fmt"
+
+	"kmachine"
+)
+
+// GraphSpec names a generated input graph.
+type GraphSpec struct {
+	// Kind is the family: gnp | star | powerlaw | cycle.
+	Kind string
+	// N is the vertex count.
+	N int
+	// P is the G(n,p) edge probability (gnp only).
+	P float64
+	// Directed requests the directed variant (gnp and cycle).
+	Directed bool
+	// Seed drives the generator.
+	Seed uint64
+}
+
+// Build constructs the graph, or an error naming the unknown family.
+func (s GraphSpec) Build() (*kmachine.Graph, error) {
+	switch s.Kind {
+	case "gnp":
+		if s.Directed {
+			return kmachine.DirectedGnp(s.N, s.P, s.Seed), nil
+		}
+		return kmachine.Gnp(s.N, s.P, s.Seed), nil
+	case "star":
+		return kmachine.Star(s.N), nil
+	case "powerlaw":
+		return kmachine.PowerLaw(s.N, 3, s.Seed), nil
+	case "cycle":
+		b := kmachine.NewGraphBuilder(s.N, s.Directed)
+		for i := 0; i < s.N; i++ {
+			b.AddEdge(i, (i+1)%s.N)
+		}
+		return b.Build(), nil
+	default:
+		return nil, fmt.Errorf("unknown -graph %q (families: gnp, star, powerlaw, cycle)", s.Kind)
+	}
+}
+
+// Partition builds the graph and hashes it over k machines with the
+// §1.1 random vertex partition (seeded at Seed+1, the shared CLI
+// convention), or the congested-clique identity partition when clique
+// is set (k = n, Corollary 1).
+func (s GraphSpec) Partition(k int, clique bool) (*kmachine.Graph, *kmachine.VertexPartition, error) {
+	g, err := s.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	if clique {
+		return g, kmachine.CongestedCliquePartition(g), nil
+	}
+	return g, kmachine.RandomVertexPartition(g, k, s.Seed+1), nil
+}

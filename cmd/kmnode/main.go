@@ -1,4 +1,7 @@
 // Command kmnode runs k-machine computations over real TCP sockets.
+// Any algorithm in the registry (kmachine/internal/algo) can run —
+// pagerank, triangle, conncomp, dsort, routing — because the registry
+// erases every algorithm behind the same descriptor interface.
 //
 // Standalone mode starts ONE machine of the cluster in this process;
 // the k processes (possibly on k hosts) find each other through the
@@ -19,60 +22,64 @@
 // Local mode spawns the entire k-machine cluster inside this process,
 // every machine with its own listener and dialer on loopback TCP:
 //
-//	kmnode -local 8 -algo pagerank -n 10000 -p 0.001 -seed 42
+//	kmnode -local 8 -algo conncomp -n 10000 -p 0.001 -seed 42
 //
 // Either way the computation reports the measured round complexity
-// (the paper's T) and, for PageRank, the top-ranked vertices.
+// (the paper's T) plus the algorithm's result summary, and the numbers
+// are bit-identical to the in-process simulator on the same seed.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"strings"
 	"time"
 
+	"kmachine/internal/algo"
+	_ "kmachine/internal/algo/all"
 	"kmachine/internal/core"
-	"kmachine/internal/gen"
-	"kmachine/internal/pagerank"
-	"kmachine/internal/partition"
 	"kmachine/internal/transport/node"
 )
 
 func main() {
 	var (
-		local   = flag.Int("local", 0, "spawn a full k-machine cluster over loopback TCP in this process")
-		id      = flag.Int("id", -1, "this node's machine ID (standalone mode)")
-		k       = flag.Int("k", 0, "cluster size (standalone mode)")
-		listen  = flag.String("listen", "", "listen address, e.g. 127.0.0.1:9000 (standalone mode)")
-		peers   = flag.String("peers", "", "comma-separated k listen addresses in machine-ID order (standalone mode)")
-		algo    = flag.String("algo", "pagerank", "computation to run (pagerank)")
-		n       = flag.Int("n", 10000, "number of vertices")
-		p       = flag.Float64("p", 0.0, "G(n,p) edge probability; 0 means 10/n")
-		seed    = flag.Uint64("seed", 1, "seed for graph, partition, and machine randomness")
-		bw      = flag.Int("bandwidth", 0, "per-link words/round; 0 means DefaultBandwidth(n)")
-		eps     = flag.Float64("eps", 0.15, "PageRank reset probability")
-		top     = flag.Int("top", 5, "how many top-ranked vertices to print")
-		timeout = flag.Duration("dial-timeout", 10*time.Second, "how long to wait for peers to come up")
+		local    = flag.Int("local", 0, "spawn a full k-machine cluster over loopback TCP in this process")
+		id       = flag.Int("id", -1, "this node's machine ID (standalone mode)")
+		k        = flag.Int("k", 0, "cluster size (standalone mode)")
+		listen   = flag.String("listen", "", "listen address, e.g. 127.0.0.1:9000 (standalone mode)")
+		peers    = flag.String("peers", "", "comma-separated k listen addresses in machine-ID order (standalone mode)")
+		algoName = flag.String("algo", "pagerank", "computation to run ("+strings.Join(algo.Names(), "|")+")")
+		list     = flag.Bool("algos", false, "list registered algorithms and exit")
+		n        = flag.Int("n", 10000, "number of vertices (keys for dsort, probes/machine for routing)")
+		p        = flag.Float64("p", 0.0, "G(n,p) edge probability; 0 means 10/n")
+		seed     = flag.Uint64("seed", 1, "seed for graph, partition, and machine randomness")
+		bw       = flag.Int("bandwidth", 0, "per-link words/round; 0 means DefaultBandwidth(n)")
+		eps      = flag.Float64("eps", 0.15, "PageRank reset probability")
+		top      = flag.Int("top", 5, "how many top-ranked vertices to print")
+		timeout  = flag.Duration("dial-timeout", 10*time.Second, "how long to wait for peers to come up")
 	)
 	flag.Parse()
 
-	if *algo != "pagerank" {
-		fatalf("unknown -algo %q (supported: pagerank)", *algo)
+	if *list {
+		for _, e := range algo.Entries() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Doc)
+		}
+		return
 	}
-	if *p == 0 {
-		*p = 10 / float64(*n)
-	}
-	if *bw == 0 {
-		*bw = core.DefaultBandwidth(*n)
+	entry, ok := algo.Lookup(*algoName)
+	if !ok {
+		fatalf("unknown -algo %q (supported: %s)", *algoName, strings.Join(algo.Names(), ", "))
 	}
 
+	prob := algo.Problem{N: *n, EdgeP: *p, Seed: *seed, Bandwidth: *bw, Eps: *eps, Top: *top}
 	switch {
 	case *local >= 2:
-		runLocal(*local, *n, *p, *seed, *bw, *eps, *top)
+		prob.K = *local
+		runLocal(entry, prob)
 	case *id >= 0:
-		runStandalone(*id, *k, *listen, *peers, *n, *p, *seed, *bw, *eps, *top, *timeout)
+		prob.K = *k
+		runStandalone(entry, prob, *id, *listen, *peers, *timeout)
 	default:
 		fmt.Fprintln(os.Stderr, "kmnode: need either -local k, or -id with -k/-listen/-peers")
 		flag.Usage()
@@ -80,107 +87,57 @@ func main() {
 	}
 }
 
-// buildInput deterministically reconstructs the shared input: every
-// node derives the identical graph and random vertex partition from the
-// seed, the model's "input is already partitioned" assumption.
-func buildInput(n int, p float64, k int, seed uint64) *partition.VertexPartition {
-	g := gen.Gnp(n, p, seed)
-	return partition.NewRVP(g, k, seed+1)
-}
-
-func runLocal(k, n int, p float64, seed uint64, bw int, eps float64, top int) {
-	fmt.Printf("kmnode: local cluster, k=%d machines over loopback TCP, n=%d p=%g seed=%d B=%d words/round\n",
-		k, n, p, seed, bw)
-	part := buildInput(n, p, k, seed)
-	opts := pagerank.AlgorithmOne(eps)
-
-	machines := make([]*pagerank.NodeMachine, k)
+func runLocal(entry *algo.Entry, prob algo.Problem) {
+	fmt.Printf("kmnode: local cluster, k=%d machines over loopback TCP, algo=%s n=%d seed=%d\n",
+		prob.K, entry.Name, prob.N, prob.Seed)
 	start := time.Now()
-	stats, err := node.RunLocal(k, bw, seed+2, 0, pagerank.WireCodec(),
-		func(id core.MachineID) core.Machine[pagerank.Wire] {
-			m, err := pagerank.NewNodeMachine(part.View(id), opts)
-			if err != nil {
-				fatalf("machine %d: %v", id, err)
-			}
-			machines[id] = m
-			return m
-		})
+	out, err := entry.RunNodeLocal(prob)
 	if err != nil {
 		fatalf("cluster failed: %v", err)
 	}
-	printStats(stats, time.Since(start))
-
-	merged := make(map[int32]float64, n)
-	for _, m := range machines {
-		for v, est := range m.LocalEstimates() {
-			merged[v] = est
-		}
-	}
-	printTop(merged, top, "cluster-wide")
+	printOutcome(out, time.Since(start))
 }
 
-func runStandalone(id, k int, listen, peerList string, n int, p float64, seed uint64, bw int, eps float64, top int, timeout time.Duration) {
-	if k < 2 || listen == "" || peerList == "" {
+func runStandalone(entry *algo.Entry, prob algo.Problem, id int, listen, peerList string, timeout time.Duration) {
+	if prob.K < 2 || listen == "" || peerList == "" {
 		fatalf("standalone mode needs -k >= 2, -listen, and -peers")
 	}
 	peers := strings.Split(peerList, ",")
-	if len(peers) != k {
-		fatalf("-peers lists %d addresses, want k=%d", len(peers), k)
+	if len(peers) != prob.K {
+		fatalf("-peers lists %d addresses, want k=%d", len(peers), prob.K)
 	}
-	fmt.Printf("kmnode: machine %d/%d on %s, n=%d p=%g seed=%d B=%d words/round\n",
-		id, k, listen, n, p, seed, bw)
+	fmt.Printf("kmnode: machine %d/%d on %s, algo=%s n=%d seed=%d\n",
+		id, prob.K, listen, entry.Name, prob.N, prob.Seed)
 
-	part := buildInput(n, p, k, seed)
-	m, err := pagerank.NewNodeMachine(part.View(core.MachineID(id)), pagerank.AlgorithmOne(eps))
-	if err != nil {
-		fatalf("%v", err)
-	}
 	start := time.Now()
-	stats, err := node.Run(node.Config{
-		ID: id, K: k,
+	out, err := entry.RunStandalone(prob, node.Config{
+		ID:          id,
 		ListenAddr:  listen,
 		Peers:       peers,
-		Bandwidth:   bw,
-		Seed:        seed + 2,
 		DialTimeout: timeout,
-	}, m, pagerank.WireCodec())
+	})
 	if err != nil {
 		fatalf("machine %d failed: %v", id, err)
 	}
-	if stats != nil {
-		printStats(stats, time.Since(start))
+	printOutcome(out, time.Since(start))
+}
+
+func printOutcome(out *algo.Outcome, wall time.Duration) {
+	if out.Stats != nil {
+		printStats(out.Stats, wall)
 	}
-	printTop(m.LocalEstimates(), top, fmt.Sprintf("machine %d's", id))
+	for _, line := range out.Summary {
+		fmt.Println(line)
+	}
+	if out.Hash != 0 {
+		fmt.Printf("output hash %016x\n", out.Hash)
+	}
 }
 
 func printStats(s *core.Stats, wall time.Duration) {
 	fmt.Printf("done in %v wall clock\n", wall.Round(time.Millisecond))
 	fmt.Printf("rounds=%d supersteps=%d messages=%d words=%d maxRecvWords=%d\n",
 		s.Rounds, s.Supersteps, s.Messages, s.Words, s.MaxRecvWords)
-}
-
-func printTop(est map[int32]float64, top int, who string) {
-	type ve struct {
-		v int32
-		e float64
-	}
-	ranked := make([]ve, 0, len(est))
-	for v, e := range est {
-		ranked = append(ranked, ve{v, e})
-	}
-	sort.Slice(ranked, func(i, j int) bool {
-		if ranked[i].e != ranked[j].e {
-			return ranked[i].e > ranked[j].e
-		}
-		return ranked[i].v < ranked[j].v
-	})
-	if top > len(ranked) {
-		top = len(ranked)
-	}
-	fmt.Printf("%s top %d vertices by PageRank estimate:\n", who, top)
-	for _, r := range ranked[:top] {
-		fmt.Printf("  v%-8d %.6f\n", r.v, r.e)
-	}
 }
 
 func fatalf(format string, args ...any) {

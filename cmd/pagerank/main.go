@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"kmachine"
+	"kmachine/cmd/internal/cliutil"
 	"kmachine/internal/graph"
 )
 
@@ -29,26 +30,13 @@ func main() {
 	baseline := flag.Bool("baseline", false, "run the Õ(n/k) conversion baseline instead of Algorithm 1")
 	flag.Parse()
 
-	var g *kmachine.Graph
-	switch *graphKind {
-	case "gnp":
-		g = kmachine.DirectedGnp(*n, *deg/float64(*n), *seed)
-	case "star":
-		g = kmachine.Star(*n)
-	case "powerlaw":
-		g = kmachine.PowerLaw(*n, 3, *seed)
-	case "cycle":
-		b := kmachine.NewGraphBuilder(*n, true)
-		for i := 0; i < *n; i++ {
-			b.AddEdge(i, (i+1)%*n)
-		}
-		g = b.Build()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -graph %q\n", *graphKind)
+	spec := cliutil.GraphSpec{Kind: *graphKind, N: *n, P: *deg / float64(*n), Directed: true, Seed: *seed}
+	g, p, err := spec.Partition(*k, false)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 
-	p := kmachine.RandomVertexPartition(g, *k, *seed+1)
 	res, err := kmachine.PageRank(p, kmachine.PageRankConfig{
 		Eps: *eps, Seed: *seed + 2, Baseline: *baseline,
 	})

@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"kmachine"
+	"kmachine/cmd/internal/cliutil"
 )
 
 func main() {
@@ -31,14 +32,15 @@ func main() {
 	cliques4 := flag.Bool("cliques4", false, "enumerate 4-cliques (the §1.2 generalization)")
 	flag.Parse()
 
-	g := kmachine.Gnp(*n, *p, *seed)
-	var part *kmachine.VertexPartition
+	spec := cliutil.GraphSpec{Kind: "gnp", N: *n, P: *p, Seed: *seed}
+	g, part, err := spec.Partition(*k, *clique)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	kk := *k
 	if *clique {
-		part = kmachine.CongestedCliquePartition(g)
 		kk = g.N()
-	} else {
-		part = kmachine.RandomVertexPartition(g, *k, *seed+1)
 	}
 
 	cfg := kmachine.TriangleConfig{Seed: *seed + 2, Baseline: *baseline}
@@ -62,7 +64,6 @@ func main() {
 	}
 
 	var res *kmachine.TriangleResult
-	var err error
 	var want int64
 	mode := "color-partition algorithm (Õ(m/k^{5/3}+n/k^{4/3}), Thm 5)"
 	switch {

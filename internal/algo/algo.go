@@ -1,0 +1,169 @@
+// Package algo is the unified algorithm driver of the k-machine
+// simulator: one descriptor type and one execution path shared by every
+// distributed algorithm in the repository.
+//
+// The paper's model (§1.1) is a single substrate — k machines, pairwise
+// links, bandwidth-charged rounds — and the conversion theorems it
+// builds on (Klauck et al., arXiv:1311.6209) are precisely about the
+// substrate-independence of k-machine computations. This package makes
+// that independence structural: an algorithm is described ONCE as an
+// Algorithm value (name, wire codec, per-machine factory from a
+// partition.View, local-output extraction, cross-machine merge) and the
+// generic driver runs it on any substrate —
+//
+//   - Run / Exec: the in-process cluster (core.Cluster) over any
+//     transport.Kind (loopback or real TCP sockets);
+//   - NodeRunLocal: the standalone node runtime (transport/node), every
+//     machine with its own listener+dialer over loopback TCP in one
+//     process (cmd/kmnode -local);
+//   - NodeRun: ONE machine of a multi-process cluster (cmd/kmnode -id),
+//     peers living in other processes.
+//
+// All cost accounting happens in core before envelopes reach a
+// transport, so a descriptor's Stats and outputs are bit-identical on
+// every substrate — the registry test suite asserts exactly that for
+// every registered algorithm.
+//
+// The registry half of the package (registry.go) erases the generic
+// types behind a name-keyed Entry table so CLIs and table-driven tests
+// can enumerate algorithms without knowing their message types.
+package algo
+
+import (
+	"fmt"
+
+	"kmachine/internal/core"
+	"kmachine/internal/partition"
+	"kmachine/internal/transport/node"
+	"kmachine/internal/transport/wire"
+)
+
+// Machine is one participant of a distributed algorithm: a core.Machine
+// that can additionally report its share of the output after the run.
+// M is the envelope payload type, L the machine-local output type.
+type Machine[M, L any] interface {
+	core.Machine[M]
+	// Output returns this machine's share of the result. It is called
+	// once, after the run completes; the returned value may alias
+	// machine state.
+	Output() L
+}
+
+// Algorithm describes one distributed algorithm to the generic driver.
+// M is the envelope payload, L the machine-local output, O the merged
+// cluster-wide output.
+type Algorithm[M, L, O any] struct {
+	// Name identifies the algorithm in errors and registry listings.
+	Name string
+	// Codec serialises envelope payloads for substrates that cross
+	// process or socket boundaries (transport/tcp, transport/node); the
+	// in-memory loopback ignores it.
+	Codec wire.Codec[M]
+	// NewMachine builds machine view.Self()'s state. Every substrate
+	// calls it the same way, so a machine's behaviour cannot depend on
+	// where it runs.
+	NewMachine func(view *partition.View) (Machine[M, L], error)
+	// Merge folds the k machine-local outputs (in machine-ID order)
+	// into the cluster-wide output.
+	Merge func(locals []L) O
+}
+
+// Run executes the algorithm over the partitioned input on an
+// in-process cluster, resolving cfg.Transport with the descriptor's
+// codec. It returns the merged output and the measured Stats.
+func Run[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, cfg core.Config) (O, *core.Stats, error) {
+	var zero O
+	if cfg.K != p.K {
+		return zero, nil, fmt.Errorf("%s: cluster k=%d but partition k=%d", a.Name, cfg.K, p.K)
+	}
+	return Exec(cfg, a.Codec, func(id core.MachineID) (Machine[M, L], error) {
+		return a.NewMachine(p.View(id))
+	}, a.Merge)
+}
+
+// Exec is the substrate-owning driver tail shared by every algorithm's
+// Run function: build the k machines (in machine-ID order, exactly like
+// core.NewCluster's factory contract), resolve cfg.Transport, run to
+// quiescence, then extract and merge the machine-local outputs. It
+// exists separately from Run for algorithms whose input is not a vertex
+// partition (dsort's key lists, routing's synthetic workloads).
+func Exec[M, L, O any](cfg core.Config, codec wire.Codec[M], build func(core.MachineID) (Machine[M, L], error), merge func([]L) O) (O, *core.Stats, error) {
+	var zero O
+	machines, err := buildMachines(cfg.K, build)
+	if err != nil {
+		return zero, nil, err
+	}
+	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[M] {
+		return machines[id]
+	})
+	stats, err := core.RunOver(cluster, codec)
+	if err != nil {
+		return zero, nil, err
+	}
+	return mergeOutputs(machines, merge), stats, nil
+}
+
+// NodeRunLocal executes the algorithm over the standalone node runtime:
+// the full k-machine cluster in this process, every machine with its
+// own listener and dialer on loopback TCP and the coordinator-driven
+// superstep protocol of transport/node (cmd/kmnode -local). Outputs and
+// Stats are bit-identical to Run on the same inputs.
+func NodeRunLocal[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, bandwidth int, seed uint64) (O, *core.Stats, error) {
+	var zero O
+	machines, err := buildMachines(p.K, func(id core.MachineID) (Machine[M, L], error) {
+		return a.NewMachine(p.View(id))
+	})
+	if err != nil {
+		return zero, nil, err
+	}
+	stats, err := node.RunLocal(p.K, bandwidth, seed, 0, a.Codec, func(id core.MachineID) core.Machine[M] {
+		return machines[id]
+	})
+	if err != nil {
+		return zero, nil, err
+	}
+	return mergeOutputs(machines, a.Merge), stats, nil
+}
+
+// NodeRun executes ONE machine of the algorithm's cluster in this
+// process (cmd/kmnode -id); the peers live in other processes and are
+// reached through ncfg. It returns the machine-local output — every
+// process of the run reconstructs the same partition from the shared
+// seed, and the union of the k local outputs is the Run output.
+func NodeRun[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, ncfg node.Config) (L, *core.Stats, error) {
+	var zero L
+	m, err := a.NewMachine(p.View(core.MachineID(ncfg.ID)))
+	if err != nil {
+		return zero, nil, err
+	}
+	stats, err := node.Run(ncfg, m, a.Codec)
+	if err != nil {
+		return zero, nil, err
+	}
+	return m.Output(), stats, nil
+}
+
+// buildMachines constructs the k machines sequentially in machine-ID
+// order — the shared construction contract of every substrate, and the
+// reason a factory error can surface before any cluster is built.
+func buildMachines[M, L any](k int, build func(core.MachineID) (Machine[M, L], error)) ([]Machine[M, L], error) {
+	machines := make([]Machine[M, L], k)
+	for i := 0; i < k; i++ {
+		m, err := build(core.MachineID(i))
+		if err != nil {
+			return nil, err
+		}
+		machines[i] = m
+	}
+	return machines, nil
+}
+
+// mergeOutputs extracts the machine-local outputs in machine-ID order
+// and folds them.
+func mergeOutputs[M, L, O any](machines []Machine[M, L], merge func([]L) O) O {
+	locals := make([]L, len(machines))
+	for i, m := range machines {
+		locals[i] = m.Output()
+	}
+	return merge(locals)
+}

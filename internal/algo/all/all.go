@@ -1,0 +1,14 @@
+// Package all populates the algorithm registry: blank-importing it
+// links every algorithm package and runs their init() registrations.
+// CLIs and table-driven tests that enumerate algo.Names() import this
+// package instead of naming the algorithm packages one by one — adding
+// a future algorithm (MST, BFS, ...) to the registry is one line here.
+package all
+
+import (
+	_ "kmachine/internal/conncomp"
+	_ "kmachine/internal/dsort"
+	_ "kmachine/internal/pagerank"
+	_ "kmachine/internal/routing"
+	_ "kmachine/internal/triangle"
+)

@@ -1,0 +1,261 @@
+package algo
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"kmachine/internal/core"
+	"kmachine/internal/partition"
+	"kmachine/internal/transport"
+	"kmachine/internal/transport/node"
+)
+
+// Problem is the standard seed-derived instance every registered
+// algorithm runs on: the model's assumption that "the input is already
+// partitioned when the computation starts" is realised by every process
+// of a run rebuilding the identical graph, partition, and derived
+// inputs from the shared seed — no input-distribution round is needed
+// (cmd/kmnode relies on this, and so does the cross-substrate test
+// suite).
+type Problem struct {
+	// N is the number of vertices (and, for dsort, keys; for routing,
+	// messages per machine).
+	N int
+	// EdgeP is the G(n,p) edge probability; 0 means 10/N.
+	EdgeP float64
+	// K is the number of machines.
+	K int
+	// Seed derives everything: the graph (Seed), the vertex partition
+	// (Seed+1), and the machine random streams (Seed+2) — the same
+	// convention on every substrate.
+	Seed uint64
+	// Bandwidth is the per-link words/round; 0 means DefaultBandwidth(N).
+	Bandwidth int
+	// Eps is the PageRank reset probability; 0 means 0.15.
+	Eps float64
+	// Top bounds summary listings (top-ranked vertices etc.); 0 means 5.
+	Top int
+}
+
+// withDefaults resolves the zero-value conventions.
+func (prob Problem) withDefaults() Problem {
+	if prob.EdgeP == 0 {
+		prob.EdgeP = 10 / float64(prob.N)
+	}
+	if prob.Bandwidth == 0 {
+		prob.Bandwidth = core.DefaultBandwidth(prob.N)
+	}
+	if prob.Eps == 0 {
+		prob.Eps = 0.15
+	}
+	if prob.Top == 0 {
+		prob.Top = 5
+	}
+	return prob
+}
+
+// coreConfig is the in-process cluster configuration of a problem: the
+// machine streams draw from Seed+2 on every substrate.
+func (prob Problem) coreConfig(kind transport.Kind) core.Config {
+	return core.Config{K: prob.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2, Transport: kind}
+}
+
+// Outcome is the substrate-agnostic report of one registry run.
+type Outcome struct {
+	// Algo is the registered name.
+	Algo string
+	// Stats is the measured communication profile. For standalone runs
+	// it is the cluster-wide Stats shipped by the coordinator.
+	Stats *core.Stats
+	// Hash is the canonical FNV-1a hash of the merged output — the
+	// quantity the cross-substrate equivalence suite compares. Zero for
+	// standalone single-machine runs, which only hold a share of the
+	// output.
+	Hash uint64
+	// Summary holds human-readable result lines (kmnode prints them).
+	Summary []string
+}
+
+// Spec binds an Algorithm descriptor to the standard Problem instance,
+// with the output hashing and summarising the erased registry needs.
+type Spec[M, L, O any] struct {
+	// Name keys the registry ("pagerank", "triangle", ...).
+	Name string
+	// Doc is a one-line description for listings.
+	Doc string
+	// Build derives the descriptor and its input partition from the
+	// problem. It must be deterministic in prob: every process of a
+	// distributed run calls it with identical arguments.
+	Build func(prob Problem) (Algorithm[M, L, O], *partition.VertexPartition, error)
+	// Hash canonically hashes the merged output (order-independent of
+	// machine layout, dependent on every output bit).
+	Hash func(o O) uint64
+	// Summarize renders the merged output; top bounds listings.
+	Summarize func(o O, top int) []string
+	// SummarizeLocal renders one machine's local output (standalone
+	// kmnode, which never sees the merged result).
+	SummarizeLocal func(l L, top int) []string
+}
+
+// Entry is the type-erased registry row: the three substrate runners of
+// one registered algorithm, enumerable without knowing its generic
+// types.
+type Entry struct {
+	// Name and Doc mirror the Spec.
+	Name string
+	Doc  string
+
+	run           func(prob Problem, kind transport.Kind) (*Outcome, error)
+	runNodeLocal  func(prob Problem) (*Outcome, error)
+	runStandalone func(prob Problem, ncfg node.Config) (*Outcome, error)
+}
+
+// Run executes the algorithm on an in-process cluster over the given
+// transport kind (loopback or TCP sockets).
+func (e *Entry) Run(prob Problem, kind transport.Kind) (*Outcome, error) {
+	return e.run(prob, kind)
+}
+
+// RunNodeLocal executes the algorithm over the standalone node runtime,
+// all k machines in this process on loopback TCP (kmnode -local).
+func (e *Entry) RunNodeLocal(prob Problem) (*Outcome, error) {
+	return e.runNodeLocal(prob)
+}
+
+// RunStandalone executes ONE machine of the algorithm's cluster in this
+// process; peers live in other processes (kmnode -id). The outcome
+// carries the machine-local summary and the cluster-wide Stats.
+func (e *Entry) RunStandalone(prob Problem, ncfg node.Config) (*Outcome, error) {
+	return e.runStandalone(prob, ncfg)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]*Entry{}
+)
+
+// Register installs a Spec in the name-keyed registry. Algorithm
+// packages call it from init(); importing kmachine/internal/algo/all
+// (or any of the packages directly) populates the table. Duplicate
+// names panic — they indicate two packages claiming one identity.
+func Register[M, L, O any](s Spec[M, L, O]) {
+	if s.Name == "" || s.Build == nil || s.Hash == nil {
+		panic("algo: Register needs Name, Build, and Hash")
+	}
+	e := &Entry{
+		Name: s.Name,
+		Doc:  s.Doc,
+		run: func(prob Problem, kind transport.Kind) (*Outcome, error) {
+			prob = prob.withDefaults()
+			a, p, err := s.Build(prob)
+			if err != nil {
+				return nil, err
+			}
+			out, stats, err := Run(a, p, prob.coreConfig(kind))
+			if err != nil {
+				return nil, err
+			}
+			return s.outcome(out, stats, prob), nil
+		},
+		runNodeLocal: func(prob Problem) (*Outcome, error) {
+			prob = prob.withDefaults()
+			a, p, err := s.Build(prob)
+			if err != nil {
+				return nil, err
+			}
+			out, stats, err := NodeRunLocal(a, p, prob.Bandwidth, prob.Seed+2)
+			if err != nil {
+				return nil, err
+			}
+			return s.outcome(out, stats, prob), nil
+		},
+		runStandalone: func(prob Problem, ncfg node.Config) (*Outcome, error) {
+			prob = prob.withDefaults()
+			a, p, err := s.Build(prob)
+			if err != nil {
+				return nil, err
+			}
+			ncfg.K = p.K
+			ncfg.Bandwidth = prob.Bandwidth
+			ncfg.Seed = prob.Seed + 2
+			local, stats, err := NodeRun(a, p, ncfg)
+			if err != nil {
+				return nil, err
+			}
+			o := &Outcome{Algo: s.Name, Stats: stats}
+			if s.SummarizeLocal != nil {
+				o.Summary = s.SummarizeLocal(local, prob.Top)
+			}
+			return o, nil
+		},
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("algo: duplicate registration of %q", s.Name))
+	}
+	registry[s.Name] = e
+}
+
+func (s Spec[M, L, O]) outcome(out O, stats *core.Stats, prob Problem) *Outcome {
+	o := &Outcome{Algo: s.Name, Stats: stats, Hash: s.Hash(out)}
+	if s.Summarize != nil {
+		o.Summary = s.Summarize(out, prob.Top)
+	}
+	return o
+}
+
+// Lookup returns the entry registered under name.
+func Lookup(name string) (*Entry, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names returns the registered algorithm names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Entries returns the registered entries in Names() order.
+func Entries() []*Entry {
+	names := Names()
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]*Entry, 0, len(names))
+	for _, n := range names {
+		if e, ok := registry[n]; ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Hash64 accumulates a canonical FNV-1a hash over a stream of 64-bit
+// words — the shared output-hash primitive of the registry Specs, so
+// every algorithm's hash is comparable across substrates and runs.
+type Hash64 struct{ sum uint64 }
+
+// NewHash64 returns a hasher at the FNV-1a offset basis.
+func NewHash64() *Hash64 { return &Hash64{sum: 14695981039346656037} }
+
+// Add folds one 64-bit word, little-endian byte order.
+func (h *Hash64) Add(x uint64) {
+	const prime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h.sum ^= uint64(byte(x >> (8 * i)))
+		h.sum *= prime
+	}
+}
+
+// Sum returns the accumulated hash.
+func (h *Hash64) Sum() uint64 { return h.sum }

@@ -1,0 +1,179 @@
+package algo
+
+import (
+	"testing"
+
+	"kmachine/internal/core"
+	"kmachine/internal/graph"
+	"kmachine/internal/partition"
+	"kmachine/internal/transport"
+	"kmachine/internal/transport/wire"
+)
+
+// The algo package itself registers nothing (algorithm packages do, in
+// their init), so this test file owns the registry contents and can
+// exercise Register/Lookup/Names against a toy echo algorithm end to
+// end — including the substrate runners, without depending on any real
+// algorithm package (which would be an import cycle).
+
+type echoMsg struct{ X int64 }
+
+type echoCodec struct{}
+
+func (echoCodec) Append(dst []byte, m echoMsg) ([]byte, error) {
+	return wire.AppendVarint(dst, m.X), nil
+}
+
+func (echoCodec) Decode(src []byte) (echoMsg, int, error) {
+	v, n, err := wire.Varint(src)
+	return echoMsg{X: v}, n, err
+}
+
+// echoMachine sends its ID to the next machine in superstep 0 and
+// records what it receives.
+type echoMachine struct {
+	self core.MachineID
+	got  int64
+}
+
+func (m *echoMachine) Step(ctx *core.StepContext, inbox []core.Envelope[echoMsg]) ([]core.Envelope[echoMsg], bool) {
+	for _, e := range inbox {
+		m.got += e.Msg.X
+	}
+	if ctx.Superstep > 0 {
+		return nil, true
+	}
+	return []core.Envelope[echoMsg]{{
+		To:    core.MachineID((int(m.self) + 1) % ctx.K),
+		Words: 1,
+		Msg:   echoMsg{X: int64(m.self) + 1},
+	}}, true
+}
+
+func (m *echoMachine) Output() int64 { return m.got }
+
+func echoDescriptor() Algorithm[echoMsg, int64, int64] {
+	return Algorithm[echoMsg, int64, int64]{
+		Name:  "echo",
+		Codec: echoCodec{},
+		NewMachine: func(view *partition.View) (Machine[echoMsg, int64], error) {
+			return &echoMachine{self: view.Self()}, nil
+		},
+		Merge: func(locals []int64) int64 {
+			var sum int64
+			for _, l := range locals {
+				sum += l
+			}
+			return sum
+		},
+	}
+}
+
+func init() {
+	Register(Spec[echoMsg, int64, int64]{
+		Name: "echo",
+		Doc:  "test-only ring echo",
+		Build: func(prob Problem) (Algorithm[echoMsg, int64, int64], *partition.VertexPartition, error) {
+			g := graph.NewBuilder(prob.N, false).Build()
+			return echoDescriptor(), partition.NewRVP(g, prob.K, prob.Seed+1), nil
+		},
+		Hash: func(sum int64) uint64 {
+			h := NewHash64()
+			h.Add(uint64(sum))
+			return h.Sum()
+		},
+	})
+}
+
+func TestRegistryLookupAndNames(t *testing.T) {
+	names := Names()
+	found := false
+	for _, n := range names {
+		if n == "echo" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("Names() = %v, missing echo", names)
+	}
+	if _, ok := Lookup("echo"); !ok {
+		t.Fatal("Lookup(echo) failed")
+	}
+	if _, ok := Lookup("no-such-algorithm"); ok {
+		t.Fatal("Lookup invented an algorithm")
+	}
+	entries := Entries()
+	if len(entries) != len(names) {
+		t.Fatalf("Entries() returned %d rows, Names() %d", len(entries), len(names))
+	}
+}
+
+func TestEchoAcrossSubstrates(t *testing.T) {
+	entry, _ := Lookup("echo")
+	prob := Problem{N: 64, K: 5, Seed: 3}
+
+	mem, err := entry.Run(prob, transport.InMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The ring sends 1+2+...+k once around: the sum of deliveries is
+	// k(k+1)/2.
+	wantHash := func() uint64 {
+		h := NewHash64()
+		h.Add(uint64(5 * 6 / 2))
+		return h.Sum()
+	}()
+	if mem.Hash != wantHash {
+		t.Errorf("inmem hash %016x, want %016x", mem.Hash, wantHash)
+	}
+
+	tcp, err := entry.Run(prob, transport.TCP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodeOut, err := entry.RunNodeLocal(prob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, o := range map[string]*Outcome{"tcp": tcp, "node": nodeOut} {
+		if o.Hash != mem.Hash {
+			t.Errorf("%s hash %016x, inmem %016x", label, o.Hash, mem.Hash)
+		}
+		if o.Stats.Rounds != mem.Stats.Rounds || o.Stats.Words != mem.Stats.Words {
+			t.Errorf("%s stats (rounds=%d words=%d), inmem (rounds=%d words=%d)",
+				label, o.Stats.Rounds, o.Stats.Words, mem.Stats.Rounds, mem.Stats.Words)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(Spec[echoMsg, int64, int64]{
+		Name: "echo",
+		Build: func(Problem) (Algorithm[echoMsg, int64, int64], *partition.VertexPartition, error) {
+			return echoDescriptor(), nil, nil
+		},
+		Hash: func(int64) uint64 { return 0 },
+	})
+}
+
+func TestHash64Canonical(t *testing.T) {
+	a, b := NewHash64(), NewHash64()
+	a.Add(1)
+	a.Add(2)
+	b.Add(1)
+	b.Add(2)
+	if a.Sum() != b.Sum() {
+		t.Error("same stream, different sums")
+	}
+	c := NewHash64()
+	c.Add(2)
+	c.Add(1)
+	if c.Sum() == a.Sum() {
+		t.Error("order-swapped stream collided")
+	}
+}

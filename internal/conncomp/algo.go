@@ -1,0 +1,84 @@
+package conncomp
+
+import (
+	"fmt"
+
+	"kmachine/internal/algo"
+	"kmachine/internal/gen"
+	"kmachine/internal/partition"
+)
+
+// Local is one machine's share of a connectivity output: the converged
+// labels of its locally homed vertices plus its phase count.
+type Local struct {
+	// Label maps each locally homed vertex to the minimum vertex ID of
+	// its component.
+	Label map[int32]int32
+	// Phases is the number of label-propagation phases this machine ran.
+	Phases int
+}
+
+// Output implements algo.Machine.
+func (m *ccMachine) Output() Local {
+	return Local{Label: m.label, Phases: m.phase}
+}
+
+// Descriptor returns the algo-layer descriptor of a connectivity run
+// over an n-vertex input.
+func Descriptor(n int) algo.Algorithm[Wire, Local, *Result] {
+	return algo.Algorithm[Wire, Local, *Result]{
+		Name:  "conncomp",
+		Codec: WireCodec(),
+		NewMachine: func(view *partition.View) (algo.Machine[Wire, Local], error) {
+			return newCCMachine(view), nil
+		},
+		Merge: func(locals []Local) *Result {
+			res := &Result{Label: make([]int32, n)}
+			distinct := map[int32]bool{}
+			for _, l := range locals {
+				if l.Phases > res.Phases {
+					res.Phases = l.Phases
+				}
+				for v, lbl := range l.Label {
+					res.Label[v] = lbl
+					distinct[lbl] = true
+				}
+			}
+			res.Components = len(distinct)
+			return res
+		},
+	}
+}
+
+func init() {
+	algo.Register(algo.Spec[Wire, Local, *Result]{
+		Name: "conncomp",
+		Doc:  "connected components by min-label propagation (§1.3 cookbook, Ω̃(n/k²) via GLBT)",
+		Build: func(prob algo.Problem) (algo.Algorithm[Wire, Local, *Result], *partition.VertexPartition, error) {
+			g := gen.Gnp(prob.N, prob.EdgeP, prob.Seed)
+			p := partition.NewRVP(g, prob.K, prob.Seed+1)
+			return Descriptor(prob.N), p, nil
+		},
+		Hash: func(r *Result) uint64 {
+			h := algo.NewHash64()
+			for _, l := range r.Label {
+				h.Add(uint64(uint32(l)))
+			}
+			h.Add(uint64(r.Components))
+			h.Add(uint64(r.Phases))
+			return h.Sum()
+		},
+		Summarize: func(r *Result, top int) []string {
+			return []string{fmt.Sprintf("conncomp: %d components over %d vertices in %d phases",
+				r.Components, len(r.Label), r.Phases)}
+		},
+		SummarizeLocal: func(l Local, top int) []string {
+			distinct := map[int32]bool{}
+			for _, lbl := range l.Label {
+				distinct[lbl] = true
+			}
+			return []string{fmt.Sprintf("conncomp: this machine labels %d vertices with %d distinct component labels (%d phases)",
+				len(l.Label), len(distinct), l.Phases)}
+		},
+	})
+}

@@ -19,9 +19,9 @@
 package conncomp
 
 import (
-	"fmt"
 	"slices"
 
+	"kmachine/internal/algo"
 	"kmachine/internal/core"
 	"kmachine/internal/partition"
 	"kmachine/internal/routing"
@@ -209,32 +209,13 @@ type Result struct {
 	Stats *core.Stats
 }
 
-// Run computes connected components over the partitioned graph.
+// Run computes connected components over the partitioned graph,
+// routing through the generic internal/algo driver.
 func Run(p *partition.VertexPartition, cfg core.Config) (*Result, error) {
-	if cfg.K != p.K {
-		return nil, fmt.Errorf("conncomp: cluster k=%d but partition k=%d", cfg.K, p.K)
-	}
-	machines := make([]*ccMachine, cfg.K)
-	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[wire] {
-		m := newCCMachine(p.View(id))
-		machines[id] = m
-		return m
-	})
-	stats, err := core.RunOver(cluster, WireCodec())
+	res, stats, err := algo.Run(Descriptor(p.G.N()), p, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Label: make([]int32, p.G.N()), Stats: stats}
-	distinct := map[int32]bool{}
-	for _, m := range machines {
-		if m.phase > res.Phases {
-			res.Phases = m.phase
-		}
-		for v, l := range m.label {
-			res.Label[v] = l
-			distinct[l] = true
-		}
-	}
-	res.Components = len(distinct)
+	res.Stats = stats
 	return res, nil
 }

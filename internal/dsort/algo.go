@@ -1,0 +1,99 @@
+package dsort
+
+import (
+	"fmt"
+
+	"kmachine/internal/algo"
+	"kmachine/internal/graph"
+	"kmachine/internal/partition"
+)
+
+// Local is one machine's share of a sort output: its final sorted block
+// of order statistics plus its rebalance traffic.
+type Local struct {
+	// Block is this machine's sorted block.
+	Block []uint64
+	// Rebalanced counts keys this machine forwarded in the
+	// exact-rebalance phase.
+	Rebalanced int64
+}
+
+// Output implements algo.Machine.
+func (m *sortMachine) Output() Local {
+	return Local{Block: m.final, Rebalanced: m.rebal}
+}
+
+// Descriptor returns the algo-layer descriptor of a distributed sort of
+// the given input. The partition.View only supplies the machine
+// identity — a sort input is a key multiset, not a graph — so any
+// partition with K = len(in.Keys) drives it; the registry uses an
+// edgeless placeholder graph.
+func Descriptor(in *Input, samplesPerMachine int) (algo.Algorithm[Wire, Local, *Result], error) {
+	k := len(in.Keys)
+	n, samplesPerMachine, err := resolveInput(in, samplesPerMachine)
+	if err != nil {
+		return algo.Algorithm[Wire, Local, *Result]{}, err
+	}
+	return algo.Algorithm[Wire, Local, *Result]{
+		Name:  "dsort",
+		Codec: WireCodec(),
+		NewMachine: func(view *partition.View) (algo.Machine[Wire, Local], error) {
+			if view.K() != k {
+				return nil, fmt.Errorf("dsort: cluster k=%d but input has %d machines", view.K(), k)
+			}
+			return newSortMachine(view.Self(), in, n, k, samplesPerMachine), nil
+		},
+		Merge: mergeLocals,
+	}, nil
+}
+
+func init() {
+	algo.Register(algo.Spec[Wire, Local, *Result]{
+		Name: "dsort",
+		Doc:  "distributed sample sort of n random keys (§1.3, Õ(n/k²) matching the GLBT)",
+		Build: func(prob algo.Problem) (algo.Algorithm[Wire, Local, *Result], *partition.VertexPartition, error) {
+			// The sort input is prob.N keys dealt uniformly from the
+			// seed; the partition exists only to satisfy the driver's
+			// view plumbing, so it covers an edgeless graph.
+			in := RandomInput(prob.N, prob.K, prob.Seed, UniformKeys)
+			a, err := Descriptor(in, 0)
+			if err != nil {
+				return a, nil, err
+			}
+			g := graph.NewBuilder(prob.N, false).Build()
+			return a, partition.NewRVP(g, prob.K, prob.Seed+1), nil
+		},
+		Hash: func(r *Result) uint64 {
+			h := algo.NewHash64()
+			for _, blk := range r.Blocks {
+				h.Add(uint64(len(blk)))
+				for _, key := range blk {
+					h.Add(key)
+				}
+			}
+			h.Add(uint64(r.RebalancedKeys))
+			return h.Sum()
+		},
+		Summarize: func(r *Result, top int) []string {
+			total, minB, maxB := 0, -1, 0
+			for _, blk := range r.Blocks {
+				total += len(blk)
+				if minB < 0 || len(blk) < minB {
+					minB = len(blk)
+				}
+				if len(blk) > maxB {
+					maxB = len(blk)
+				}
+			}
+			return []string{fmt.Sprintf("dsort: %d keys into %d exact blocks (sizes %d..%d), %d keys rebalanced",
+				total, len(r.Blocks), minB, maxB, r.RebalancedKeys)}
+		},
+		SummarizeLocal: func(l Local, top int) []string {
+			line := fmt.Sprintf("dsort: this machine holds %d order statistics", len(l.Block))
+			if len(l.Block) > 0 {
+				line += fmt.Sprintf(" [%d .. %d]", l.Block[0], l.Block[len(l.Block)-1])
+			}
+			return []string{line}
+		},
+	})
+}

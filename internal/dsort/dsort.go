@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"slices"
 
+	"kmachine/internal/algo"
 	"kmachine/internal/core"
 	"kmachine/internal/rng"
 	"kmachine/internal/routing"
@@ -304,49 +305,70 @@ func blockBounds(n, k int) []int64 {
 	return b
 }
 
+// newSortMachine builds machine id's state from the shared input — the
+// construction every substrate uses.
+func newSortMachine(id core.MachineID, in *Input, n, k, samplesPerMachine int) *sortMachine {
+	m := &sortMachine{k: k, n: n, samplesPer: samplesPerMachine, keys: in.Keys[id]}
+	// Presize the working buffers to the phase maxima (whp): the
+	// run is only ~7 supersteps, too few to amortise append-growth
+	// chains, and these caps make the big phases allocation-flat.
+	// Capacities only — contents and behaviour are unchanged.
+	sz := len(in.Keys[id]) + k
+	if bc := (k-1)*samplesPerMachine + k; bc > sz {
+		sz = bc // phase 1 broadcasts (k-1)·samplesPer sample envelopes
+	}
+	m.outBuf = make([]core.Envelope[wire], 0, sz)
+	m.delivBuf = make([]smsg, 0, sz)
+	m.samples = make([]uint64, 0, k*samplesPerMachine)
+	m.bucket = make([]uint64, 0, sz)
+	m.final = make([]uint64, 0, sz)
+	return m
+}
+
 // Run sorts the input across k machines. cfg.K must equal len(in.Keys).
+// The input is not a vertex partition, so Run drives the generic
+// internal/algo tail (algo.Exec) directly with a keys-closing factory.
 func Run(in *Input, cfg core.Config, samplesPerMachine int) (*Result, error) {
 	k := len(in.Keys)
 	if cfg.K != k {
 		return nil, fmt.Errorf("dsort: cluster k=%d but input has %d machines", cfg.K, k)
 	}
-	n := 0
+	n, samplesPerMachine, err := resolveInput(in, samplesPerMachine)
+	if err != nil {
+		return nil, err
+	}
+	res, stats, err := algo.Exec(cfg, WireCodec(),
+		func(id core.MachineID) (algo.Machine[Wire, Local], error) {
+			return newSortMachine(id, in, n, k, samplesPerMachine), nil
+		}, mergeLocals)
+	if err != nil {
+		return nil, err
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// resolveInput derives the global key count and the samples-per-machine
+// default.
+func resolveInput(in *Input, samplesPerMachine int) (n, samples int, err error) {
 	for _, ks := range in.Keys {
 		n += len(ks)
 	}
 	if n == 0 {
-		return nil, fmt.Errorf("dsort: empty input")
+		return 0, 0, fmt.Errorf("dsort: empty input")
 	}
 	if samplesPerMachine <= 0 {
-		samplesPerMachine = 16 * k
+		samplesPerMachine = 16 * len(in.Keys)
 	}
-	machines := make([]*sortMachine, k)
-	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[wire] {
-		m := &sortMachine{k: k, n: n, samplesPer: samplesPerMachine, keys: in.Keys[id]}
-		// Presize the working buffers to the phase maxima (whp): the
-		// run is only ~7 supersteps, too few to amortise append-growth
-		// chains, and these caps make the big phases allocation-flat.
-		// Capacities only — contents and behaviour are unchanged.
-		sz := len(in.Keys[id]) + k
-		if bc := (k-1)*samplesPerMachine + k; bc > sz {
-			sz = bc // phase 1 broadcasts (k-1)·samplesPer sample envelopes
-		}
-		m.outBuf = make([]core.Envelope[wire], 0, sz)
-		m.delivBuf = make([]smsg, 0, sz)
-		m.samples = make([]uint64, 0, k*samplesPerMachine)
-		m.bucket = make([]uint64, 0, sz)
-		m.final = make([]uint64, 0, sz)
-		machines[id] = m
-		return m
-	})
-	stats, err := core.RunOver(cluster, WireCodec())
-	if err != nil {
-		return nil, err
+	return n, samplesPerMachine, nil
+}
+
+// mergeLocals folds the machine-local blocks into a Result.
+func mergeLocals(locals []Local) *Result {
+	res := &Result{Blocks: make([][]uint64, len(locals))}
+	for id, l := range locals {
+		res.Blocks[id] = l.Block
+		res.RebalancedKeys += l.Rebalanced
 	}
-	res := &Result{Blocks: make([][]uint64, k), Stats: stats}
-	for id, m := range machines {
-		res.Blocks[id] = m.final
-		res.RebalancedKeys += m.rebal
-	}
-	return res, nil
+	return res
 }

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner
-// per experiment in DESIGN.md's index (F1, E1–E17), each regenerating
+// per experiment in DESIGN.md's index (F1, E1–E19), each regenerating
 // the series behind a claim of the paper. cmd/kmbench prints the tables
 // that EXPERIMENTS.md records; the root bench_test.go exposes each
 // experiment as a testing.B benchmark.
@@ -80,6 +80,26 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
+// Fmarkdown renders the table as a Markdown section (kmbench -md, the
+// generator of EXPERIMENTS.md).
+func (t *Table) Fmarkdown(w io.Writer) {
+	fmt.Fprintf(w, "## %s — %s\n\n", t.ID, t.Title)
+	fmt.Fprintf(w, "*Claim:* %s\n\n", t.Claim)
+	fmt.Fprintf(w, "| %s |\n", strings.Join(t.Header, " | "))
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(w, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(w, "| %s |\n", strings.Join(row, " | "))
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "\n> %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
 // fitExponent least-squares fits y = c·x^a on log-log scale and returns a.
 func fitExponent(xs, ys []float64) float64 {
 	if len(xs) != len(ys) || len(xs) < 2 {
@@ -144,5 +164,6 @@ func All() []Runner {
 		{"E16", "connectivity (§1.3 MST example)", E16Connectivity},
 		{"E17", "information cost audit (Thm 1)", E17InfoCost},
 		{"E18", "4-clique enumeration (§1.2 generalization)", E18Cliques4},
+		{"E19", "substrate equivalence (registry × transports)", E19SubstrateMatrix},
 	}
 }

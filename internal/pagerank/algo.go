@@ -1,0 +1,143 @@
+package pagerank
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"kmachine/internal/algo"
+	"kmachine/internal/gen"
+	"kmachine/internal/partition"
+)
+
+// Local is one machine's share of a PageRank output: the visit counts
+// and estimates of the vertices homed on it, in Locals() order. Dense
+// parallel slices, not maps — the in-process Run assembles its Result
+// from k of these on the hot path, and the scale arithmetic matches
+// LocalEstimates exactly, so the union of the k Local outputs is
+// bit-identical to an in-process Result on every substrate.
+type Local struct {
+	// Vertices lists this machine's vertices in increasing ID order;
+	// Psi[i] and Estimate[i] belong to Vertices[i].
+	Vertices []int32
+	Psi      []int64
+	Estimate []float64
+}
+
+// Output implements algo.Machine.
+func (nm *NodeMachine) Output() Local {
+	locals := nm.m.view.Locals()
+	out := Local{
+		Vertices: locals,
+		Psi:      make([]int64, len(locals)),
+		Estimate: make([]float64, len(locals)),
+	}
+	scale := nm.opts.Eps / (float64(nm.n) * float64(nm.opts.Tokens))
+	for i, v := range locals {
+		count := nm.m.psi[v]
+		out.Psi[i] = count
+		out.Estimate[i] = float64(count) * scale
+	}
+	return out
+}
+
+// Descriptor returns the algo-layer descriptor of a PageRank run over
+// an n-vertex input. Tokens/Iterations defaults are resolved here, so
+// every machine of a run — whatever substrate builds it — sees
+// identical options.
+func Descriptor(n int, opts Options) algo.Algorithm[Wire, Local, *Result] {
+	if opts.Eps > 0 && opts.Eps < 1 {
+		opts.ApplyDefaults(n)
+	}
+	return algo.Algorithm[Wire, Local, *Result]{
+		Name:  "pagerank",
+		Codec: WireCodec(),
+		NewMachine: func(view *partition.View) (algo.Machine[Wire, Local], error) {
+			return NewNodeMachine(view, opts)
+		},
+		Merge: func(locals []Local) *Result {
+			res := &Result{
+				Estimate:          make([]float64, n),
+				Psi:               make([]int64, n),
+				OutputsPerMachine: make([]int, len(locals)),
+				Iterations:        opts.Iterations,
+				TokensPerVertex:   opts.Tokens,
+			}
+			for i, l := range locals {
+				res.OutputsPerMachine[i] = len(l.Vertices)
+				for j, v := range l.Vertices {
+					res.Psi[v] = l.Psi[j]
+					res.Estimate[v] = l.Estimate[j]
+				}
+			}
+			return res
+		},
+	}
+}
+
+func init() {
+	algo.Register(algo.Spec[Wire, Local, *Result]{
+		Name: "pagerank",
+		Doc:  "Monte-Carlo PageRank, the paper's Algorithm 1 (Õ(n/k²) rounds, Thm 4)",
+		Build: func(prob algo.Problem) (algo.Algorithm[Wire, Local, *Result], *partition.VertexPartition, error) {
+			g := gen.Gnp(prob.N, prob.EdgeP, prob.Seed)
+			p := partition.NewRVP(g, prob.K, prob.Seed+1)
+			return Descriptor(prob.N, AlgorithmOne(prob.Eps)), p, nil
+		},
+		Hash: func(r *Result) uint64 {
+			h := algo.NewHash64()
+			for _, x := range r.Estimate {
+				h.Add(math.Float64bits(x))
+			}
+			for _, c := range r.Psi {
+				h.Add(uint64(c))
+			}
+			return h.Sum()
+		},
+		Summarize: func(r *Result, top int) []string {
+			lines := []string{fmt.Sprintf("pagerank: %d iterations, %d tokens/vertex",
+				r.Iterations, r.TokensPerVertex)}
+			return append(lines, topEstimates(r.Estimate, top, "cluster-wide")...)
+		},
+		SummarizeLocal: func(l Local, top int) []string {
+			return topRanked(l.Vertices, l.Estimate, top, "this machine's")
+		},
+	})
+}
+
+// topEstimates lists the top vertices of a dense estimate vector.
+func topEstimates(est []float64, top int, who string) []string {
+	ids := make([]int32, len(est))
+	for v := range est {
+		ids[v] = int32(v)
+	}
+	return topRanked(ids, est, top, who)
+}
+
+// topRanked lists the top vertices of parallel (vertex, estimate)
+// slices, ties broken by vertex ID for determinism.
+func topRanked(ids []int32, est []float64, top int, who string) []string {
+	type ve struct {
+		v int32
+		e float64
+	}
+	ranked := make([]ve, len(ids))
+	for i, v := range ids {
+		ranked[i] = ve{v, est[i]}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].e != ranked[j].e {
+			return ranked[i].e > ranked[j].e
+		}
+		return ranked[i].v < ranked[j].v
+	})
+	if top > len(ranked) {
+		top = len(ranked)
+	}
+	lines := make([]string, 0, top+1)
+	lines = append(lines, fmt.Sprintf("%s top %d vertices by PageRank estimate:", who, top))
+	for _, r := range ranked[:top] {
+		lines = append(lines, fmt.Sprintf("  v%-8d %.6f", r.v, r.e))
+	}
+	return lines
+}

@@ -8,10 +8,12 @@ import (
 )
 
 // NodeMachine is one machine of a distributed PageRank computation,
-// packaged for standalone execution (cmd/kmnode): a process that hosts
-// a single machine builds its NodeMachine from the shared partition and
-// drives it with transport/node.Run; afterwards LocalEstimates holds
-// the machine's share of the output.
+// packaged behind the algo.Machine contract: Step drives the token
+// walk and Output (algo.go) extracts the machine's share of the
+// result. Every substrate builds it the same way — the in-process
+// driver (algo.Run via Descriptor), the standalone node runtime
+// (cmd/kmnode), and the registry runners — which is what makes their
+// outputs bit-identical.
 type NodeMachine struct {
 	m    *machine
 	n    int

@@ -34,6 +34,7 @@ import (
 	"math"
 	"slices"
 
+	"kmachine/internal/algo"
 	"kmachine/internal/core"
 	"kmachine/internal/partition"
 	"kmachine/internal/rng"
@@ -339,44 +340,18 @@ func (m *machine) receive(ctx *core.StepContext, d msg) {
 }
 
 // Run executes a distributed PageRank computation over the given vertex
-// partition. cfg.K must equal p.K.
+// partition. cfg.K must equal p.K. It routes through the generic
+// internal/algo driver: the descriptor's machines, outputs, and merge
+// are exactly what the standalone node runtime uses, so every substrate
+// produces bit-identical results.
 func Run(p *partition.VertexPartition, cfg core.Config, opts Options) (*Result, error) {
-	if cfg.K != p.K {
-		return nil, fmt.Errorf("pagerank: cluster k=%d but partition k=%d", cfg.K, p.K)
-	}
 	if opts.Eps <= 0 || opts.Eps >= 1 {
 		return nil, fmt.Errorf("pagerank: eps=%v out of (0,1)", opts.Eps)
 	}
-	n := p.G.N()
-	opts.ApplyDefaults(n)
-
-	machines := make([]*machine, cfg.K)
-	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[wire] {
-		m := newMachine(p.View(id), opts)
-		machines[id] = m
-		return m
-	})
-	stats, err := core.RunOver(cluster, WireCodec())
+	res, stats, err := algo.Run(Descriptor(p.G.N(), opts), p, cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	res := &Result{
-		Estimate:          make([]float64, n),
-		Psi:               make([]int64, n),
-		OutputsPerMachine: make([]int, cfg.K),
-		Stats:             stats,
-		Iterations:        opts.Iterations,
-		TokensPerVertex:   opts.Tokens,
-	}
-	scale := opts.Eps / (float64(n) * float64(opts.Tokens))
-	for id, m := range machines {
-		for _, v := range m.view.Locals() {
-			count := m.psi[v]
-			res.Psi[v] = count
-			res.Estimate[v] = float64(count) * scale
-			res.OutputsPerMachine[id]++
-		}
-	}
+	res.Stats = stats
 	return res, nil
 }

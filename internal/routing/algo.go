@@ -1,0 +1,59 @@
+package routing
+
+import (
+	"fmt"
+
+	"kmachine/internal/algo"
+	"kmachine/internal/graph"
+	"kmachine/internal/partition"
+)
+
+// The registry entry for the routing workload: the Lemma 13 random-route
+// experiment as a registered algorithm, so the cross-substrate
+// equivalence suite and cmd/kmnode exercise the two-hop machinery the
+// other algorithms build on. Every machine sends N one-word probes to
+// uniformly random destinations; the output is the cluster-wide
+// delivery count.
+
+// Descriptor returns the algo-layer descriptor of a random-route run
+// with x probes per machine. The merged output is the per-machine
+// delivery vector, NOT the total: the total is an invariant (k·x) of
+// the problem size, so only the vector can witness misrouted probes in
+// the cross-substrate hash comparisons.
+func Descriptor(x int) algo.Algorithm[routeProbe, int64, []int64] {
+	return algo.Algorithm[routeProbe, int64, []int64]{
+		Name:  "routing",
+		Codec: probeCodec{},
+		NewMachine: func(view *partition.View) (algo.Machine[routeProbe, int64], error) {
+			return &randomRouteMachine{x: x}, nil
+		},
+		Merge: func(locals []int64) []int64 { return locals },
+	}
+}
+
+func init() {
+	algo.Register(algo.Spec[routeProbe, int64, []int64]{
+		Name: "routing",
+		Doc:  "Lemma 13 random routing: every machine sends n one-word probes to uniform destinations",
+		Build: func(prob algo.Problem) (algo.Algorithm[routeProbe, int64, []int64], *partition.VertexPartition, error) {
+			// The workload is synthetic — the partition only carries the
+			// machine identities, so it covers an edgeless graph.
+			g := graph.NewBuilder(prob.N, false).Build()
+			return Descriptor(prob.N), partition.NewRVP(g, prob.K, prob.Seed+1), nil
+		},
+		Hash: func(perMachine []int64) uint64 {
+			h := algo.NewHash64()
+			for _, d := range perMachine {
+				h.Add(uint64(d))
+			}
+			return h.Sum()
+		},
+		Summarize: func(perMachine []int64, top int) []string {
+			return []string{fmt.Sprintf("routing: %d probes delivered across %d machines",
+				sumDelivered(perMachine), len(perMachine))}
+		},
+		SummarizeLocal: func(delivered int64, top int) []string {
+			return []string{fmt.Sprintf("routing: this machine received %d probes", delivered)}
+		},
+	})
+}

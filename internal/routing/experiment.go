@@ -1,13 +1,32 @@
 package routing
 
 import (
+	"kmachine/internal/algo"
 	"kmachine/internal/core"
+	"kmachine/internal/transport"
+	"kmachine/internal/transport/wire"
 )
 
 // This file implements the measurable workloads behind Lemma 13 and the
-// two-hop pattern, used by experiment E7.
+// two-hop pattern, used by experiment E7 and the algorithm registry.
+// Both run through the generic internal/algo driver, so they execute on
+// any substrate (loopback, TCP sockets, standalone nodes) with
+// identical Stats.
 
 type routeProbe struct{ Token int32 }
+
+// probeCodec serialises the one-word routing probes for socket
+// substrates.
+type probeCodec struct{}
+
+func (probeCodec) Append(dst []byte, m routeProbe) ([]byte, error) {
+	return wire.AppendVarint(dst, int64(m.Token)), nil
+}
+
+func (probeCodec) Decode(src []byte) (routeProbe, int, error) {
+	v, n, err := wire.Varint(src)
+	return routeProbe{Token: int32(v)}, n, err
+}
 
 // RandomRouteResult reports one routing run.
 type RandomRouteResult struct {
@@ -16,41 +35,93 @@ type RandomRouteResult struct {
 	Delivered int64
 }
 
+// randomRouteMachine sends x one-word messages to independently uniform
+// destinations in superstep 0 and counts everything it receives.
+type randomRouteMachine struct {
+	x         int
+	delivered int64
+}
+
+func (m *randomRouteMachine) Step(ctx *core.StepContext, inbox []core.Envelope[routeProbe]) ([]core.Envelope[routeProbe], bool) {
+	m.delivered += int64(len(inbox))
+	if ctx.Superstep > 0 {
+		return nil, true
+	}
+	out := make([]core.Envelope[routeProbe], 0, m.x)
+	for i := 0; i < m.x; i++ {
+		out = append(out, core.Envelope[routeProbe]{
+			To:    core.MachineID(ctx.RNG.Intn(ctx.K)),
+			Words: 1,
+			Msg:   routeProbe{Token: int32(i)},
+		})
+	}
+	return out, true
+}
+
+// Output implements algo.Machine.
+func (m *randomRouteMachine) Output() int64 { return m.delivered }
+
+// sumDelivered merges the per-machine delivery counts.
+func sumDelivered(locals []int64) int64 {
+	var total int64
+	for _, d := range locals {
+		total += d
+	}
+	return total
+}
+
 // RandomRouteExperiment has every machine send x one-word messages to
 // independently uniform destinations over direct links — the exact
 // hypothesis of Lemma 13. The measured rounds should scale as
 // Θ((x/k + log)/B): each of the k-1 outgoing links of a machine carries
 // ~x/k messages whp.
 func RandomRouteExperiment(k, x, bandwidth int, seed uint64) (*RandomRouteResult, error) {
-	var delivered int64
-	deliveredPer := make([]int64, k)
-	cluster := core.NewCluster(core.Config{K: k, Bandwidth: bandwidth, Seed: seed},
-		func(id core.MachineID) core.Machine[routeProbe] {
-			return core.MachineFunc[routeProbe](func(ctx *core.StepContext, inbox []core.Envelope[routeProbe]) ([]core.Envelope[routeProbe], bool) {
-				deliveredPer[ctx.Self] += int64(len(inbox))
-				if ctx.Superstep > 0 {
-					return nil, true
-				}
-				out := make([]core.Envelope[routeProbe], 0, x)
-				for i := 0; i < x; i++ {
-					out = append(out, core.Envelope[routeProbe]{
-						To:    core.MachineID(ctx.RNG.Intn(ctx.K)),
-						Words: 1,
-						Msg:   routeProbe{Token: int32(i)},
-					})
-				}
-				return out, true
-			})
-		})
-	stats, err := cluster.Run()
+	return RandomRouteExperimentOn(transport.Default, k, x, bandwidth, seed)
+}
+
+// RandomRouteExperimentOn is RandomRouteExperiment over an explicit
+// transport kind.
+func RandomRouteExperimentOn(kind transport.Kind, k, x, bandwidth int, seed uint64) (*RandomRouteResult, error) {
+	cfg := core.Config{K: k, Bandwidth: bandwidth, Seed: seed, Transport: kind}
+	delivered, stats, err := algo.Exec(cfg, probeCodec{},
+		func(core.MachineID) (algo.Machine[routeProbe, int64], error) {
+			return &randomRouteMachine{x: x}, nil
+		}, sumDelivered)
 	if err != nil {
 		return nil, err
 	}
-	for _, d := range deliveredPer {
-		delivered += d
-	}
 	return &RandomRouteResult{Stats: stats, Delivered: delivered}, nil
 }
+
+// fixedDestMachine: machine 0 sends x one-word messages all addressed
+// to machine k-1 (directly or two-hop); every machine relays forwards
+// and counts deliveries.
+type fixedDestMachine struct {
+	x         int
+	twoHop    bool
+	final     core.MachineID
+	delivered int64
+}
+
+func (m *fixedDestMachine) Step(ctx *core.StepContext, inbox []core.Envelope[Hop[routeProbe]]) ([]core.Envelope[Hop[routeProbe]], bool) {
+	got, forwards := Deliver(ctx.Self, inbox)
+	m.delivered += int64(len(got))
+	if ctx.Superstep > 0 || ctx.Self != 0 {
+		return forwards, true
+	}
+	out := forwards
+	for i := 0; i < m.x; i++ {
+		if m.twoHop {
+			out = Route(out, ctx.RNG, ctx.K, m.final, 1, routeProbe{Token: int32(i)})
+		} else {
+			out = RouteDirect(out, m.final, 1, routeProbe{Token: int32(i)})
+		}
+	}
+	return out, true
+}
+
+// Output implements algo.Machine.
+func (m *fixedDestMachine) Output() int64 { return m.delivered }
 
 // FixedDestinationExperiment has machine 0 send x one-word messages all
 // addressed to machine k-1, either directly (twoHop=false: the single
@@ -61,34 +132,19 @@ func RandomRouteExperiment(k, x, bandwidth int, seed uint64) (*RandomRouteResult
 // is adversarially concentrated; it is the routing primitive Algorithm 1
 // invokes for its light-vertex token counts.
 func FixedDestinationExperiment(k, x, bandwidth int, twoHop bool, seed uint64) (*RandomRouteResult, error) {
-	var delivered int64
-	deliveredPer := make([]int64, k)
-	final := core.MachineID(k - 1)
-	cluster := core.NewCluster(core.Config{K: k, Bandwidth: bandwidth, Seed: seed},
-		func(id core.MachineID) core.Machine[Hop[routeProbe]] {
-			return core.MachineFunc[Hop[routeProbe]](func(ctx *core.StepContext, inbox []core.Envelope[Hop[routeProbe]]) ([]core.Envelope[Hop[routeProbe]], bool) {
-				got, forwards := Deliver(ctx.Self, inbox)
-				deliveredPer[ctx.Self] += int64(len(got))
-				if ctx.Superstep > 0 || ctx.Self != 0 {
-					return forwards, true
-				}
-				out := forwards
-				for i := 0; i < x; i++ {
-					if twoHop {
-						out = Route(out, ctx.RNG, ctx.K, final, 1, routeProbe{Token: int32(i)})
-					} else {
-						out = RouteDirect(out, final, 1, routeProbe{Token: int32(i)})
-					}
-				}
-				return out, true
-			})
-		})
-	stats, err := cluster.Run()
+	return FixedDestinationExperimentOn(transport.Default, k, x, bandwidth, twoHop, seed)
+}
+
+// FixedDestinationExperimentOn is FixedDestinationExperiment over an
+// explicit transport kind.
+func FixedDestinationExperimentOn(kind transport.Kind, k, x, bandwidth int, twoHop bool, seed uint64) (*RandomRouteResult, error) {
+	cfg := core.Config{K: k, Bandwidth: bandwidth, Seed: seed, Transport: kind}
+	delivered, stats, err := algo.Exec(cfg, HopCodec[routeProbe](probeCodec{}),
+		func(core.MachineID) (algo.Machine[Hop[routeProbe], int64], error) {
+			return &fixedDestMachine{x: x, twoHop: twoHop, final: core.MachineID(k - 1)}, nil
+		}, sumDelivered)
 	if err != nil {
 		return nil, err
-	}
-	for _, d := range deliveredPer {
-		delivered += d
 	}
 	return &RandomRouteResult{Stats: stats, Delivered: delivered}, nil
 }

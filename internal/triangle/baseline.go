@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"kmachine/internal/algo"
 	"kmachine/internal/core"
 	"kmachine/internal/graph"
 	"kmachine/internal/partition"
@@ -135,8 +136,9 @@ func (m *baselineMachine) enumerateDeputy(deputy int32, edges [][2]int32) {
 	}
 }
 
-// RunBaseline executes the conversion-style baseline. cfg.K must equal
-// p.K; the graph must be undirected.
+// RunBaseline executes the conversion-style baseline through the
+// generic internal/algo driver. cfg.K must equal p.K; the graph must be
+// undirected.
 func RunBaseline(p *partition.VertexPartition, cfg core.Config, opts Options) (*Result, error) {
 	if cfg.K != p.K {
 		return nil, fmt.Errorf("triangle: cluster k=%d but partition k=%d", cfg.K, p.K)
@@ -146,31 +148,20 @@ func RunBaseline(p *partition.VertexPartition, cfg core.Config, opts Options) (*
 	}
 	c := Colors(p.G.N()) // n^{1/3} classes: the congested-clique granularity
 	targets := pairTargets(c)
-	machines := make([]*baselineMachine, cfg.K)
-	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[bmsg] {
-		m := &baselineMachine{
-			view:      p.View(id),
-			opts:      opts,
-			k:         cfg.K,
-			c:         c,
-			perDeputy: make(map[int32][][2]int32),
-			targets:   targets,
-		}
-		machines[id] = m
-		return m
-	})
-	stats, err := core.RunOver(cluster, BaselineWireCodec())
+	res, stats, err := algo.Exec(cfg, BaselineWireCodec(),
+		func(id core.MachineID) (algo.Machine[BaselineWire, Local], error) {
+			return &baselineMachine{
+				view:      p.View(id),
+				opts:      opts,
+				k:         cfg.K,
+				c:         c,
+				perDeputy: make(map[int32][][2]int32),
+				targets:   targets,
+			}, nil
+		}, mergeEnum(c))
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Colors: c, Stats: stats, PerMachine: make([]int64, cfg.K)}
-	for id, m := range machines {
-		res.Count += m.count
-		res.Checksum ^= m.checksum
-		res.PerMachine[id] = m.count
-		if opts.Collect {
-			res.Triangles = append(res.Triangles, m.out...)
-		}
-	}
+	res.Stats = stats
 	return res, nil
 }

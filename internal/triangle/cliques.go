@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"kmachine/internal/algo"
 	"kmachine/internal/core"
 	"kmachine/internal/graph"
 	"kmachine/internal/partition"
@@ -234,31 +235,42 @@ func RunCliques4(p *partition.VertexPartition, cfg core.Config, opts Options) (*
 	}
 	c := Colors4(cfg.K)
 	targets := pairTargets4(c)
-	machines := make([]*cliqueMachine, cfg.K)
-	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[tmsg] {
-		m := &cliqueMachine{
-			view:    p.View(id),
-			opts:    opts,
-			k:       cfg.K,
-			c:       c,
-			heavy:   make(map[int32]bool),
-			targets: targets,
-		}
-		machines[id] = m
-		return m
-	})
-	stats, err := core.RunOver(cluster, WireCodec())
+	res, stats, err := algo.Exec(cfg, WireCodec(),
+		func(id core.MachineID) (algo.Machine[Wire, local4], error) {
+			return &cliqueMachine{
+				view:    p.View(id),
+				opts:    opts,
+				k:       cfg.K,
+				c:       c,
+				heavy:   make(map[int32]bool),
+				targets: targets,
+			}, nil
+		},
+		func(locals []local4) *Clique4Result {
+			res := &Clique4Result{Colors: c, PerMachine: make([]int64, len(locals))}
+			for id, l := range locals {
+				res.Count += l.count
+				res.Checksum ^= l.checksum
+				res.PerMachine[id] = l.count
+				res.Cliques = append(res.Cliques, l.cliques...)
+			}
+			return res
+		})
 	if err != nil {
 		return nil, err
 	}
-	res := &Clique4Result{Colors: c, Stats: stats, PerMachine: make([]int64, cfg.K)}
-	for id, m := range machines {
-		res.Count += m.count
-		res.Checksum ^= m.checksum
-		res.PerMachine[id] = m.count
-		if opts.Collect {
-			res.Cliques = append(res.Cliques, m.out...)
-		}
-	}
+	res.Stats = stats
 	return res, nil
+}
+
+// local4 is one machine's share of a 4-clique enumeration.
+type local4 struct {
+	count    int64
+	checksum uint64
+	cliques  []graph.Clique4
+}
+
+// Output implements algo.Machine.
+func (m *cliqueMachine) Output() local4 {
+	return local4{count: m.count, checksum: m.checksum, cliques: m.out}
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 
+	"kmachine/internal/algo"
 	"kmachine/internal/core"
 	"kmachine/internal/graph"
 	"kmachine/internal/partition"
@@ -379,43 +380,16 @@ func (m *triMachine) enumerateTriads(adj map[int32][]int32, c1, c2, c3 int) {
 	}
 }
 
-// Run executes the color-partition enumeration over the given partition.
-// cfg.K must equal p.K.
+// Run executes the color-partition enumeration over the given partition
+// through the generic internal/algo driver. cfg.K must equal p.K.
 func Run(p *partition.VertexPartition, cfg core.Config, opts Options) (*Result, error) {
-	if cfg.K != p.K {
-		return nil, fmt.Errorf("triangle: cluster k=%d but partition k=%d", cfg.K, p.K)
-	}
 	if p.G.Directed() {
 		return nil, fmt.Errorf("triangle: enumeration needs an undirected graph")
 	}
-	c := Colors(cfg.K)
-	targets := pairTargets(c)
-	machines := make([]*triMachine, cfg.K)
-	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[tmsg] {
-		m := &triMachine{
-			view:    p.View(id),
-			opts:    opts,
-			k:       cfg.K,
-			c:       c,
-			heavy:   make(map[int32]bool),
-			targets: targets,
-		}
-		machines[id] = m
-		return m
-	})
-	stats, err := core.RunOver(cluster, WireCodec())
+	res, stats, err := algo.Run(Descriptor(cfg.K, opts), p, cfg)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Colors: c, Stats: stats, PerMachine: make([]int64, cfg.K)}
-	for id, m := range machines {
-		res.Count += m.count
-		res.Checksum ^= m.checksum
-		res.PerMachine[id] = m.count
-		if opts.Collect {
-			res.Triangles = append(res.Triangles, m.out...)
-			res.Triads = append(res.Triads, m.triads...)
-		}
-	}
+	res.Stats = stats
 	return res, nil
 }

@@ -9,10 +9,16 @@
 //
 // This root package is the user-facing API: it re-exports the stable
 // types and wraps the common entry points. The implementation lives in
-// the internal packages (core, transport, graph, gen, partition,
+// the internal packages (core, transport, algo, graph, gen, partition,
 // routing, pagerank, triangle, dsort, conncomp, infotheory,
 // lowerbound); see DESIGN.md for the system inventory and
 // EXPERIMENTS.md for the reproduction results.
+//
+// Every distributed algorithm is registered once in the internal/algo
+// registry and runs on every substrate — the in-process loopback, real
+// TCP sockets, and the standalone multi-process node runtime
+// (cmd/kmnode) — with bit-identical Stats and outputs; Algorithms
+// lists the registered names.
 //
 // Quick start:
 //
@@ -24,6 +30,8 @@
 package kmachine
 
 import (
+	"kmachine/internal/algo"
+	_ "kmachine/internal/algo/all"
 	"kmachine/internal/conncomp"
 	"kmachine/internal/core"
 	"kmachine/internal/dsort"
@@ -35,6 +43,13 @@ import (
 	"kmachine/internal/transport"
 	"kmachine/internal/triangle"
 )
+
+// Algorithms returns the names of every algorithm registered in the
+// unified driver layer (internal/algo), sorted. Each of them runs on
+// all execution substrates — TransportInMem, TransportTCP, and the
+// standalone node runtime behind cmd/kmnode — with bit-identical
+// measured Stats and outputs.
+func Algorithms() []string { return algo.Names() }
 
 // Graph is an immutable CSR graph (see internal/graph).
 type Graph = graph.Graph
