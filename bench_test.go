@@ -35,7 +35,10 @@ func benchExperiment(b *testing.B, id string) {
 	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		table := runner.Run(experiments.Config{Quick: true, Seed: uint64(i + 1)})
+		table, err := runner.Run(experiments.Config{Quick: true, Seed: uint64(i + 1)})
+		if err != nil {
+			b.Fatalf("experiment %s: %v", id, err)
+		}
 		if len(table.Rows) == 0 {
 			b.Fatal("experiment produced no rows")
 		}

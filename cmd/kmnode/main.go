@@ -30,6 +30,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,10 +40,20 @@ import (
 	"kmachine/internal/algo"
 	_ "kmachine/internal/algo/all"
 	"kmachine/internal/core"
+	"kmachine/internal/transport"
 	"kmachine/internal/transport/node"
 )
 
 func main() {
+	// A panic that escapes the runtime (a bug, not an expected failure)
+	// must still come out as a one-line diagnostic and a non-zero exit,
+	// not a raw stack trace: kmnode processes are cluster members, and
+	// their exit status is what orchestration scripts key off.
+	defer func() {
+		if r := recover(); r != nil {
+			fatalf("internal panic: %v", r)
+		}
+	}()
 	var (
 		local    = flag.Int("local", 0, "spawn a full k-machine cluster over loopback TCP in this process")
 		id       = flag.Int("id", -1, "this node's machine ID (standalone mode)")
@@ -58,6 +69,7 @@ func main() {
 		eps      = flag.Float64("eps", 0.15, "PageRank reset probability")
 		top      = flag.Int("top", 5, "how many top-ranked vertices to print")
 		timeout  = flag.Duration("dial-timeout", 10*time.Second, "how long to wait for peers to come up")
+		deadline = flag.Duration("superstep-timeout", 0, "per-superstep deadline; a crashed or wedged peer surfaces as an attributed error within it (0 = none)")
 	)
 	flag.Parse()
 
@@ -72,7 +84,7 @@ func main() {
 		fatalf("unknown -algo %q (supported: %s)", *algoName, strings.Join(algo.Names(), ", "))
 	}
 
-	prob := algo.Problem{N: *n, EdgeP: *p, Seed: *seed, Bandwidth: *bw, Eps: *eps, Top: *top}
+	prob := algo.Problem{N: *n, EdgeP: *p, Seed: *seed, Bandwidth: *bw, Eps: *eps, Top: *top, SuperstepTimeout: *deadline}
 	switch {
 	case *local >= 2:
 		prob.K = *local
@@ -93,7 +105,7 @@ func runLocal(entry *algo.Entry, prob algo.Problem) {
 	start := time.Now()
 	out, err := entry.RunNodeLocal(prob)
 	if err != nil {
-		fatalf("cluster failed: %v", err)
+		fatalf("cluster failed: %s", diagnose(err))
 	}
 	printOutcome(out, time.Since(start))
 }
@@ -117,9 +129,21 @@ func runStandalone(entry *algo.Entry, prob algo.Problem, id int, listen, peerLis
 		DialTimeout: timeout,
 	})
 	if err != nil {
-		fatalf("machine %d failed: %v", id, err)
+		fatalf("machine %d failed: %s", id, diagnose(err))
 	}
 	printOutcome(out, time.Since(start))
+}
+
+// diagnose renders a run failure as one line, leading with the
+// machine/superstep attribution when the runtime recorded one — the
+// line an operator greps for to learn WHICH process of the cluster to
+// look at.
+func diagnose(err error) string {
+	var me *transport.MachineError
+	if errors.As(err, &me) {
+		return fmt.Sprintf("machine %d failed in superstep %d (%v)", me.Machine, me.Superstep, me.Err)
+	}
+	return err.Error()
 }
 
 func printOutcome(out *algo.Outcome, wall time.Duration) {

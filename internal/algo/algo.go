@@ -107,16 +107,22 @@ func Exec[M, L, O any](cfg core.Config, codec wire.Codec[M], build func(core.Mac
 // the full k-machine cluster in this process, every machine with its
 // own listener and dialer on loopback TCP and the coordinator-driven
 // superstep protocol of transport/node (cmd/kmnode -local). Outputs and
-// Stats are bit-identical to Run on the same inputs.
-func NodeRunLocal[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, bandwidth int, seed uint64) (O, *core.Stats, error) {
+// Stats are bit-identical to Run on the same inputs. ncfg is the
+// per-machine Config template of node.RunLocal (ID/addresses ignored);
+// its K must match the partition's, and its Context/SuperstepTimeout
+// knobs bound the run exactly as they do standalone.
+func NodeRunLocal[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, ncfg node.Config) (O, *core.Stats, error) {
 	var zero O
+	if ncfg.K != p.K {
+		return zero, nil, fmt.Errorf("%s: node cluster k=%d but partition k=%d", a.Name, ncfg.K, p.K)
+	}
 	machines, err := buildMachines(p.K, func(id core.MachineID) (Machine[M, L], error) {
 		return a.NewMachine(p.View(id))
 	})
 	if err != nil {
 		return zero, nil, err
 	}
-	stats, err := node.RunLocal(p.K, bandwidth, seed, 0, a.Codec, func(id core.MachineID) core.Machine[M] {
+	stats, err := node.RunLocal(ncfg, a.Codec, func(id core.MachineID) core.Machine[M] {
 		return machines[id]
 	})
 	if err != nil {

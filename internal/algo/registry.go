@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"kmachine/internal/core"
 	"kmachine/internal/partition"
@@ -36,6 +37,13 @@ type Problem struct {
 	Eps float64
 	// Top bounds summary listings (top-ranked vertices etc.); 0 means 5.
 	Top int
+	// SuperstepTimeout bounds each superstep's cross-machine phases on
+	// every substrate (core.Config.SuperstepTimeout /
+	// node.Config.SuperstepTimeout): a crashed or wedged machine
+	// surfaces as an attributed error within the timeout instead of
+	// hanging the run. 0 means no deadline; the happy path is
+	// unaffected either way.
+	SuperstepTimeout time.Duration
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -58,7 +66,8 @@ func (prob Problem) withDefaults() Problem {
 // coreConfig is the in-process cluster configuration of a problem: the
 // machine streams draw from Seed+2 on every substrate.
 func (prob Problem) coreConfig(kind transport.Kind) core.Config {
-	return core.Config{K: prob.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2, Transport: kind}
+	return core.Config{K: prob.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
+		Transport: kind, SuperstepTimeout: prob.SuperstepTimeout}
 }
 
 // Outcome is the substrate-agnostic report of one registry run.
@@ -164,7 +173,9 @@ func Register[M, L, O any](s Spec[M, L, O]) {
 			if err != nil {
 				return nil, err
 			}
-			out, stats, err := NodeRunLocal(a, p, prob.Bandwidth, prob.Seed+2)
+			ncfg := node.Config{K: p.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
+				SuperstepTimeout: prob.SuperstepTimeout}
+			out, stats, err := NodeRunLocal(a, p, ncfg)
 			if err != nil {
 				return nil, err
 			}
@@ -179,6 +190,9 @@ func Register[M, L, O any](s Spec[M, L, O]) {
 			ncfg.K = p.K
 			ncfg.Bandwidth = prob.Bandwidth
 			ncfg.Seed = prob.Seed + 2
+			if ncfg.SuperstepTimeout == 0 {
+				ncfg.SuperstepTimeout = prob.SuperstepTimeout
+			}
 			local, stats, err := NodeRun(a, p, ncfg)
 			if err != nil {
 				return nil, err

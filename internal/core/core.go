@@ -29,8 +29,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"kmachine/internal/rng"
 	"kmachine/internal/transport"
@@ -113,6 +115,21 @@ type Config struct {
 	// functions resolve it through OpenTransport with their message
 	// codec, because building a non-loopback transport needs one.
 	Transport transport.Kind
+	// Context cancels the whole run: RunOn observes it between barrier
+	// phases and hands it to every transport Exchange, so canceling it
+	// aborts the computation with a wrapped context error instead of
+	// letting it run (or hang) to completion. nil means Background.
+	// Cancellation cannot interrupt a machine's local Step — the model
+	// makes local computation free — only the phases between barriers.
+	Context context.Context
+	// SuperstepTimeout bounds each superstep's cross-machine phases
+	// (transport exchange and, on socket substrates, the coordinator
+	// barrier): a peer that crashes or wedges mid-superstep surfaces as
+	// a machine-attributed error within the timeout instead of blocking
+	// the cluster forever. 0 means no per-superstep deadline; the
+	// happy-path behaviour (Stats, outputs, determinism) is identical
+	// with or without one.
+	SuperstepTimeout time.Duration
 }
 
 // Log2Words returns the machine word size for an n-vertex input under

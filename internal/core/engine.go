@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -129,8 +130,21 @@ func (e *engine[M]) shutdown() {
 // validation, From-stamping, and all round/word accounting happen here,
 // before batches reach the transport, so the returned Stats are
 // bit-identical whichever substrate carries the envelopes.
+//
+// Failure handling: Config.Context is observed between barrier phases
+// (a canceled run aborts before the next superstep's exchange), and
+// Config.SuperstepTimeout imposes a per-superstep deadline on the
+// transport exchange, so a dead or wedged peer machine surfaces as a
+// wrapped, machine-attributed error within the timeout. Both knobs
+// leave the happy path byte-identical: with neither set, no context
+// machinery is allocated and the golden determinism hashes are
+// unchanged.
 func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 	k := c.cfg.K
+	runCtx := c.cfg.Context
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
 	stats := &Stats{
 		RecvWords: make([]int64, k),
 		SentWords: make([]int64, k),
@@ -166,11 +180,20 @@ func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 		if step >= c.cfg.MaxSupersteps {
 			return stats, ErrMaxSupersteps
 		}
+		if err := runCtx.Err(); err != nil {
+			return stats, fmt.Errorf("core: run canceled before superstep %d: %w", step, err)
+		}
 		e.superstep(step)
 		for _, perr := range e.panics {
 			if perr != nil {
 				return stats, perr
 			}
+		}
+		// Second cancellation point, between the step barrier and the
+		// exchange: a cancel that landed while machines were stepping
+		// aborts before any envelope reaches the transport.
+		if err := runCtx.Err(); err != nil {
+			return stats, fmt.Errorf("core: run canceled in superstep %d: %w", step, err)
 		}
 
 		// Validate, stamp, and accumulate the touched link loads; the
@@ -231,9 +254,26 @@ func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 		// come back assembled in sender order for determinism, and the
 		// ownership rule lets the transport recycle inbox storage across
 		// supersteps (double-buffered, so superstep s inboxes stay valid
-		// while s+1 is assembled).
-		next, err := t.Exchange(step, e.outs)
+		// while s+1 is assembled). The per-superstep deadline, when
+		// configured, lives only around this call: the deadline context
+		// is the run's sole allocation in a steady-state superstep, and
+		// only when the knob is on.
+		sctx, cancel := runCtx, context.CancelFunc(nil)
+		if c.cfg.SuperstepTimeout > 0 {
+			sctx, cancel = context.WithTimeout(runCtx, c.cfg.SuperstepTimeout)
+		}
+		next, err := t.Exchange(sctx, step, e.outs)
+		if cancel != nil {
+			cancel()
+		}
 		if err != nil {
+			// A run canceled mid-exchange surfaces from the transport
+			// as teardown shrapnel (closed connections); re-report the
+			// cancellation as the root cause so errors.Is(err,
+			// context.Canceled) holds as Config.Context documents.
+			if cErr := runCtx.Err(); cErr != nil {
+				return stats, fmt.Errorf("core: run canceled in superstep %d: %w (teardown: %v)", step, cErr, err)
+			}
 			return stats, fmt.Errorf("core: transport exchange failed in superstep %d: %w", step, err)
 		}
 		if len(next) != k {

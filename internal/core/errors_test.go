@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -118,5 +119,46 @@ func TestLog2Words(t *testing.T) {
 		if Bits(7, n) != 7*int64(Log2Words(n)) {
 			t.Errorf("Bits(7, %d) inconsistent with Log2Words", n)
 		}
+	}
+}
+
+func TestPreCanceledContextAbortsRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := NewCluster(Config{K: 2, Bandwidth: 1, Seed: 1, Context: ctx}, func(id MachineID) Machine[pingMsg] {
+		return MachineFunc[pingMsg](func(*StepContext, []Envelope[pingMsg]) ([]Envelope[pingMsg], bool) {
+			t.Error("machine stepped under a pre-canceled context")
+			return nil, true
+		})
+	})
+	st, err := c.Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st == nil || st.Supersteps != 0 {
+		t.Errorf("stats = %+v, want zero supersteps", st)
+	}
+}
+
+func TestMidRunCancellationStopsCluster(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	steps := 0
+	c := NewCluster(Config{K: 2, Bandwidth: 1, Seed: 1, Context: ctx}, func(id MachineID) Machine[pingMsg] {
+		return MachineFunc[pingMsg](func(sc *StepContext, _ []Envelope[pingMsg]) ([]Envelope[pingMsg], bool) {
+			if sc.Self == 0 {
+				steps = sc.Superstep
+				if sc.Superstep == 3 {
+					cancel()
+				}
+			}
+			return []Envelope[pingMsg]{{To: 1 - sc.Self, Words: 1}}, false
+		})
+	})
+	_, err := c.Run()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if steps > 4 {
+		t.Errorf("cluster ran %d supersteps past the cancellation", steps-3)
 	}
 }

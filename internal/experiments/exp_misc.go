@@ -19,7 +19,7 @@ import (
 // E4RevealedPaths runs the Lemma 5 experiment: under the RVP, the
 // maximum number of weakly connected paths of H revealed to any machine
 // scales like q/k².
-func E4RevealedPaths(cfg Config) Table {
+func E4RevealedPaths(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E4",
 		Title:  "weakly connected paths revealed by the random vertex partition",
@@ -53,11 +53,11 @@ func E4RevealedPaths(cfg Config) Table {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"max revealed ~ k^%.2f (Lemma 5 predicts -2); always below the q·log n/k² bound",
 		fitExponent(xs, ys)))
-	return t
+	return t, nil
 }
 
 // E7RandomRouting measures Lemma 13 and the Valiant two-hop contrast.
-func E7RandomRouting(cfg Config) Table {
+func E7RandomRouting(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E7",
 		Title:  "random routing",
@@ -73,7 +73,7 @@ func E7RandomRouting(cfg Config) Table {
 	for _, k := range []int{4, 8, 16, 32} {
 		res, err := routing.RandomRouteExperiment(k, x, b, cfg.Seed+139)
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E7 random routing at k=%d: %w", k, err)
 		}
 		t.Rows = append(t.Rows, []string{
 			"random dests", itoa(k), itoa(x), i64(res.Stats.Rounds),
@@ -87,22 +87,22 @@ func E7RandomRouting(cfg Config) Table {
 	const k = 16
 	direct, err := routing.FixedDestinationExperiment(k, x, b, false, cfg.Seed+149)
 	if err != nil {
-		panic(err)
+		return t, fmt.Errorf("E7 direct routing: %w", err)
 	}
 	twohop, err := routing.FixedDestinationExperiment(k, x, b, true, cfg.Seed+149)
 	if err != nil {
-		panic(err)
+		return t, fmt.Errorf("E7 two-hop routing: %w", err)
 	}
 	t.Rows = append(t.Rows, []string{"1 src -> 1 dst, direct", itoa(k), itoa(x), i64(direct.Stats.Rounds), f64(float64(x) / b)})
 	t.Rows = append(t.Rows, []string{"1 src -> 1 dst, two-hop", itoa(k), itoa(x), i64(twohop.Stats.Rounds), f64(2 * float64(x) / float64(k) / b)})
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"two-hop beats direct %.1fx on the concentrated flow — why Algorithm 1 routes its light tokens via random intermediates",
 		float64(direct.Stats.Rounds)/float64(twohop.Stats.Rounds)))
-	return t
+	return t, nil
 }
 
 // E8Sorting measures the §1.3 sorting application of the GLBT.
-func E8Sorting(cfg Config) Table {
+func E8Sorting(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E8",
 		Title:  "distributed sorting",
@@ -119,7 +119,7 @@ func E8Sorting(cfg Config) Table {
 		const b = 8
 		res, err := dsort.Run(in, core.Config{K: k, Bandwidth: b, Seed: cfg.Seed + 157}, 128)
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E8 sorting at k=%d: %w", k, err)
 		}
 		lb := infotheory.SortingBound(n, k, b*core.DefaultBandwidth(n))
 		t.Rows = append(t.Rows, []string{
@@ -131,11 +131,11 @@ func E8Sorting(cfg Config) Table {
 		ys = append(ys, float64(res.Stats.Rounds))
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("rounds ~ k^%.2f (Õ(n/k²) predicts -2)", fitExponent(xs, ys)))
-	return t
+	return t, nil
 }
 
 // E9InducedEdges runs the Proposition 2 concentration check.
-func E9InducedEdges(cfg Config) Table {
+func E9InducedEdges(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E9",
 		Title:  "induced-subgraph edge concentration",
@@ -157,11 +157,11 @@ func E9InducedEdges(cfg Config) Table {
 	}
 	t.Notes = append(t.Notes,
 		"this concentration is what caps a triple machine's edge load at Õ(m/k^{2/3}) in Theorem 5's proof")
-	return t
+	return t, nil
 }
 
 // E11Conversion measures the footnote-3 REP -> RVP conversion.
-func E11Conversion(cfg Config) Table {
+func E11Conversion(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E11",
 		Title:  "random edge partition -> random vertex partition conversion",
@@ -179,7 +179,7 @@ func E11Conversion(cfg Config) Table {
 		const b = 4
 		res, err := partition.ConvertREPToRVP(rep, core.Config{K: k, Bandwidth: b, Seed: cfg.Seed + 181}, cfg.Seed+191)
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E11 conversion at k=%d: %w", k, err)
 		}
 		t.Rows = append(t.Rows, []string{
 			itoa(n), itoa(g.M()), itoa(k), i64(res.Stats.Rounds),
@@ -189,12 +189,12 @@ func E11Conversion(cfg Config) Table {
 		ys = append(ys, float64(res.Stats.Rounds))
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("rounds ~ k^%.2f (Õ(m/k²) predicts -2)", fitExponent(xs, ys)))
-	return t
+	return t, nil
 }
 
 // E15Gap audits every upper bound against its GLBT lower bound: the
 // quotient is the polylog factor the Õ/Ω̃ notation absorbs.
-func E15Gap(cfg Config) Table {
+func E15Gap(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E15",
 		Title:  "measured upper bounds vs GLBT lower bounds",
@@ -217,7 +217,7 @@ func E15Gap(cfg Config) Table {
 	prOpts.Tokens = 8
 	pr, err := pagerank.Run(p, core.Config{K: k, Bandwidth: b, Seed: cfg.Seed + 199}, prOpts)
 	if err != nil {
-		panic(err)
+		return t, fmt.Errorf("E15 pagerank: %w", err)
 	}
 	prLB := infotheory.PageRankBound(n, k, bBits)
 	addRow := func(problem string, nn int, rounds int64, lb float64) {
@@ -237,7 +237,7 @@ func E15Gap(cfg Config) Table {
 	pt := partition.NewRVP(gt, 27, cfg.Seed+223)
 	tr, err := triangle.Run(pt, core.Config{K: 27, Bandwidth: core.DefaultBandwidth(nt), Seed: cfg.Seed + 227}, triangle.AlgorithmOptions())
 	if err != nil {
-		panic(err)
+		return t, fmt.Errorf("E15 triangles: %w", err)
 	}
 	trLB := infotheory.TriangleBound(nt, 27, core.DefaultBandwidth(nt)*core.DefaultBandwidth(nt), float64(gt.CountTriangles()))
 	t.Rows = append(t.Rows, []string{
@@ -249,7 +249,7 @@ func E15Gap(cfg Config) Table {
 	in := dsort.RandomInput(10*n, k, cfg.Seed+229, dsort.UniformKeys)
 	srt, err := dsort.Run(in, core.Config{K: k, Bandwidth: b, Seed: cfg.Seed + 233}, 128)
 	if err != nil {
-		panic(err)
+		return t, fmt.Errorf("E15 sorting: %w", err)
 	}
 	srtLB := infotheory.SortingBound(10*n, k, bBits)
 	addRow("sorting", 10*n, srt.Stats.Rounds, srtLB.Rounds)
@@ -257,12 +257,12 @@ func E15Gap(cfg Config) Table {
 	t.Notes = append(t.Notes,
 		"gap column is the hidden polylog: compare against polylog² n; large constant factors also live here",
 		"pagerank's gap additionally contains the Θ(log n/eps) iteration floor (~2·iterations rounds) that the Õ's additive polylog term absorbs")
-	return t
+	return t, nil
 }
 
 // E16Connectivity measures the label-propagation connectivity substrate
 // against the §1.3 MST/connectivity GLBT bound.
-func E16Connectivity(cfg Config) Table {
+func E16Connectivity(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E16",
 		Title:  "connected components",
@@ -279,7 +279,7 @@ func E16Connectivity(cfg Config) Table {
 		b := core.DefaultBandwidth(n)
 		res, err := conncomp.Run(p, core.Config{K: k, Bandwidth: b, Seed: cfg.Seed + 251})
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E16 connectivity at k=%d: %w", k, err)
 		}
 		lb := infotheory.MSTBound(n, k, b*core.DefaultBandwidth(n))
 		t.Rows = append(t.Rows, []string{
@@ -289,5 +289,5 @@ func E16Connectivity(cfg Config) Table {
 	}
 	t.Notes = append(t.Notes,
 		"substitution (DESIGN.md): [51]'s sketch-based Õ(n/k²) algorithm is replaced by label propagation with the same per-phase communication profile")
-	return t
+	return t, nil
 }

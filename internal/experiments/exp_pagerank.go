@@ -15,7 +15,7 @@ import (
 // F1LowerBoundGraph reproduces Figure 1: builds H at several sizes and
 // checks the structural invariants plus the Lemma 4 closed forms against
 // the expected-visit solver.
-func F1LowerBoundGraph(cfg Config) Table {
+func F1LowerBoundGraph(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "F1",
 		Title:  "PageRank lower-bound graph H (Figure 1)",
@@ -52,13 +52,13 @@ func F1LowerBoundGraph(cfg Config) Table {
 	}
 	t.Notes = append(t.Notes,
 		"separation ratio (1+q+q²+q³)/(1+q+q²/2) is a constant > 1 for every eps < 1 (Lemma 4)")
-	return t
+	return t, nil
 }
 
 // E1PageRank reproduces the paper's headline PageRank claim: Algorithm 1
 // runs in Õ(n/k²) rounds (Theorem 4) against the Ω̃(n/k²) lower bound
 // (Theorem 2), improving the Õ(n/k) baseline of Klauck et al.
-func E1PageRank(cfg Config) Table {
+func E1PageRank(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E1",
 		Title:  "PageRank round complexity vs k",
@@ -91,13 +91,13 @@ func E1PageRank(cfg Config) Table {
 			opts.Tokens, opts.Iterations = 8, iters
 			alg, err := pagerank.Run(p, ccfg, opts)
 			if err != nil {
-				panic(err)
+				return t, fmt.Errorf("E1 algorithm 1 on %s at k=%d: %w", fam.name, k, err)
 			}
 			bopts := pagerank.ConversionBaseline(0.15)
 			bopts.Tokens, bopts.Iterations = 8, iters
 			base, err := pagerank.Run(p, ccfg, bopts)
 			if err != nil {
-				panic(err)
+				return t, fmt.Errorf("E1 baseline on %s at k=%d: %w", fam.name, k, err)
 			}
 			lb := infotheory.PageRankBound(fam.g.N(), k, b*core.DefaultBandwidth(fam.g.N()))
 			comm := alg.Stats.Rounds - 2*int64(alg.Iterations)
@@ -125,12 +125,12 @@ func E1PageRank(cfg Config) Table {
 	t.Notes = append(t.Notes,
 		"comm·k²/n column flat across k ⇒ the Õ(n/k²) shape holds; the additive 2·iterations floor is the Õ's polylog term",
 		"on the benign gnp input the baseline can edge ahead (~2x volume from two-hop, little to aggregate): the paper's improvement is worst-case, and the star rows show the Θ(k)-sized gap")
-	return t
+	return t, nil
 }
 
 // E3Separation reproduces Lemma 4 end to end: the distributed Algorithm 1
 // recovers the hidden direction bits of H from its PageRank estimates.
-func E3Separation(cfg Config) Table {
+func E3Separation(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E3",
 		Title:  "Lemma 4 separation on H, recovered by the distributed algorithm",
@@ -153,7 +153,7 @@ func E3Separation(cfg Config) Table {
 		opts.Tokens = tokens
 		res, err := pagerank.Run(p, core.Config{K: 8, Bandwidth: core.DefaultBandwidth(lb.G.N()), Seed: cfg.Seed + 13}, opts)
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E3 separation at eps=%g: %w", eps, err)
 		}
 		want0, want1 := gen.Lemma4Expected(eps, lb.G.N())
 		thresh := (want0 + want1) / 2
@@ -171,13 +171,13 @@ func E3Separation(cfg Config) Table {
 	}
 	t.Notes = append(t.Notes,
 		"recovering the bits is what forces Ω̃(n/k²) rounds: the bits are Θ(n) bits of information no machine starts with (Lemmas 5, 7, 8)")
-	return t
+	return t, nil
 }
 
 // E10Balance verifies Lemmas 12 and 14: in every iteration of
 // Algorithm 1, no machine sends or receives more than Õ(n/k) words, and
 // deliveries complete in Õ(n/k²) rounds per iteration.
-func E10Balance(cfg Config) Table {
+func E10Balance(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E10",
 		Title:  "Algorithm 1 per-iteration communication balance",
@@ -200,7 +200,7 @@ func E10Balance(cfg Config) Table {
 		opts.Tokens, opts.Iterations = 8, 30
 		res, err := pagerank.Run(p, core.Config{K: k, Bandwidth: core.DefaultBandwidth(n), Seed: cfg.Seed + 19}, opts)
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E10 balance on %s: %w", name, err)
 		}
 		var maxSent, maxRecv, maxRounds int64
 		for _, ss := range res.Stats.PerSuperstep {
@@ -220,12 +220,12 @@ func E10Balance(cfg Config) Table {
 		})
 	}
 	t.Notes = append(t.Notes, "both columns stay below the n·log n/k bound on the skewed star as well — the aggregation + heavy-vertex machinery at work")
-	return t
+	return t, nil
 }
 
 // E14Ablations quantifies the paper's three §3.1/§3.2 mechanisms by
 // disabling them one at a time.
-func E14Ablations(cfg Config) Table {
+func E14Ablations(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E14",
 		Title:  "ablations: aggregation, heavy-vertex path, two-hop routing, proxies",
@@ -241,17 +241,20 @@ func E14Ablations(cfg Config) Table {
 	p := partition.NewRVP(g, k, cfg.Seed+23)
 	ccfg := core.Config{K: k, Bandwidth: core.DefaultBandwidth(n), Seed: cfg.Seed + 29}
 
-	runPR := func(mod func(*pagerank.Options)) int64 {
+	runPR := func(mod func(*pagerank.Options)) (int64, error) {
 		opts := pagerank.AlgorithmOne(0.2)
 		opts.Tokens, opts.Iterations = 16, 30
 		mod(&opts)
 		res, err := pagerank.Run(p, ccfg, opts)
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
-		return res.Stats.Rounds
+		return res.Stats.Rounds, nil
 	}
-	full := runPR(func(*pagerank.Options) {})
+	full, err := runPR(func(*pagerank.Options) {})
+	if err != nil {
+		return t, fmt.Errorf("E14 pagerank full variant: %w", err)
+	}
 	variants := []struct {
 		name string
 		mod  func(*pagerank.Options)
@@ -265,14 +268,20 @@ func E14Ablations(cfg Config) Table {
 		}},
 	}
 	for _, v := range variants {
-		r := runPR(v.mod)
+		r, err := runPR(v.mod)
+		if err != nil {
+			return t, fmt.Errorf("E14 pagerank variant %q: %w", v.name, err)
+		}
 		t.Rows = append(t.Rows, []string{"pagerank/star", v.name, i64(r), ratio(r, full)})
 	}
 
-	triRows := trianglesAblation(cfg)
+	triRows, err := trianglesAblation(cfg)
+	if err != nil {
+		return t, fmt.Errorf("E14 triangle ablation: %w", err)
+	}
 	t.Rows = append(t.Rows, triRows...)
 	t.Notes = append(t.Notes,
 		"vs-full > 1x marks the mechanism as load-bearing for that workload",
 		"two-hop routing is neutral on the star (token destinations hash uniformly); its Θ(k) effect on concentrated flows is isolated in E7's direct-vs-two-hop rows")
-	return t
+	return t, nil
 }

@@ -16,7 +16,7 @@ import (
 // the conversion results of Klauck et al. (arXiv:1311.6209): a
 // k-machine computation's cost is substrate-independent, and the
 // unified driver layer (internal/algo) makes that hold by construction.
-func E19SubstrateMatrix(cfg Config) Table {
+func E19SubstrateMatrix(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E19",
 		Title:  "substrate equivalence: every registered algorithm × {inmem, tcp, node}",
@@ -66,7 +66,7 @@ func E19SubstrateMatrix(cfg Config) Table {
 		})
 	}
 	t.Notes = append(t.Notes, fmt.Sprintf("bit-identical Stats and output hashes across all substrates: %v", allAgree))
-	return t
+	return t, nil
 }
 
 // sameOutcome reports whether two runs agree on the equivalence

@@ -18,7 +18,7 @@ import (
 // runs in Õ(m/k^{5/3} + n/k^{4/3}) rounds (Theorem 5) against the
 // Ω̃(m/k^{5/3}) bound on G(n,1/2) (Theorem 3), improving the
 // Õ(m·n^{1/3}/k²) baseline.
-func E2Triangles(cfg Config) Table {
+func E2Triangles(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E2",
 		Title:  "triangle enumeration round complexity vs k on G(n,1/2)",
@@ -38,11 +38,11 @@ func E2Triangles(cfg Config) Table {
 		ccfg := core.Config{K: k, Bandwidth: b, Seed: cfg.Seed + uint64(k) + 37}
 		alg, err := triangle.Run(p, ccfg, triangle.AlgorithmOptions())
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E2 algorithm at k=%d: %w", k, err)
 		}
 		base, err := triangle.RunBaseline(p, ccfg, triangle.Options{})
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E2 baseline at k=%d: %w", k, err)
 		}
 		lb := infotheory.TriangleBound(n, k, b*core.DefaultBandwidth(n), float64(truth))
 		ok := alg.Count == truth && base.Count == truth
@@ -59,12 +59,12 @@ func E2Triangles(cfg Config) Table {
 		"alg rounds ~ k^%.2f (Õ(m/k^{5/3}) predicts -5/3 ≈ -1.67; baseline Õ(m·n^{1/3}/k²) predicts -2 from a higher intercept)",
 		fitExponent(xs, ys)))
 	t.Notes = append(t.Notes, fmt.Sprintf("ground truth t = %d triangles; every run verified by count+checksum", truth))
-	return t
+	return t, nil
 }
 
 // E5CongestedClique reproduces Corollary 1's tightness: with k = n
 // machines and B = Θ(log n) bits the algorithm needs Θ̃(n^{1/3}) rounds.
-func E5CongestedClique(cfg Config) Table {
+func E5CongestedClique(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E5",
 		Title:  "triangle enumeration in the congested clique (k = n)",
@@ -81,7 +81,7 @@ func E5CongestedClique(cfg Config) Table {
 		p := partition.NewIdentity(g)
 		res, err := triangle.Run(p, core.Config{K: n, Bandwidth: 1, Seed: cfg.Seed + 41}, triangle.AlgorithmOptions())
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E5 congested clique at n=%d: %w", n, err)
 		}
 		truth := g.CountTriangles()
 		lb := infotheory.CongestedCliqueTriangleBound(n, core.DefaultBandwidth(n))
@@ -97,13 +97,13 @@ func E5CongestedClique(cfg Config) Table {
 	t.Notes = append(t.Notes, fmt.Sprintf(
 		"rounds ~ n^%.2f (Θ̃(n^{1/3}) predicts 0.33; the first super-constant congested-clique lower bound)",
 		fitExponent(xs, ys)))
-	return t
+	return t, nil
 }
 
 // E6Messages reproduces Corollary 2: a round-optimal enumeration
 // algorithm must exchange Ω̃(m·k^{1/3}) messages — strictly more than the
 // O(m) of aggregate-at-one-machine strategies.
-func E6Messages(cfg Config) Table {
+func E6Messages(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E6",
 		Title:  "message/round tradeoff (round-optimal vs centralize-at-one-machine)",
@@ -122,7 +122,7 @@ func E6Messages(cfg Config) Table {
 		ccfg := core.Config{K: k, Bandwidth: core.DefaultBandwidth(n), Seed: cfg.Seed + 53}
 		res, err := triangle.Run(p, ccfg, triangle.AlgorithmOptions())
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E6 round-optimal at k=%d: %w", k, err)
 		}
 		pred := m * math.Cbrt(float64(k))
 		t.Rows = append(t.Rows, []string{
@@ -132,10 +132,10 @@ func E6Messages(cfg Config) Table {
 		})
 		cen, err := triangle.RunCentralized(p, ccfg)
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E6 centralized at k=%d: %w", k, err)
 		}
 		if cen.Count != truth || res.Count != truth {
-			panic("E6: enumeration mismatch")
+			return t, fmt.Errorf("E6 enumeration mismatch at k=%d: alg=%d centralized=%d truth=%d", k, res.Count, cen.Count, truth)
 		}
 		t.Rows = append(t.Rows, []string{
 			"centralize (O(m) msgs)", itoa(k), i64(cen.Stats.Messages), i64(cen.Stats.Rounds),
@@ -146,12 +146,12 @@ func E6Messages(cfg Config) Table {
 	t.Notes = append(t.Notes,
 		"round-optimal rows: msgs/(m·k^{1/3}) stays Θ(1) across k — the algorithm sits on Corollary 2's tradeoff curve",
 		"centralize rows: ~1 message per edge but Θ̃(m/k) rounds — exactly the strategy Corollary 2 rules out for round-optimal algorithms")
-	return t
+	return t, nil
 }
 
 // E12Triads runs the open-triad enumeration (§1.2) on a sparse random
 // graph and a star.
-func E12Triads(cfg Config) Table {
+func E12Triads(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E12",
 		Title:  "open-triad enumeration via the color-partition machinery",
@@ -176,7 +176,7 @@ func E12Triads(cfg Config) Table {
 		opts.Triads = true
 		res, err := triangle.Run(p, core.Config{K: k, Bandwidth: core.DefaultBandwidth(wl.g.N()), Seed: cfg.Seed + 67}, opts)
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E12 triads on %s: %w", wl.name, err)
 		}
 		want := wl.g.CountTriads()
 		t.Rows = append(t.Rows, []string{
@@ -184,13 +184,13 @@ func E12Triads(cfg Config) Table {
 			i64(res.Stats.Rounds), fmt.Sprintf("%v", res.Count == want),
 		})
 	}
-	return t
+	return t, nil
 }
 
 // E13Crossover probes the two terms of Theorem 5's upper bound,
 // Õ(m/k^{5/3} + n/k^{4/3}): sweeping density at fixed n and k shows
 // where the edge-volume term overtakes the per-vertex term.
-func E13Crossover(cfg Config) Table {
+func E13Crossover(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E13",
 		Title:  "density sweep: the m/k^{5/3} vs n/k^{4/3} crossover",
@@ -208,7 +208,7 @@ func E13Crossover(cfg Config) Table {
 		vp := partition.NewRVP(g, k, cfg.Seed+73)
 		res, err := triangle.Run(vp, core.Config{K: k, Bandwidth: int(b), Seed: cfg.Seed + 79}, triangle.AlgorithmOptions())
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E13 crossover at p=%g: %w", p, err)
 		}
 		mTerm := float64(g.M()) / math.Pow(float64(k), 5.0/3.0) / b
 		nTerm := float64(n) / math.Pow(float64(k), 4.0/3.0) / b
@@ -222,13 +222,13 @@ func E13Crossover(cfg Config) Table {
 		})
 	}
 	t.Notes = append(t.Notes, "the crossover density is m ≈ n·k^{1/3} (avg degree ≈ 2k^{1/3})")
-	return t
+	return t, nil
 }
 
 // E18Cliques4 exercises the §1.2 generalization to larger subgraphs:
 // 4-clique enumeration with c = ⌊k^{1/4}⌋ color classes and quadruple
 // machines, volume Θ(m·√k) over k² links.
-func E18Cliques4(cfg Config) Table {
+func E18Cliques4(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E18",
 		Title:  "4-clique enumeration (generalized color partition)",
@@ -247,7 +247,7 @@ func E18Cliques4(cfg Config) Table {
 			core.Config{K: k, Bandwidth: core.DefaultBandwidth(n), Seed: cfg.Seed + 269},
 			triangle.AlgorithmOptions())
 		if err != nil {
-			panic(err)
+			return t, fmt.Errorf("E18 4-cliques at k=%d: %w", k, err)
 		}
 		t.Rows = append(t.Rows, []string{
 			itoa(n), itoa(g.M()), itoa(k), itoa(res.Colors),
@@ -257,14 +257,14 @@ func E18Cliques4(cfg Config) Table {
 	}
 	t.Notes = append(t.Notes,
 		"volume is Θ(m·k^{1/2}) (each edge reaches Θ(c²) quadruple machines), the K_s analogue of Theorem 5's Θ(m·k^{1/3})")
-	return t
+	return t, nil
 }
 
 // trianglesAblation contributes the proxy / heavy-designation rows of
 // E14: on a star, the hub's home machine must ship half the edges when
 // designation is off, and must fan out all k^{1/3}-fold copies itself
 // when proxies are off.
-func trianglesAblation(cfg Config) [][]string {
+func trianglesAblation(cfg Config) ([][]string, error) {
 	n := 4000
 	if cfg.Quick {
 		n = 1500
@@ -273,19 +273,22 @@ func trianglesAblation(cfg Config) [][]string {
 	g := gen.Star(n)
 	p := partition.NewRVP(g, k, cfg.Seed+113)
 	ccfg := core.Config{K: k, Bandwidth: core.DefaultBandwidth(n), Seed: cfg.Seed + 127}
-	run := func(proxies, heavy bool) int64 {
+	run := func(proxies, heavy bool) (int64, error) {
 		opts := triangle.AlgorithmOptions()
 		opts.Proxies, opts.HeavyDesignation = proxies, heavy
 		res, err := triangle.Run(p, ccfg, opts)
 		if err != nil {
-			panic(err)
+			return 0, err
 		}
 		if res.Count != 0 {
-			panic("star graph produced triangles")
+			return 0, fmt.Errorf("star graph produced %d triangles", res.Count)
 		}
-		return res.Stats.Rounds
+		return res.Stats.Rounds, nil
 	}
-	full := run(true, true)
+	full, err := run(true, true)
+	if err != nil {
+		return nil, fmt.Errorf("full variant: %w", err)
+	}
 	rows := [][]string{
 		{"triangles/star", "full (§3.2)", i64(full), "1.00x"},
 	}
@@ -297,16 +300,19 @@ func trianglesAblation(cfg Config) [][]string {
 		{"no heavy designation", true, false},
 		{"neither", false, false},
 	} {
-		r := run(v.proxies, v.heavy)
+		r, err := run(v.proxies, v.heavy)
+		if err != nil {
+			return nil, fmt.Errorf("variant %q: %w", v.name, err)
+		}
 		rows = append(rows, []string{"triangles/star", v.name, i64(r), ratio(r, full)})
 	}
-	return rows
+	return rows, nil
 }
 
 // E17InfoCost audits Theorem 1's premises on live runs: the machine
 // holding the largest share of the output must have received at least
 // the information cost IC that the lower bounds plug into the GLBT.
-func E17InfoCost(cfg Config) Table {
+func E17InfoCost(cfg Config) (Table, error) {
 	t := Table{
 		ID:     "E17",
 		Title:  "information cost audit: received bits vs IC",
@@ -322,7 +328,7 @@ func E17InfoCost(cfg Config) Table {
 	p := partition.NewRVP(g, k, cfg.Seed+89)
 	res, err := triangle.Run(p, core.Config{K: k, Bandwidth: core.DefaultBandwidth(n), Seed: cfg.Seed + 97}, triangle.AlgorithmOptions())
 	if err != nil {
-		panic(err)
+		return t, fmt.Errorf("E17 triangles: %w", err)
 	}
 	truth := g.CountTriangles()
 	icTri := math.Pow(float64(truth)/float64(k), 2.0/3.0)
@@ -338,7 +344,7 @@ func E17InfoCost(cfg Config) Table {
 	prOpts.Tokens = 64
 	prRes, err := pagerank.Run(pp, core.Config{K: 8, Bandwidth: core.DefaultBandwidth(lbg.G.N()), Seed: cfg.Seed + 107}, prOpts)
 	if err != nil {
-		panic(err)
+		return t, fmt.Errorf("E17 pagerank: %w", err)
 	}
 	icPR := float64(lbg.G.M()) / 4 / 8 // m/(4k) bits, Lemma 8
 	recvPR := lowerbound.MaxMachineKnowledge(prRes.Stats, lbg.G.N())
@@ -349,5 +355,5 @@ func E17InfoCost(cfg Config) Table {
 	t.Notes = append(t.Notes,
 		"recv/IC >= 1 in all rows: no machine solved its share with less information than the GLBT says it must acquire",
 		"the polylog-sized ratio is the gap the Õ/Ω̃ notation hides")
-	return t
+	return t, nil
 }

@@ -135,11 +135,14 @@ type Config struct {
 	Seed uint64
 }
 
-// Runner is one experiment entry point.
+// Runner is one experiment entry point. Run returns an error instead
+// of panicking on I/O or cluster failures, so harnesses (kmbench, the
+// benchmarks) can name the failing experiment and keep their exit path
+// clean rather than crashing the process.
 type Runner struct {
 	ID   string
 	Name string
-	Run  func(cfg Config) Table
+	Run  func(cfg Config) (Table, error)
 }
 
 // All returns every experiment in DESIGN.md order.

@@ -15,7 +15,10 @@ func TestAllExperimentsRunQuick(t *testing.T) {
 	for _, r := range All() {
 		r := r
 		t.Run(r.ID, func(t *testing.T) {
-			table := r.Run(cfg)
+			table, err := r.Run(cfg)
+			if err != nil {
+				t.Fatalf("experiment failed: %v", err)
+			}
 			if table.ID != r.ID {
 				t.Errorf("table ID %q, want %q", table.ID, r.ID)
 			}
@@ -54,7 +57,10 @@ func TestFitExponent(t *testing.T) {
 // TestE2SpeedupDirection asserts the headline ordering: on dense inputs
 // the §3.2 algorithm beats the conversion baseline at every k.
 func TestE2SpeedupDirection(t *testing.T) {
-	table := E2Triangles(Config{Quick: true, Seed: 2})
+	table, err := E2Triangles(Config{Quick: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, row := range table.Rows {
 		if row[len(row)-1] != "true" {
 			t.Fatalf("E2 row reports incorrect enumeration: %v", row)
@@ -72,7 +78,10 @@ func TestE2SpeedupDirection(t *testing.T) {
 
 // TestE4ShapeDecreasing asserts that revealed paths shrink as k grows.
 func TestE4ShapeDecreasing(t *testing.T) {
-	table := E4RevealedPaths(Config{Quick: true, Seed: 3})
+	table, err := E4RevealedPaths(Config{Quick: true, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	var prev float64 = math.Inf(1)
 	for _, row := range table.Rows {
 		v, err := strconv.ParseFloat(row[2], 64)

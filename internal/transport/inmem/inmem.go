@@ -14,6 +14,7 @@
 package inmem
 
 import (
+	"context"
 	"fmt"
 
 	"kmachine/internal/transport"
@@ -57,8 +58,13 @@ func New[M any](k int) *Transport[M] {
 // in machine order makes inbox assembly deterministic and sender-ID
 // ordered, matching the Transport contract; the returned inboxes obey
 // the contract's ownership rule (valid until the second-following
-// Exchange).
-func (t *Transport[M]) Exchange(step int, outs [][]transport.Envelope[M]) ([][]transport.Envelope[M], error) {
+// Exchange). The loopback never blocks, so ctx is only checked once on
+// entry — a canceled run stops routing immediately but can never hang
+// here.
+func (t *Transport[M]) Exchange(ctx context.Context, step int, outs [][]transport.Envelope[M]) ([][]transport.Envelope[M], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("inmem: superstep %d canceled: %w", step, err)
+	}
 	if t.closed {
 		return nil, fmt.Errorf("inmem: Exchange on closed transport (superstep %d)", step)
 	}

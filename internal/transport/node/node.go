@@ -19,6 +19,7 @@ package node
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 
 	"kmachine/internal/core"
 	"kmachine/internal/rng"
+	"kmachine/internal/transport"
 	"kmachine/internal/transport/tcp"
 	"kmachine/internal/transport/wire"
 )
@@ -54,6 +56,17 @@ type Config struct {
 	DropPerSuperstep bool
 	// DialTimeout bounds mesh construction; 0 means tcp's default.
 	DialTimeout time.Duration
+	// Context cancels the run: the superstep loop observes it between
+	// phases and it bounds every socket operation, so canceling it
+	// tears the node down promptly with a wrapped context error. nil
+	// means Background.
+	Context context.Context
+	// SuperstepTimeout bounds each superstep's cross-machine phases
+	// (exchange, report, verdict): a peer process that crashes or
+	// wedges surfaces as a machine-attributed error within the timeout
+	// on every surviving node instead of hanging the cluster. 0 means
+	// no deadline. Happy-path Stats and outputs are unaffected.
+	SuperstepTimeout time.Duration
 }
 
 func (cfg *Config) validate() error {
@@ -92,8 +105,12 @@ func Run[M any](cfg Config, m core.Machine[M], codec wire.Codec[M]) (*core.Stats
 // RunLocal spawns the full k-machine cluster over loopback TCP inside
 // one process — every machine gets its own listener, dials every peer,
 // and runs the standalone superstep loop (kmnode's -local mode). The
-// factory is called once per machine, like core.NewCluster's.
-func RunLocal[M any](k, bandwidth int, seed uint64, maxSupersteps int, codec wire.Codec[M], factory func(core.MachineID) core.Machine[M]) (*core.Stats, error) {
+// factory is called once per machine, like core.NewCluster's. cfg is a
+// template: ID, ListenAddr, and Peers are ignored (every machine gets
+// its own loopback endpoint); K, Bandwidth, Seed, MaxSupersteps,
+// DropPerSuperstep, Context, and SuperstepTimeout apply to all.
+func RunLocal[M any](cfg Config, codec wire.Codec[M], factory func(core.MachineID) core.Machine[M]) (*core.Stats, error) {
+	k := cfg.K
 	eps, err := tcp.NewLoopbackMesh[M](k, codec)
 	if err != nil {
 		return nil, err
@@ -116,18 +133,21 @@ func RunLocal[M any](k, bandwidth int, seed uint64, maxSupersteps int, codec wir
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			cfg := Config{ID: i, K: k, Bandwidth: bandwidth, Seed: seed, MaxSupersteps: maxSupersteps}
-			if err := cfg.validate(); err == nil {
-				stats[i], errs[i] = runLoop(cfg, eps[i], machines[i])
+			mcfg := cfg
+			mcfg.ID = i
+			mcfg.ListenAddr, mcfg.Peers = "", nil
+			if err := mcfg.validate(); err == nil {
+				stats[i], errs[i] = runLoop(mcfg, eps[i], machines[i])
 			} else {
 				errs[i] = err
 			}
 			if errs[i] != nil {
 				// A node that bails early must tear its endpoint down
-				// right away: peers are blocked in deadline-free reads
-				// on its connections, and only the close unwedges them
-				// (standalone node.Run gets this from its deferred
-				// Close; here all k share the process).
+				// right away: peers may be parked in reads on its
+				// connections with no (or a long) deadline, and the
+				// close is what unwedges them immediately (standalone
+				// node.Run gets this from its deferred Close; here all
+				// k share the process).
 				eps[i].Close()
 			}
 		}(i)
@@ -146,9 +166,17 @@ func RunLocal[M any](k, bandwidth int, seed uint64, maxSupersteps int, codec wir
 	return stats[0], nil
 }
 
-// runLoop is the distributed mirror of core.Cluster.RunOn.
+// runLoop is the distributed mirror of core.Cluster.RunOn: it observes
+// cfg.Context between phases and bounds every superstep's socket
+// operations with cfg.SuperstepTimeout, so a crashed or wedged peer
+// process surfaces as a machine-attributed error within the timeout on
+// this node rather than wedging it forever.
 func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.Stats, error) {
 	r := rng.NewStream(cfg.Seed, uint64(cfg.ID))
+	runCtx := cfg.Context
+	if runCtx == nil {
+		runCtx = context.Background()
+	}
 	var coord *coordinator
 	if cfg.ID == 0 {
 		coord = newCoordinator(cfg.K, cfg.Bandwidth, cfg.DropPerSuperstep)
@@ -162,6 +190,13 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 			// all abort on the same superstep; only the coordinator has
 			// the (partial) statistics.
 			return coordStats(coord), core.ErrMaxSupersteps
+		}
+		if err := runCtx.Err(); err != nil {
+			// Tear our endpoint down before leaving: peers parked on
+			// our connections unblock immediately instead of waiting
+			// out their own deadlines.
+			ep.Close()
+			return coordStats(coord), fmt.Errorf("node: machine %d canceled before superstep %d: %w", cfg.ID, step, err)
 		}
 
 		ctx.Superstep = step
@@ -178,37 +213,15 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 			out = nil // still participate in the exchange so peers don't hang
 		}
 
-		next, exErr := ep.Exchange(step, out)
-		if exErr != nil {
-			return coordStats(coord), exErr
-		}
-		if err := ep.SendToCoordinator(rep.encode(step)); err != nil {
-			return coordStats(coord), err
-		}
-
-		var verdictPayload []byte
-		if coord != nil {
-			reports, err := ep.CollectReports()
-			if err != nil {
-				return coordStats(coord), err
-			}
-			verdictPayload, err = coord.process(step, reports)
-			if err != nil {
-				return coordStats(coord), err
-			}
-			if err := ep.Broadcast(verdictPayload); err != nil {
-				return coordStats(coord), err
-			}
-		} else {
-			var err error
-			verdictPayload, err = ep.ReceiveVerdict()
-			if err != nil {
-				return nil, err
-			}
-		}
-
-		v, err := decodeVerdict(verdictPayload)
+		v, next, err := superstepRound(cfg, ep, coord, runCtx, step, out, &rep)
 		if err != nil {
+			// When the run context died mid-superstep the transport
+			// error is just the shrapnel of the teardown (closed
+			// connections, aborted reads); report the cancellation as
+			// the cause so callers can errors.Is it.
+			if cErr := runCtx.Err(); cErr != nil {
+				err = fmt.Errorf("node: machine %d canceled in superstep %d: %w (teardown: %v)", cfg.ID, step, cErr, err)
+			}
 			return coordStats(coord), err
 		}
 		switch v.kind {
@@ -220,6 +233,89 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 			return coordStats(coord), errors.New(v.errMsg)
 		}
 	}
+}
+
+// superstepRound runs the cross-machine phases of one superstep —
+// exchange, report, verdict — under one per-superstep deadline. The
+// failure protocol: a node whose Step failed still exchanges (an empty
+// batch) and carries the error in its report, so the coordinator learns
+// of it and broadcasts an abort verdict that every surviving machine
+// returns as the same error; a node that dies outright is detected by
+// its peers' bounded reads (exchange) or the coordinator's bounded
+// CollectReports, and the coordinator then broadcasts the abort best
+// effort over whatever control connections remain before failing
+// itself. Transport-level failures arrive as *transport.MachineError
+// with machine/superstep attribution from the tcp layer.
+func superstepRound[M any](cfg Config, ep *tcp.Endpoint[M], coord *coordinator, runCtx context.Context, step int, out []core.Envelope[M], rep *report) (verdict, []core.Envelope[M], error) {
+	sctx := runCtx
+	if cfg.SuperstepTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(runCtx, cfg.SuperstepTimeout)
+		defer cancel()
+	}
+
+	next, err := ep.Exchange(sctx, step, out)
+	if err != nil {
+		return verdict{}, nil, err
+	}
+	if err := ep.SendToCoordinator(sctx, rep.encode(step)); err != nil {
+		return verdict{}, nil, fmt.Errorf("node: machine %d report (superstep %d): %w", cfg.ID, step, err)
+	}
+
+	var verdictPayload []byte
+	if coord != nil {
+		reports, err := ep.CollectReports(sctx, step)
+		if err != nil {
+			// A report that never arrived means a peer died between the
+			// exchange and its report. Propagate the abort to the
+			// survivors — best effort, over whatever control
+			// connections still work — so they return an attributed
+			// error instead of waiting out their own deadlines.
+			abortBroadcast(ep, sctx, err)
+			return verdict{}, nil, err
+		}
+		verdictPayload, err = coord.process(step, reports)
+		if err != nil {
+			abortBroadcast(ep, sctx, err)
+			return verdict{}, nil, err
+		}
+		if err := ep.Broadcast(sctx, verdictPayload); err != nil {
+			return verdict{}, nil, err
+		}
+	} else {
+		var err error
+		verdictPayload, err = ep.ReceiveVerdict(sctx)
+		if err != nil {
+			// No verdict within the deadline: the coordinator (or the
+			// path to it) is gone. Attribute the wait to machine 0 —
+			// unless the tcp layer already attributed a more specific
+			// culprit.
+			var me *transport.MachineError
+			if !errors.As(err, &me) {
+				err = &transport.MachineError{Machine: 0, Superstep: step,
+					Err: fmt.Errorf("node: machine %d verdict wait: %w", cfg.ID, err)}
+			}
+			return verdict{}, nil, err
+		}
+	}
+
+	v, err := decodeVerdict(verdictPayload)
+	if err != nil {
+		return verdict{}, nil, err
+	}
+	return v, next, nil
+}
+
+// abortBroadcast ships an abort verdict to every peer, best effort.
+// The coordinator reaches here precisely when the superstep context has
+// failed (an expired deadline is the common case), so the writes run
+// under a fresh short deadline — reusing the dead context would make
+// every abort write fail instantly and leave the survivors to time out
+// blaming the coordinator instead of the real culprit.
+func abortBroadcast[M any](ep *tcp.Endpoint[M], sctx context.Context, cause error) {
+	actx, cancel := context.WithTimeout(context.WithoutCancel(sctx), 2*time.Second)
+	defer cancel()
+	_ = ep.Broadcast(actx, encodeAbort(cause.Error()))
 }
 
 // coordStats returns the coordinator's (possibly partial) statistics

@@ -62,7 +62,7 @@ func ringFactory(t *testing.T, k int) func(core.MachineID) core.Machine[echoMsg]
 
 func TestRunLocalRingMatchesCoreStats(t *testing.T) {
 	const k = 5
-	nodeStats, err := node.RunLocal(k, 2, 7, 0, echoCodec{}, ringFactory(t, k))
+	nodeStats, err := node.RunLocal(node.Config{K: k, Bandwidth: 2, Seed: 7}, echoCodec{}, ringFactory(t, k))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestRunLocalRingMatchesCoreStats(t *testing.T) {
 }
 
 func TestRunLocalMaxSuperstepsAborts(t *testing.T) {
-	_, err := node.RunLocal(3, 1, 1, 4, echoCodec{}, func(core.MachineID) core.Machine[echoMsg] {
+	_, err := node.RunLocal(node.Config{K: 3, Bandwidth: 1, Seed: 1, MaxSupersteps: 4}, echoCodec{}, func(core.MachineID) core.Machine[echoMsg] {
 		return core.MachineFunc[echoMsg](func(*core.StepContext, []core.Envelope[echoMsg]) ([]core.Envelope[echoMsg], bool) {
 			return nil, false // never done
 		})
@@ -98,7 +98,7 @@ func TestRunLocalMaxSuperstepsAborts(t *testing.T) {
 }
 
 func TestRunLocalPanicAbortsCluster(t *testing.T) {
-	_, err := node.RunLocal(3, 1, 1, 0, echoCodec{}, func(id core.MachineID) core.Machine[echoMsg] {
+	_, err := node.RunLocal(node.Config{K: 3, Bandwidth: 1, Seed: 1}, echoCodec{}, func(id core.MachineID) core.Machine[echoMsg] {
 		return core.MachineFunc[echoMsg](func(ctx *core.StepContext, _ []core.Envelope[echoMsg]) ([]core.Envelope[echoMsg], bool) {
 			if ctx.Self == 1 && ctx.Superstep == 1 {
 				panic("boom")
@@ -132,7 +132,7 @@ func TestRunLocalPageRankMatchesInMemory(t *testing.T) {
 	}
 
 	machines := make([]*pagerank.NodeMachine, k)
-	nodeStats, err := node.RunLocal(k, bw, seed+2, 0, pagerank.WireCodec(),
+	nodeStats, err := node.RunLocal(node.Config{K: k, Bandwidth: bw, Seed: seed + 2}, pagerank.WireCodec(),
 		func(id core.MachineID) core.Machine[pagerank.Wire] {
 			m, err := pagerank.NewNodeMachine(p.View(id), opts)
 			if err != nil {

@@ -17,8 +17,11 @@
 package tcp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"time"
@@ -255,12 +258,60 @@ func (e *Endpoint[M]) acceptAll(want int, deadline time.Time) error {
 	return nil
 }
 
+// ioGuard applies ctx to the endpoint's blocking socket I/O. It returns
+// the connection deadline to install before each read/write (zero when
+// ctx has none, which clears any deadline left by a previous superstep)
+// and a release function the operation must call before returning.
+// While the operation is in flight, cancellation of ctx closes the
+// whole endpoint: Close is the only way to unblock conns that are
+// already parked in a read, and a canceled run is over anyway — the
+// mesh is single-run and not restartable after a failure.
+func (e *Endpoint[M]) ioGuard(ctx context.Context) (deadline time.Time, release func()) {
+	if d, ok := ctx.Deadline(); ok {
+		deadline = d
+	}
+	if ctx.Done() == nil {
+		return deadline, func() {}
+	}
+	stop := context.AfterFunc(ctx, func() {
+		// Only explicit cancellation closes here: deadline expiry is
+		// already enforced by the connection deadlines installed above,
+		// and letting them fire keeps the error deterministically
+		// os.ErrDeadlineExceeded instead of racing it against a close.
+		// ctx.Err() (not Cause) is what distinguishes the two — it is
+		// context.Canceled for every cancellation, including one with a
+		// custom cause via WithCancelCause.
+		if errors.Is(ctx.Err(), context.Canceled) {
+			e.Close()
+		}
+	})
+	return deadline, func() { stop() }
+}
+
+// attributed wraps a per-peer failure as a transport.MachineError naming
+// the peer machine and superstep, translating an expired I/O deadline
+// into a diagnosis the caller can act on.
+func attributed(peer, step int, err error) error {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		err = fmt.Errorf("no data within the superstep deadline (peer crashed or wedged?): %w", err)
+	}
+	return &transport.MachineError{Machine: transport.MachineID(peer), Superstep: step, Err: err}
+}
+
 // Exchange ships this machine's superstep batch to every peer and
 // collects the peers' batches: one frame per directed pair, empty
 // batches included. Self-addressed envelopes never touch a socket. The
 // returned inbox is assembled in sender-ID order, self-addressed
 // envelopes at position e.id, exactly like the loopback transport.
-func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transport.Envelope[M], error) {
+//
+// ctx bounds the whole superstep: its deadline is installed on every
+// connection before I/O, so a dead or wedged peer surfaces as a
+// *transport.MachineError (wrapping os.ErrDeadlineExceeded) within the
+// deadline, and cancellation tears the endpoint down, unblocking every
+// parked read. After any error the endpoint is closed and unusable.
+func (e *Endpoint[M]) Exchange(ctx context.Context, step int, out []transport.Envelope[M]) ([]transport.Envelope[M], error) {
+	dl, release := e.ioGuard(ctx)
+	defer release()
 	perDest := e.perDest
 	for j := range perDest {
 		perDest[j] = perDest[j][:0]
@@ -278,11 +329,12 @@ func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transpo
 	errs := make([]error, 2*e.k)
 
 	// On any error, tear the endpoint down immediately: the peers (and
-	// our own reader goroutines below) are blocked in reads with no
-	// deadline, and closing the connections is what converts a wedged
-	// cluster into an error cascade — each endpoint's failed read
-	// closes it in turn. Without this a single broken connection
-	// deadlocks Exchange forever.
+	// our own reader goroutines below) are parked in reads bounded only
+	// by ctx's deadline — which may be absent — and closing the
+	// connections is what converts a wedged cluster into an error
+	// cascade right away: each endpoint's failed read closes it in
+	// turn. Without this a single broken connection would stall every
+	// machine until the deadline (or forever without one).
 	fail := func(slot int, err error) {
 		errs[slot] = err
 		e.Close()
@@ -298,6 +350,7 @@ func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transpo
 			if j == e.id {
 				continue
 			}
+			e.out[j].c.SetWriteDeadline(dl)
 			buf, err := wire.AppendBatch(e.tx[j][:0], step, transport.MachineID(e.id), perDest[j], e.codec)
 			e.tx[j] = buf[:0]
 			if err == nil {
@@ -306,7 +359,7 @@ func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transpo
 				}
 			}
 			if err != nil {
-				fail(j, fmt.Errorf("tcp: machine %d send to %d (superstep %d): %w", e.id, j, step, err))
+				fail(j, attributed(j, step, fmt.Errorf("tcp: machine %d send to %d: %w", e.id, j, err)))
 				return
 			}
 		}
@@ -326,30 +379,48 @@ func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transpo
 			// per-peer, so each is touched by exactly one goroutine; the
 			// decoded values are copied into the inbox below, freeing
 			// both for reuse next superstep.
+			e.in[j].c.SetReadDeadline(dl)
 			frame, err := wire.ReadFrameInto(e.in[j].r, e.frame[j])
 			if err != nil {
-				fail(e.k+j, fmt.Errorf("tcp: machine %d recv from %d (superstep %d): %w", e.id, j, step, err))
+				fail(e.k+j, attributed(j, step, fmt.Errorf("tcp: machine %d recv from %d: %w", e.id, j, err)))
 				return
 			}
 			e.frame[j] = frame[:0]
 			gotStep, from, envs, err := wire.DecodeBatchInto(frame, e.codec, e.rx[j])
 			if err != nil {
-				fail(e.k+j, fmt.Errorf("tcp: machine %d decode from %d: %w", e.id, j, err))
+				fail(e.k+j, attributed(j, step, fmt.Errorf("tcp: machine %d decode from %d: %w", e.id, j, err)))
 				return
 			}
 			if gotStep != step || int(from) != j {
-				fail(e.k+j, fmt.Errorf("tcp: machine %d expected (superstep %d, from %d), got (%d, %d)",
-					e.id, step, j, gotStep, from))
+				fail(e.k+j, attributed(j, step, fmt.Errorf("tcp: machine %d expected (superstep %d, from %d), got (%d, %d)",
+					e.id, step, j, gotStep, from)))
 				return
 			}
 			perSender[j] = envs
 		}(j)
 	}
 	wg.Wait()
+	// Pick the error that diagnoses the failure, not the teardown: once
+	// one goroutine's fail() closes the endpoint, the others' I/O dies
+	// with net.ErrClosed — shrapnel of OUR close, attributed to peers
+	// that may be perfectly healthy. An error that is not net.ErrClosed
+	// (a peer's reset connection, EOF, an expired deadline) names the
+	// actual culprit, so it wins.
+	var shrapnel error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		if errors.Is(err, net.ErrClosed) {
+			if shrapnel == nil {
+				shrapnel = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if shrapnel != nil {
+		return nil, shrapnel
 	}
 
 	// Assemble the inbox in sender-ID order into the double-buffered
@@ -378,13 +449,17 @@ func (e *Endpoint[M]) Exchange(step int, out []transport.Envelope[M]) ([]transpo
 	return inbox, nil
 }
 
-// SendToCoordinator ships one control payload to machine 0. On the
-// coordinator itself the payload loops back locally.
-func (e *Endpoint[M]) SendToCoordinator(payload []byte) error {
+// SendToCoordinator ships one control payload to machine 0, bounded by
+// ctx's deadline. On the coordinator itself the payload loops back
+// locally.
+func (e *Endpoint[M]) SendToCoordinator(ctx context.Context, payload []byte) error {
 	if e.id == 0 {
 		e.ownQueue = append(e.ownQueue, payload)
 		return nil
 	}
+	dl, release := e.ioGuard(ctx)
+	defer release()
+	e.ctrl.c.SetWriteDeadline(dl)
 	if err := wire.WriteFrame(e.ctrl.w, payload); err != nil {
 		return err
 	}
@@ -393,14 +468,19 @@ func (e *Endpoint[M]) SendToCoordinator(payload []byte) error {
 
 // CollectReports (coordinator only) returns one control payload per
 // machine, indexed by machine ID; position 0 is the coordinator's own
-// loop-back payload.
-func (e *Endpoint[M]) CollectReports() ([][]byte, error) {
+// loop-back payload. A machine whose report does not arrive within
+// ctx's deadline surfaces as a *transport.MachineError naming it and
+// step — this is where the coordinator detects a dead peer between
+// supersteps.
+func (e *Endpoint[M]) CollectReports(ctx context.Context, step int) ([][]byte, error) {
 	if e.id != 0 {
 		return nil, fmt.Errorf("tcp: machine %d is not the coordinator", e.id)
 	}
 	if len(e.ownQueue) == 0 {
 		return nil, fmt.Errorf("tcp: coordinator has no local report queued")
 	}
+	dl, release := e.ioGuard(ctx)
+	defer release()
 	reports := make([][]byte, e.k)
 	reports[0] = e.ownQueue[0]
 	e.ownQueue = e.ownQueue[1:]
@@ -410,9 +490,10 @@ func (e *Endpoint[M]) CollectReports() ([][]byte, error) {
 		wg.Add(1)
 		go func(j int) {
 			defer wg.Done()
+			e.ctrlIn[j].c.SetReadDeadline(dl)
 			frame, err := wire.ReadFrame(e.ctrlIn[j].r)
 			if err != nil {
-				errs[j] = fmt.Errorf("tcp: coordinator read report from %d: %w", j, err)
+				errs[j] = attributed(j, step, fmt.Errorf("tcp: coordinator read report from %d: %w", j, err))
 				return
 			}
 			reports[j] = frame
@@ -428,41 +509,52 @@ func (e *Endpoint[M]) CollectReports() ([][]byte, error) {
 }
 
 // Broadcast (coordinator only) sends one control payload to every other
-// machine.
-func (e *Endpoint[M]) Broadcast(payload []byte) error {
+// machine. Delivery is attempted to EVERY peer even after a failure —
+// an abort verdict must reach the surviving machines when one peer's
+// control connection is already dead — and the first error is returned
+// after the full sweep.
+func (e *Endpoint[M]) Broadcast(ctx context.Context, payload []byte) error {
 	if e.id != 0 {
 		return fmt.Errorf("tcp: machine %d is not the coordinator", e.id)
 	}
+	dl, release := e.ioGuard(ctx)
+	defer release()
+	var first error
 	for j := 1; j < e.k; j++ {
-		if err := wire.WriteFrame(e.ctrlIn[j].w, payload); err != nil {
-			return fmt.Errorf("tcp: coordinator broadcast to %d: %w", j, err)
+		e.ctrlIn[j].c.SetWriteDeadline(dl)
+		err := wire.WriteFrame(e.ctrlIn[j].w, payload)
+		if err == nil {
+			err = e.ctrlIn[j].w.Flush()
 		}
-		if err := e.ctrlIn[j].w.Flush(); err != nil {
-			return fmt.Errorf("tcp: coordinator broadcast to %d: %w", j, err)
+		if err != nil && first == nil {
+			first = fmt.Errorf("tcp: coordinator broadcast to %d: %w", j, err)
 		}
 	}
-	return nil
+	return first
 }
 
 // ReceiveVerdict (non-coordinator) blocks for the coordinator's next
-// control payload.
-func (e *Endpoint[M]) ReceiveVerdict() ([]byte, error) {
+// control payload, bounded by ctx's deadline.
+func (e *Endpoint[M]) ReceiveVerdict(ctx context.Context) ([]byte, error) {
 	if e.id == 0 {
 		return nil, fmt.Errorf("tcp: the coordinator does not receive verdicts")
 	}
+	dl, release := e.ioGuard(ctx)
+	defer release()
+	e.ctrl.c.SetReadDeadline(dl)
 	return wire.ReadFrame(e.ctrl.r)
 }
 
 // Barrier runs one coordinator-driven superstep barrier: every machine
 // reports "superstep done" to machine 0, which releases them all once
-// the last report is in.
-func (e *Endpoint[M]) Barrier(step int) error {
+// the last report is in. ctx bounds both directions.
+func (e *Endpoint[M]) Barrier(ctx context.Context, step int) error {
 	payload := wire.AppendUvarint(nil, uint64(step))
-	if err := e.SendToCoordinator(payload); err != nil {
+	if err := e.SendToCoordinator(ctx, payload); err != nil {
 		return fmt.Errorf("tcp: machine %d barrier send (superstep %d): %w", e.id, step, err)
 	}
 	if e.id == 0 {
-		reports, err := e.CollectReports()
+		reports, err := e.CollectReports(ctx, step)
 		if err != nil {
 			return fmt.Errorf("tcp: barrier collect (superstep %d): %w", step, err)
 		}
@@ -472,9 +564,9 @@ func (e *Endpoint[M]) Barrier(step int) error {
 				return fmt.Errorf("tcp: barrier report from %d: step %d, want %d (err=%v)", j, got, step, err)
 			}
 		}
-		return e.Broadcast(payload)
+		return e.Broadcast(ctx, payload)
 	}
-	release, err := e.ReceiveVerdict()
+	release, err := e.ReceiveVerdict(ctx)
 	if err != nil {
 		return fmt.Errorf("tcp: machine %d barrier release (superstep %d): %w", e.id, step, err)
 	}
@@ -485,7 +577,11 @@ func (e *Endpoint[M]) Barrier(step int) error {
 	return nil
 }
 
-// Close tears down the listener and every connection.
+// Close tears down the listener and every connection, unblocking all
+// pending I/O on them. It is idempotent — concurrent and repeated calls
+// are safe and return the first call's result — which is what lets the
+// error-cascade teardown, context cancellation (ioGuard), and the
+// caller's own deferred Close coexist.
 func (e *Endpoint[M]) Close() error {
 	e.closeOnce.Do(func() {
 		var errs []string
@@ -584,8 +680,9 @@ func New[M any](k int, codec wire.Codec[M]) (*Transport[M], error) {
 
 // Exchange implements transport.Transport: each endpoint ships its
 // batch over its sockets concurrently, then all pass the coordinator
-// barrier before any inbox is released to the cluster.
-func (t *Transport[M]) Exchange(step int, outs [][]transport.Envelope[M]) ([][]transport.Envelope[M], error) {
+// barrier before any inbox is released to the cluster. ctx bounds the
+// whole superstep on every endpoint.
+func (t *Transport[M]) Exchange(ctx context.Context, step int, outs [][]transport.Envelope[M]) ([][]transport.Envelope[M], error) {
 	k := len(t.eps)
 	if len(outs) != k {
 		return nil, fmt.Errorf("tcp: got %d outboxes for a %d-machine cluster", len(outs), k)
@@ -601,7 +698,7 @@ func (t *Transport[M]) Exchange(step int, outs [][]transport.Envelope[M]) ([][]t
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			inbox, err := t.eps[i].Exchange(step, outs[i])
+			inbox, err := t.eps[i].Exchange(ctx, step, outs[i])
 			if err != nil {
 				// Exchange already closed the endpoint; the close
 				// cascades error returns to every peer blocked on this
@@ -609,7 +706,7 @@ func (t *Transport[M]) Exchange(step int, outs [][]transport.Envelope[M]) ([][]t
 				errs[i] = err
 				return
 			}
-			if err := t.eps[i].Barrier(step); err != nil {
+			if err := t.eps[i].Barrier(ctx, step); err != nil {
 				t.eps[i].Close()
 				errs[i] = err
 				return
@@ -618,12 +715,49 @@ func (t *Transport[M]) Exchange(step int, outs [][]transport.Envelope[M]) ([][]t
 		}(i)
 	}
 	wg.Wait()
+	// Prefer the error that diagnoses the failure: a machine-attributed
+	// error that is not close-shrapnel (net.ErrClosed from our own
+	// cascade teardown) beats an attributed shrapnel error, which beats
+	// an unattributed one. When machine j dies, the survivors' errors
+	// name j while j's own endpoint reports only its severed sockets.
+	var attributed, first error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
+		}
+		var me *transport.MachineError
+		if errors.As(err, &me) {
+			if !errors.Is(err, net.ErrClosed) {
+				return nil, err
+			}
+			if attributed == nil {
+				attributed = err
+			}
+		}
+		if first == nil {
+			first = err
 		}
 	}
+	if attributed != nil {
+		return nil, attributed
+	}
+	if first != nil {
+		return nil, first
+	}
 	return inboxes, nil
+}
+
+// SeverMachine forcibly closes machine i's endpoint — its listener and
+// every connection — simulating that machine's process dying mid-run.
+// Survivors observe the severed connections as attributed errors on
+// their next (or in-flight) Exchange. It exists for fault injection:
+// transport/chaos's drop-connection fault calls it to make "peer died"
+// deterministically reproducible in tests.
+func (t *Transport[M]) SeverMachine(i int) error {
+	if i < 0 || i >= len(t.eps) {
+		return fmt.Errorf("tcp: cannot sever machine %d of %d", i, len(t.eps))
+	}
+	return t.eps[i].Close()
 }
 
 // Close tears down every endpoint.

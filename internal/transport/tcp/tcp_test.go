@@ -1,13 +1,18 @@
 package tcp
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"os"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
 
 	"kmachine/internal/rng"
+	"kmachine/internal/testutil"
 	"kmachine/internal/transport"
 	"kmachine/internal/transport/inmem"
 	"kmachine/internal/transport/wire"
@@ -58,11 +63,11 @@ func TestTCPExchangeMatchesLoopback(t *testing.T) {
 	for step := 0; step < 30; step++ {
 		outsT := randomOuts(rT, k)
 		outsL := randomOuts(rL, k)
-		got, err := tr.Exchange(step, outsT)
+		got, err := tr.Exchange(context.Background(), step, outsT)
 		if err != nil {
 			t.Fatalf("superstep %d: %v", step, err)
 		}
-		want, err := lb.Exchange(step, outsL)
+		want, err := lb.Exchange(context.Background(), step, outsL)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -84,7 +89,7 @@ func TestTCPEmptySuperstep(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Close()
-	inboxes, err := tr.Exchange(0, make([][]transport.Envelope[testMsg], k))
+	inboxes, err := tr.Exchange(context.Background(), 0, make([][]transport.Envelope[testMsg], k))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +111,7 @@ func TestBrokenConnectionErrorsInsteadOfDeadlocking(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer tr.Close()
-	if _, err := tr.Exchange(0, make([][]transport.Envelope[testMsg], k)); err != nil {
+	if _, err := tr.Exchange(context.Background(), 0, make([][]transport.Envelope[testMsg], k)); err != nil {
 		t.Fatalf("healthy superstep: %v", err)
 	}
 	// Sever one data connection behind the transport's back.
@@ -114,7 +119,7 @@ func TestBrokenConnectionErrorsInsteadOfDeadlocking(t *testing.T) {
 
 	done := make(chan error, 1)
 	go func() {
-		_, err := tr.Exchange(1, make([][]transport.Envelope[testMsg], k))
+		_, err := tr.Exchange(context.Background(), 1, make([][]transport.Envelope[testMsg], k))
 		done <- err
 	}()
 	select {
@@ -145,7 +150,7 @@ func TestEndpointBarrierSynchronises(t *testing.T) {
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				errs[i] = eps[i].Barrier(step)
+				errs[i] = eps[i].Barrier(context.Background(), step)
 			}(i)
 		}
 		wg.Wait()
@@ -174,12 +179,12 @@ func TestCoordinatorReportVerdictRoundTrip(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			if err := eps[i].SendToCoordinator([]byte(fmt.Sprintf("report-%d", i))); err != nil {
+			if err := eps[i].SendToCoordinator(context.Background(), []byte(fmt.Sprintf("report-%d", i))); err != nil {
 				errs[i] = err
 				return
 			}
 			if i == 0 {
-				reports, err := eps[0].CollectReports()
+				reports, err := eps[0].CollectReports(context.Background(), 0)
 				if err != nil {
 					errs[0] = err
 					return
@@ -190,10 +195,10 @@ func TestCoordinatorReportVerdictRoundTrip(t *testing.T) {
 						return
 					}
 				}
-				errs[0] = eps[0].Broadcast([]byte("verdict"))
+				errs[0] = eps[0].Broadcast(context.Background(), []byte("verdict"))
 				return
 			}
-			v, err := eps[i].ReceiveVerdict()
+			v, err := eps[i].ReceiveVerdict(context.Background())
 			if err != nil {
 				errs[i] = err
 				return
@@ -209,4 +214,119 @@ func TestCoordinatorReportVerdictRoundTrip(t *testing.T) {
 			t.Fatalf("machine %d: %v", i, err)
 		}
 	}
+}
+
+// TestExchangeDeadlineOnWedgedPeer is the regression test for the
+// original hang: a peer that is alive but never ships its superstep
+// batch must surface as a machine-attributed os.ErrDeadlineExceeded
+// within the context deadline, not block forever.
+func TestExchangeDeadlineOnWedgedPeer(t *testing.T) {
+	base := runtime.NumGoroutine()
+	eps, err := NewLoopbackMesh[testMsg](2, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, e := range eps {
+			e.Close()
+		}
+		testutil.NoLeakedGoroutines(t, base)
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	// Machine 1 never calls Exchange: machine 0's read of its batch can
+	// only end by deadline.
+	_, err = eps[0].Exchange(ctx, 0, nil)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("Exchange against a wedged peer succeeded")
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("deadline took %v to fire, want ~200ms", elapsed)
+	}
+	var me *transport.MachineError
+	if !errors.As(err, &me) {
+		t.Fatalf("error %v carries no machine attribution", err)
+	}
+	if me.Machine != 1 || me.Superstep != 0 {
+		t.Errorf("attributed to machine %d superstep %d, want 1/0", me.Machine, me.Superstep)
+	}
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Errorf("error %v does not wrap os.ErrDeadlineExceeded", err)
+	}
+}
+
+// TestExchangeCancellationUnblocks: with no deadline at all, canceling
+// the context must still tear the endpoint down and unblock the read.
+func TestExchangeCancellationUnblocks(t *testing.T) {
+	eps, err := NewLoopbackMesh[testMsg](2, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, e := range eps {
+			e.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[0].Exchange(ctx, 0, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Exchange succeeded under a canceled context with a wedged peer")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not unblock Exchange")
+	}
+}
+
+// TestCloseIdempotent: Close must be safe to call repeatedly and
+// concurrently — the error cascade, context cancellation, and deferred
+// cleanup all close the same endpoint.
+func TestCloseIdempotent(t *testing.T) {
+	eps, err := NewLoopbackMesh[testMsg](3, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for _, e := range eps {
+		for i := 0; i < 4; i++ {
+			wg.Add(1)
+			go func(e *Endpoint[testMsg]) {
+				defer wg.Done()
+				e.Close()
+			}(e)
+		}
+	}
+	wg.Wait()
+	for i, e := range eps {
+		if got, again := e.Close(), e.Close(); got != again {
+			t.Errorf("endpoint %d: repeated Close returned %v then %v", i, got, again)
+		}
+	}
+}
+
+// TestTransportCloseIdempotent mirrors the endpoint check on the
+// cluster-side Transport, including Close after SeverMachine.
+func TestTransportCloseIdempotent(t *testing.T) {
+	tr, err := New[testMsg](3, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.SeverMachine(1); err != nil {
+		t.Fatalf("sever: %v", err)
+	}
+	tr.Close()
+	tr.Close()
 }

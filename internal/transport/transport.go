@@ -23,6 +23,11 @@
 //     of a cluster whose peers live in other processes (cmd/kmnode).
 package transport
 
+import (
+	"context"
+	"fmt"
+)
+
 // MachineID identifies one of the k machines.
 type MachineID int32
 
@@ -46,6 +51,16 @@ type Envelope[M any] struct {
 // machine's batch has been routed, so a superstep cannot overtake a
 // straggler.
 //
+// Failure contract. ctx bounds the superstep: implementations that can
+// block on remote machines must observe ctx's deadline and cancellation
+// so a crashed or wedged peer surfaces as an error within the deadline
+// instead of an indefinite hang. When the failure can be attributed to
+// a specific machine, the returned error wraps a *MachineError naming
+// it and the superstep. Exchange is not restartable after an error: an
+// implementation may tear down its resources to unblock peers (the tcp
+// mesh does), so the caller must treat any Exchange error as fatal for
+// the run and Close the transport.
+//
 // A Transport carries payloads verbatim and must preserve both the
 // per-sender envelope order and the Words field — the accounting in
 // core depends on it.
@@ -62,12 +77,40 @@ type Envelope[M any] struct {
 // and must not retain or mutate it afterwards, so machines may recycle
 // their outbox slices across supersteps.
 type Transport[M any] interface {
-	Exchange(step int, outs [][]Envelope[M]) (inboxes [][]Envelope[M], err error)
+	Exchange(ctx context.Context, step int, outs [][]Envelope[M]) (inboxes [][]Envelope[M], err error)
 
-	// Close releases transport resources (listeners, connections).
+	// Close releases transport resources (listeners, connections) and
+	// unblocks any I/O still pending on them. It is safe to call more
+	// than once and from a goroutine other than the one in Exchange;
 	// Exchange must not be called after Close.
 	Close() error
 }
+
+// MachineError attributes a distributed-runtime failure to the machine
+// it was observed against and the superstep in which it surfaced. The
+// tcp substrate wraps every per-peer receive/send failure (including
+// os.ErrDeadlineExceeded from an expired superstep deadline) in one, so
+// "peer j died" reaches the caller as a bounded, attributed error
+// rather than an anonymous hang; the chaos transport synthesizes them
+// for injected faults. Extract with errors.As; Unwrap exposes the
+// underlying cause for errors.Is checks.
+type MachineError struct {
+	// Machine is the peer the failure is attributed to — the machine
+	// that crashed, wedged, or was killed, not the one reporting.
+	Machine MachineID
+	// Superstep is the superstep in which the failure surfaced.
+	Superstep int
+	// Err is the underlying cause.
+	Err error
+}
+
+// Error implements error.
+func (e *MachineError) Error() string {
+	return fmt.Sprintf("machine %d failed in superstep %d: %v", e.Machine, e.Superstep, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *MachineError) Unwrap() error { return e.Err }
 
 // Kind names a Transport implementation for configuration surfaces
 // (core.Config.Transport, kmachine.RunConfig.Transport).

@@ -30,6 +30,9 @@
 package kmachine
 
 import (
+	"context"
+	"time"
+
 	"kmachine/internal/algo"
 	_ "kmachine/internal/algo/all"
 	"kmachine/internal/conncomp"
@@ -137,6 +140,18 @@ type RunConfig struct {
 	// long runs' memory footprint constant. All other Stats fields are
 	// unaffected.
 	DropPerSuperstep bool
+	// Context cancels the run: the cluster observes it between
+	// superstep phases and every transport operation is bounded by it,
+	// so canceling aborts the computation with a wrapped context error
+	// instead of running (or hanging) to completion. nil means
+	// context.Background.
+	Context context.Context
+	// SuperstepTimeout bounds each superstep's cross-machine phases: on
+	// socket substrates a machine that crashes or wedges mid-superstep
+	// surfaces as a machine-attributed error within the timeout instead
+	// of hanging the cluster. 0 means no deadline. The happy path —
+	// Stats, outputs, determinism — is identical with or without one.
+	SuperstepTimeout time.Duration
 }
 
 // coreConfig is the shared translation of a RunConfig into the
@@ -148,6 +163,8 @@ func (rc RunConfig) coreConfig(k, bandwidth int, seed uint64) core.Config {
 		Seed:             seed,
 		Transport:        rc.Transport,
 		DropPerSuperstep: rc.DropPerSuperstep,
+		Context:          rc.Context,
+		SuperstepTimeout: rc.SuperstepTimeout,
 	}
 }
 
