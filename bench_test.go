@@ -17,6 +17,7 @@ import (
 	"kmachine/internal/pagerank"
 	"kmachine/internal/partition"
 	"kmachine/internal/routing"
+	"kmachine/internal/transport"
 	"kmachine/internal/triangle"
 )
 
@@ -98,6 +99,35 @@ func BenchmarkPageRankBaseline(b *testing.B) {
 			opts := pagerank.ConversionBaseline(0.15)
 			opts.Tokens, opts.Iterations = 8, 30
 			cfg := core.Config{K: k, Bandwidth: core.DefaultBandwidth(g.N()), Seed: 3}
+			b.ReportAllocs()
+			b.ResetTimer()
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				res, err := pagerank.Run(p, cfg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rounds = res.Stats.Rounds
+			}
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+	}
+}
+
+// BenchmarkPageRankAlgorithm1TCP is the end-to-end benchmark of the
+// real-deployment path: the same PageRank workload as above, but every
+// envelope crossing loopback TCP sockets through the persistent
+// exchange pipeline (encode, frame, decode, coordinator barrier). The
+// gap to BenchmarkPageRankAlgorithm1 is the total substrate cost.
+func BenchmarkPageRankAlgorithm1TCP(b *testing.B) {
+	for _, k := range []int{8, 16} {
+		b.Run(fmt.Sprintf("gnp/n=2000/k=%d", k), func(b *testing.B) {
+			g := gen.Gnp(2000, 0.006, 1)
+			p := partition.NewRVP(g, k, 2)
+			opts := pagerank.AlgorithmOne(0.15)
+			opts.Tokens, opts.Iterations = 8, 30
+			cfg := core.Config{K: k, Bandwidth: core.DefaultBandwidth(g.N()), Seed: 3,
+				Transport: transport.TCP}
 			b.ReportAllocs()
 			b.ResetTimer()
 			var rounds int64

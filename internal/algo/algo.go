@@ -34,6 +34,7 @@ import (
 
 	"kmachine/internal/core"
 	"kmachine/internal/partition"
+	"kmachine/internal/transport"
 	"kmachine/internal/transport/node"
 	"kmachine/internal/transport/wire"
 )
@@ -72,11 +73,19 @@ type Algorithm[M, L, O any] struct {
 // in-process cluster, resolving cfg.Transport with the descriptor's
 // codec. It returns the merged output and the measured Stats.
 func Run[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, cfg core.Config) (O, *core.Stats, error) {
+	out, stats, _, err := RunWire(a, p, cfg)
+	return out, stats, err
+}
+
+// RunWire is Run additionally reporting the substrate's physical
+// bytes-on-wire (zero for the loopback): the paper-level Stats describe
+// the model's words, the WireStats what the sockets actually carried.
+func RunWire[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, cfg core.Config) (O, *core.Stats, transport.WireStats, error) {
 	var zero O
 	if cfg.K != p.K {
-		return zero, nil, fmt.Errorf("%s: cluster k=%d but partition k=%d", a.Name, cfg.K, p.K)
+		return zero, nil, transport.WireStats{}, fmt.Errorf("%s: cluster k=%d but partition k=%d", a.Name, cfg.K, p.K)
 	}
-	return Exec(cfg, a.Codec, func(id core.MachineID) (Machine[M, L], error) {
+	return ExecWire(cfg, a.Codec, func(id core.MachineID) (Machine[M, L], error) {
 		return a.NewMachine(p.View(id))
 	}, a.Merge)
 }
@@ -88,19 +97,26 @@ func Run[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, cfg co
 // exists separately from Run for algorithms whose input is not a vertex
 // partition (dsort's key lists, routing's synthetic workloads).
 func Exec[M, L, O any](cfg core.Config, codec wire.Codec[M], build func(core.MachineID) (Machine[M, L], error), merge func([]L) O) (O, *core.Stats, error) {
+	out, stats, _, err := ExecWire(cfg, codec, build, merge)
+	return out, stats, err
+}
+
+// ExecWire is Exec additionally reporting the substrate's physical
+// bytes-on-wire alongside the paper-level Stats.
+func ExecWire[M, L, O any](cfg core.Config, codec wire.Codec[M], build func(core.MachineID) (Machine[M, L], error), merge func([]L) O) (O, *core.Stats, transport.WireStats, error) {
 	var zero O
 	machines, err := buildMachines(cfg.K, build)
 	if err != nil {
-		return zero, nil, err
+		return zero, nil, transport.WireStats{}, err
 	}
 	cluster := core.NewCluster(cfg, func(id core.MachineID) core.Machine[M] {
 		return machines[id]
 	})
-	stats, err := core.RunOver(cluster, codec)
+	stats, w, err := core.RunOverWire(cluster, codec)
 	if err != nil {
-		return zero, nil, err
+		return zero, nil, w, err
 	}
-	return mergeOutputs(machines, merge), stats, nil
+	return mergeOutputs(machines, merge), stats, w, nil
 }
 
 // NodeRunLocal executes the algorithm over the standalone node runtime:

@@ -77,6 +77,10 @@ type Outcome struct {
 	// Stats is the measured communication profile. For standalone runs
 	// it is the cluster-wide Stats shipped by the coordinator.
 	Stats *core.Stats
+	// Wire is the substrate's physical bytes-on-wire (zero for the
+	// loopback, which ships none). Stats are bit-identical across
+	// substrates; Wire is precisely the part that is not.
+	Wire transport.WireStats
 	// Hash is the canonical FNV-1a hash of the merged output — the
 	// quantity the cross-substrate equivalence suite compares. Zero for
 	// standalone single-machine runs, which only hold a share of the
@@ -161,11 +165,13 @@ func Register[M, L, O any](s Spec[M, L, O]) {
 			if err != nil {
 				return nil, err
 			}
-			out, stats, err := Run(a, p, prob.coreConfig(kind))
+			out, stats, w, err := RunWire(a, p, prob.coreConfig(kind))
 			if err != nil {
 				return nil, err
 			}
-			return s.outcome(out, stats, prob), nil
+			o := s.outcome(out, stats, prob)
+			o.Wire = w
+			return o, nil
 		},
 		runNodeLocal: func(prob Problem) (*Outcome, error) {
 			prob = prob.withDefaults()

@@ -22,6 +22,11 @@ func OpenTransport[M any](kind transport.Kind, k int, codec wire.Codec[M]) (Tran
 			return nil, fmt.Errorf("core: transport %q needs a message codec", kind)
 		}
 		return tcp.New[M](k, codec)
+	case transport.TCPWireV1:
+		if codec == nil {
+			return nil, fmt.Errorf("core: transport %q needs a message codec", kind)
+		}
+		return tcp.NewWithVersion[M](k, codec, wire.BatchV1)
 	default:
 		return nil, fmt.Errorf("core: unknown transport kind %q", kind)
 	}
@@ -31,10 +36,26 @@ func OpenTransport[M any](kind transport.Kind, k int, codec wire.Codec[M]) (Tran
 // runs on it, and closes it — the shared tail of every algorithm's Run
 // function.
 func RunOver[M any](c *Cluster[M], codec wire.Codec[M]) (*Stats, error) {
+	stats, _, err := RunOverWire(c, codec)
+	return stats, err
+}
+
+// RunOverWire is RunOver additionally reporting the physical
+// bytes-on-wire the substrate shipped (zero for the loopback, which
+// implements no transport.WireMeter). The WireStats ride alongside the
+// paper-level Stats rather than inside them: Stats are bit-identical
+// across substrates by construction, while bytes-on-wire are exactly
+// the substrate-dependent quantity the model abstracts away.
+func RunOverWire[M any](c *Cluster[M], codec wire.Codec[M]) (*Stats, transport.WireStats, error) {
 	t, err := OpenTransport[M](c.cfg.Transport, c.cfg.K, codec)
 	if err != nil {
-		return nil, err
+		return nil, transport.WireStats{}, err
 	}
 	defer t.Close()
-	return c.RunOn(t)
+	stats, err := c.RunOn(t)
+	var w transport.WireStats
+	if m, ok := t.(transport.WireMeter); ok {
+		w = m.WireStats()
+	}
+	return stats, w, err
 }

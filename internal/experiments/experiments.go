@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner
-// per experiment in DESIGN.md's index (F1, E1–E19), each regenerating
+// per experiment in DESIGN.md's index (F1, E1–E20), each regenerating
 // the series behind a claim of the paper. cmd/kmbench prints the tables
 // that EXPERIMENTS.md records; the root bench_test.go exposes each
 // experiment as a testing.B benchmark.
@@ -168,5 +168,6 @@ func All() []Runner {
 		{"E17", "information cost audit (Thm 1)", E17InfoCost},
 		{"E18", "4-clique enumeration (§1.2 generalization)", E18Cliques4},
 		{"E19", "substrate equivalence (registry × transports)", E19SubstrateMatrix},
+		{"E20", "bytes-on-wire (model words vs physical bytes, v1 vs v2)", E20WireBytes},
 	}
 }

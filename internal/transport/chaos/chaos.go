@@ -142,3 +142,13 @@ func (t *Transport[M]) Exchange(ctx context.Context, step int, outs [][]transpor
 
 // Close closes the inner transport.
 func (t *Transport[M]) Close() error { return t.inner.Close() }
+
+// WireStats forwards the inner transport's physical-layer counters, so
+// wrapping a substrate in faults does not hide its bytes-on-wire; a
+// meterless inner transport (the loopback) reports zeros.
+func (t *Transport[M]) WireStats() transport.WireStats {
+	if m, ok := t.inner.(transport.WireMeter); ok {
+		return m.WireStats()
+	}
+	return transport.WireStats{}
+}

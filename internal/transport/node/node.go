@@ -183,6 +183,7 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 	}
 	var inbox []core.Envelope[M]
 	linkScratch := make([]int64, cfg.K) // per-superstep link row, reused
+	var repBuf []byte                   // report encode scratch, reused
 	ctx := &core.StepContext{Self: core.MachineID(cfg.ID), K: cfg.K, RNG: r}
 	for step := 0; ; step++ {
 		if step >= cfg.MaxSupersteps {
@@ -213,7 +214,8 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 			out = nil // still participate in the exchange so peers don't hang
 		}
 
-		v, next, err := superstepRound(cfg, ep, coord, runCtx, step, out, &rep)
+		repBuf = rep.appendEncode(repBuf[:0], step)
+		v, next, err := superstepRound(cfg, ep, coord, runCtx, step, repBuf, out, &rep)
 		if err != nil {
 			// When the run context died mid-superstep the transport
 			// error is just the shrapnel of the teardown (closed
@@ -246,7 +248,12 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 // effort over whatever control connections remain before failing
 // itself. Transport-level failures arrive as *transport.MachineError
 // with machine/superstep attribution from the tcp layer.
-func superstepRound[M any](cfg Config, ep *tcp.Endpoint[M], coord *coordinator, runCtx context.Context, step int, out []core.Envelope[M], rep *report) (verdict, []core.Envelope[M], error) {
+//
+// repPayload is the node's encoded report; it is recycled scratch owned
+// by runLoop, which is safe because the endpoint either writes it out
+// immediately or (on the coordinator) queues it only until the
+// CollectReports of this same superstep pops it.
+func superstepRound[M any](cfg Config, ep *tcp.Endpoint[M], coord *coordinator, runCtx context.Context, step int, repPayload []byte, out []core.Envelope[M], rep *report) (verdict, []core.Envelope[M], error) {
 	sctx := runCtx
 	if cfg.SuperstepTimeout > 0 {
 		var cancel context.CancelFunc
@@ -258,7 +265,7 @@ func superstepRound[M any](cfg Config, ep *tcp.Endpoint[M], coord *coordinator, 
 	if err != nil {
 		return verdict{}, nil, err
 	}
-	if err := ep.SendToCoordinator(sctx, rep.encode(step)); err != nil {
+	if err := ep.SendToCoordinator(sctx, repPayload); err != nil {
 		return verdict{}, nil, fmt.Errorf("node: machine %d report (superstep %d): %w", cfg.ID, step, err)
 	}
 
@@ -376,7 +383,10 @@ const (
 	repFlagError
 )
 
-func (r *report) encode(step int) []byte {
+// appendEncode serialises the report into dst, which callers recycle
+// across supersteps (runLoop ships one report per superstep on the hot
+// path of every node).
+func (r *report) appendEncode(dst []byte, step int) []byte {
 	var flags byte
 	if r.done {
 		flags |= repFlagDone
@@ -387,7 +397,7 @@ func (r *report) encode(step int) []byte {
 	if r.err != "" {
 		flags |= repFlagError
 	}
-	buf := []byte{flags}
+	buf := append(dst, flags)
 	buf = wire.AppendUvarint(buf, uint64(step))
 	buf = wire.AppendUvarint(buf, uint64(r.messages))
 	buf = wire.AppendUvarint(buf, uint64(len(r.linkWords)))
@@ -400,42 +410,53 @@ func (r *report) encode(step int) []byte {
 	return buf
 }
 
-func decodeReport(buf []byte, wantStep int) (*report, error) {
+// decodeReportInto decodes a report into rep, reusing rep.linkWords
+// when it has the capacity — the coordinator decodes k reports per
+// superstep into the same recycled structs.
+func decodeReportInto(rep *report, buf []byte, wantStep int) error {
 	if len(buf) < 1 {
-		return nil, fmt.Errorf("node: empty report")
+		return fmt.Errorf("node: empty report")
 	}
 	flags := buf[0]
 	pos := 1
-	hdr := make([]uint64, 3)
+	var hdr [3]uint64
 	for i := range hdr {
 		v, n, err := wire.Uvarint(buf[pos:])
 		if err != nil {
-			return nil, fmt.Errorf("node: corrupt report: %w", err)
+			return fmt.Errorf("node: corrupt report: %w", err)
 		}
 		hdr[i] = v
 		pos += n
 	}
 	if int(hdr[0]) != wantStep {
-		return nil, fmt.Errorf("node: report for superstep %d, want %d", hdr[0], wantStep)
+		return fmt.Errorf("node: report for superstep %d, want %d", hdr[0], wantStep)
 	}
-	rep := &report{
-		done:      flags&repFlagDone != 0,
-		emitted:   flags&repFlagEmitted != 0,
-		messages:  int64(hdr[1]),
-		linkWords: make([]int64, hdr[2]),
+	rep.done = flags&repFlagDone != 0
+	rep.emitted = flags&repFlagEmitted != 0
+	rep.messages = int64(hdr[1])
+	n := int(hdr[2])
+	if n > len(buf)-pos {
+		// Each link word costs at least one byte: reject a corrupt count
+		// before sizing the slice by it.
+		return fmt.Errorf("node: report claims %d links in %d bytes", n, len(buf)-pos)
 	}
+	if cap(rep.linkWords) < n {
+		rep.linkWords = make([]int64, n)
+	}
+	rep.linkWords = rep.linkWords[:n]
 	for i := range rep.linkWords {
 		v, n, err := wire.Uvarint(buf[pos:])
 		if err != nil {
-			return nil, fmt.Errorf("node: corrupt report: %w", err)
+			return fmt.Errorf("node: corrupt report: %w", err)
 		}
 		rep.linkWords[i] = int64(v)
 		pos += n
 	}
+	rep.err = ""
 	if flags&repFlagError != 0 {
 		rep.err = string(buf[pos:])
 	}
-	return rep, nil
+	return nil
 }
 
 // coordinator aggregates reports into core-identical Stats. The
@@ -452,7 +473,7 @@ type coordinator struct {
 }
 
 func newCoordinator(k, bandwidth int, dropPerSuperstep bool) *coordinator {
-	return &coordinator{
+	c := &coordinator{
 		k:                k,
 		bandwidth:        bandwidth,
 		dropPerSuperstep: dropPerSuperstep,
@@ -465,6 +486,10 @@ func newCoordinator(k, bandwidth int, dropPerSuperstep bool) *coordinator {
 		sentS:     make([]int64, k),
 		reports:   make([]*report, k),
 	}
+	for i := range c.reports {
+		c.reports[i] = &report{linkWords: make([]int64, 0, k)}
+	}
+	return c
 }
 
 // process runs core's accounting arithmetic on one superstep's reports
@@ -472,14 +497,13 @@ func newCoordinator(k, bandwidth int, dropPerSuperstep bool) *coordinator {
 func (c *coordinator) process(step int, payloads [][]byte) ([]byte, error) {
 	reports := c.reports
 	for i, p := range payloads {
-		rep, err := decodeReport(p, step)
-		if err != nil {
+		rep := reports[i]
+		if err := decodeReportInto(rep, p, step); err != nil {
 			return nil, fmt.Errorf("node: coordinator report from %d: %w", i, err)
 		}
 		if len(rep.linkWords) != c.k {
 			return nil, fmt.Errorf("node: report from %d has %d links, want %d", i, len(rep.linkWords), c.k)
 		}
-		reports[i] = rep
 	}
 	for i, rep := range reports {
 		if rep.err != "" {

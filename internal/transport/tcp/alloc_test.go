@@ -1,0 +1,67 @@
+package tcp
+
+// Allocation-regression fence for the persistent exchange pipeline, in
+// the spirit of internal/core/alloc_test.go: once the mesh is built and
+// its buffers have grown to the working set, a steady-state superstep —
+// signal the parked workers, encode/ship/receive/decode k(k-1) batch
+// frames, pass the coordinator barrier, merge the inboxes — must not
+// allocate. The budget covers only the measured loop's incidental noise
+// (runtime timer churn from connection deadlines); a per-superstep
+// allocation sneaking back into the pipeline blows it immediately
+// (supersteps × k × peers ≈ thousands of extra allocations).
+
+import (
+	"context"
+	"testing"
+
+	"kmachine/internal/transport"
+)
+
+func TestSteadyStateExchangeAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc fence is timing-free but runs hundreds of socket supersteps")
+	}
+	const k = 4
+	const supersteps = 40
+	tr, err := New[testMsg](k, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+
+	// Fixed ring traffic, reused outbox slices: the caller-side pattern
+	// core's engine produces (outs stay caller-owned per the transport
+	// contract).
+	outs := make([][]transport.Envelope[testMsg], k)
+	for i := 0; i < k; i++ {
+		outs[i] = []transport.Envelope[testMsg]{
+			{From: transport.MachineID(i), To: transport.MachineID((i + 1) % k), Words: 3, Msg: testMsg{Tag: int64(i)}},
+			{From: transport.MachineID(i), To: transport.MachineID((i + k - 1) % k), Words: 2, Msg: testMsg{Tag: -int64(i)}},
+		}
+	}
+	step := 0
+	run := func() {
+		for s := 0; s < supersteps; s++ {
+			if _, err := tr.Exchange(context.Background(), step, outs); err != nil {
+				t.Fatal(err)
+			}
+			step++
+		}
+	}
+	// One warm-up pass outside the measurement grows every recycled
+	// buffer to its steady-state capacity (AllocsPerRun's own warm-up
+	// call would also do it, but being explicit keeps the budget's
+	// meaning obvious).
+	run()
+
+	got := testing.AllocsPerRun(3, run)
+	// The pipeline itself is allocation-free; the only recurring cost is
+	// runtime-internal (netpoll deadline timers when SetDeadline renews
+	// them, occasional bufio growth on the first pass). Budget one
+	// allocation per two supersteps — a real per-superstep, per-peer
+	// regression costs >= supersteps × (k-1) ≈ 120.
+	budget := float64(supersteps / 2)
+	if got > budget {
+		t.Errorf("steady-state exchange allocated %.0f times over %d supersteps, budget %.0f — a per-superstep allocation crept into the pipeline", got, supersteps, budget)
+	}
+}

@@ -6,14 +6,29 @@
 // receiver) pair per superstep — empty batches included, which is how a
 // receiver knows a superstep's input is complete.
 //
+// The per-superstep exchange is a persistent parallel pipeline: every
+// data connection is owned by a long-lived worker goroutine — one
+// writer per outgoing peer, one reader per incoming peer — spawned once
+// when the mesh connects and parked on a signal channel between
+// supersteps. Exchange becomes signal → encode-in-parallel (each writer
+// serialises its own peer's batch into its own recycled buffer) →
+// decode-in-parallel (each reader decodes into its own recycled
+// envelope scratch) → merge, with no goroutine spawned and no
+// synchronisation state allocated on the steady-state path. Workers
+// exit when the endpoint closes; they never leak across supersteps.
+//
 // Machine 0 additionally acts as the coordinator: every other machine
 // holds a control connection to it, used for the superstep barrier
 // (Transport.Exchange) and for the report/verdict protocol of the
-// standalone runtime (transport/node).
+// standalone runtime (transport/node). The coordinator's per-peer
+// report reads are driven by the same persistent-worker machinery.
 //
 // The package knows nothing about rounds or words: cost accounting
 // stays in core, which is what keeps Stats bit-identical between this
-// transport and the in-memory loopback.
+// transport and the in-memory loopback. What the package does account
+// is the physical layer: every endpoint counts the actual frame bytes
+// it ships and receives (transport.WireStats), the quantity the paper's
+// word-based cost model abstracts over.
 package tcp
 
 import (
@@ -24,6 +39,7 @@ import (
 	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kmachine/internal/transport"
@@ -45,21 +61,39 @@ type dataConn struct {
 	c net.Conn
 	w *wbuf
 	r *rbuf
+	// wmu serialises frame writes: the owning writer worker and a
+	// failing peer's blame broadcast may write concurrently.
+	wmu sync.Mutex
 }
 
 // wbuf/rbuf are tiny aliases to keep struct fields readable.
 type wbuf = bufWriter
 type rbuf = bufReader
 
+// pipeJob is one superstep's marching order for a parked pipeline
+// worker: which superstep to encode/decode and the I/O deadline to
+// install first. It is passed by value over a buffered channel, so
+// signalling a worker allocates nothing.
+type pipeJob struct {
+	step int
+	dl   time.Time
+}
+
 // Endpoint is one machine's socket stack: its listener, the k-1 dialed
 // data connections (writes), the k-1 accepted data connections (reads),
 // and the control connection to the coordinator (or, on the
-// coordinator, from every peer).
+// coordinator, from every peer). Each data connection is serviced by a
+// persistent worker goroutine that lives from Connect to Close.
 type Endpoint[M any] struct {
 	id    int
 	k     int
 	codec wire.Codec[M]
 	ln    net.Listener
+
+	// wireVersion selects the batch encoding the writers ship
+	// (wire.BatchV2 by default); the readers accept either version via
+	// the dispatching decoder regardless.
+	wireVersion byte
 
 	out []*dataConn // out[j]: dialed conn for writing to peer j
 	in  []*dataConn // in[j]: accepted conn for reading from peer j
@@ -68,18 +102,62 @@ type Endpoint[M any] struct {
 	ctrlIn   []*dataConn // id==0: ctrlIn[j] accepted from peer j
 	ownQueue [][]byte    // id==0: coordinator's loopback report queue
 
-	// Per-superstep scratch, recycled across Exchange calls (the
-	// transport ownership rule). perDest/tx/frame/rx are dead once
-	// Exchange returns and are single-buffered; the assembled inbox is
-	// handed to the caller and double-buffered so the previous
-	// superstep's envelopes survive while the next one is built.
-	perDest [][]transport.Envelope[M] // outgoing split by destination
-	tx      [][]byte                  // per-peer batch encode buffers
-	frame   [][]byte                  // per-peer frame read buffers
-	rx      [][]transport.Envelope[M] // per-peer decoded batches
-	inboxes [2][]transport.Envelope[M]
-	gen     int
+	// Pipeline worker state, created once per endpoint lifetime. The
+	// channels carry at most one job (Exchange is a barrier, so a second
+	// superstep cannot be signalled before the first drains); workWG
+	// counts in-flight data jobs and ctrlWG in-flight coordinator report
+	// reads. Worker failures land in the cause/shrapnel pairs below —
+	// all hoisted out of the per-call path, so a steady-state superstep
+	// allocates nothing.
+	started  bool
+	writerCh []chan pipeJob
+	readerCh []chan pipeJob
+	ctrlCh   []chan pipeJob // id==0 only
+	workWG   sync.WaitGroup
+	ctrlWG   sync.WaitGroup
 
+	// Worker error state, reset per dispatch and guarded by mu. The
+	// FIRST-ARRIVING genuine error wins (cause), because causality on a
+	// failing mesh is temporal: the machine that died emits its FIN
+	// before the cascade of peer teardowns it triggers, so a
+	// slot-ordered scan could blame a healthy peer whose own teardown
+	// EOF happened to sit in an earlier slot. net.ErrClosed failures —
+	// shrapnel of our own cascade close — are kept apart and reported
+	// only when no genuine cause surfaced.
+	cause, shrapnel         error // data path (Exchange)
+	ctrlCause, ctrlShrapnel error // control path (CollectReports)
+
+	// Per-superstep scratch, recycled across calls (the transport
+	// ownership rule). perDest/tx/frame/rx are dead once Exchange
+	// returns and are single-buffered; the assembled inbox is handed to
+	// the caller and double-buffered so the previous superstep's
+	// envelopes survive while the next one is built. reports/ctrlFrame
+	// and verdictBuf are the control-plane equivalents: the payloads
+	// returned by CollectReports and ReceiveVerdict stay valid until the
+	// next call of the same method.
+	perDest    [][]transport.Envelope[M] // outgoing split by destination
+	tx         [][]byte                  // per-peer batch encode buffers
+	frame      [][]byte                  // per-peer frame read buffers
+	rx         [][]transport.Envelope[M] // per-peer decoded batches
+	inboxes    [2][]transport.Envelope[M]
+	gen        int
+	reports    [][]byte // id==0: assembled CollectReports result
+	ctrlFrame  [][]byte // id==0: per-peer control read buffers
+	barrierBuf []byte
+	verdictBuf []byte
+
+	// Bytes-on-wire accounting: every frame that crosses a socket —
+	// data batches and control payloads alike — is counted with its
+	// length prefix. Atomics because writers, readers, and the control
+	// plane account concurrently.
+	sentFrames, recvFrames atomic.Int64
+	sentBytes, recvBytes   atomic.Int64
+
+	// mu serialises job dispatch against Close so a send can never race
+	// the closing of a signal channel (see dispatch), and closed gates
+	// Exchange/CollectReports on an endpoint that is already torn down.
+	mu        sync.Mutex
+	closed    bool
 	closeOnce sync.Once
 	closeErr  error
 }
@@ -95,16 +173,17 @@ func Listen[M any](id, k int, addr string, codec wire.Codec[M]) (*Endpoint[M], e
 		return nil, fmt.Errorf("tcp: machine %d listen %s: %w", id, addr, err)
 	}
 	return &Endpoint[M]{
-		id:      id,
-		k:       k,
-		codec:   codec,
-		ln:      ln,
-		out:     make([]*dataConn, k),
-		in:      make([]*dataConn, k),
-		perDest: make([][]transport.Envelope[M], k),
-		tx:      make([][]byte, k),
-		frame:   make([][]byte, k),
-		rx:      make([][]transport.Envelope[M], k),
+		id:          id,
+		k:           k,
+		codec:       codec,
+		ln:          ln,
+		wireVersion: wire.BatchV2,
+		out:         make([]*dataConn, k),
+		in:          make([]*dataConn, k),
+		perDest:     make([][]transport.Envelope[M], k),
+		tx:          make([][]byte, k),
+		frame:       make([][]byte, k),
+		rx:          make([][]transport.Envelope[M], k),
 	}, nil
 }
 
@@ -117,11 +196,48 @@ func (e *Endpoint[M]) ID() int { return e.id }
 // K returns the cluster size.
 func (e *Endpoint[M]) K() int { return e.k }
 
+// SetWireVersion selects the batch format the endpoint's writers ship:
+// wire.BatchV2 (the default) or wire.BatchV1 for the legacy layout.
+// Readers accept both regardless, so endpoints of different versions
+// interoperate in one mesh. Call it after Connect and before the first
+// Exchange; it must not be changed mid-run.
+func (e *Endpoint[M]) SetWireVersion(v byte) error {
+	if v != wire.BatchV1 && v != wire.BatchV2 {
+		return fmt.Errorf("tcp: unknown wire version 0x%02x", v)
+	}
+	e.wireVersion = v
+	return nil
+}
+
+// WireStats returns the endpoint's physical-layer counters: frames and
+// actual bytes (length prefix included) sent and received across data
+// and control connections. Safe to call at any time, including
+// mid-run.
+func (e *Endpoint[M]) WireStats() transport.WireStats {
+	return transport.WireStats{
+		FramesSent: e.sentFrames.Load(),
+		FramesRecv: e.recvFrames.Load(),
+		BytesSent:  e.sentBytes.Load(),
+		BytesRecv:  e.recvBytes.Load(),
+	}
+}
+
+func (e *Endpoint[M]) countSent(payloadLen int) {
+	e.sentFrames.Add(1)
+	e.sentBytes.Add(int64(wire.FrameSize(payloadLen)))
+}
+
+func (e *Endpoint[M]) countRecv(payloadLen int) {
+	e.recvFrames.Add(1)
+	e.recvBytes.Add(int64(wire.FrameSize(payloadLen)))
+}
+
 // Connect completes the mesh: it dials a data connection to every peer
 // in peers (indexed by machine ID; peers[e.id] is ignored) plus a
 // control connection to peer 0, while accepting the mirror-image
 // connections on its own listener. Dials are retried until timeout so
-// nodes may start in any order.
+// nodes may start in any order. On success the persistent pipeline
+// workers are spawned; they park between supersteps and exit on Close.
 func (e *Endpoint[M]) Connect(peers []string, timeout time.Duration) error {
 	if len(peers) != e.k {
 		return fmt.Errorf("tcp: machine %d got %d peer addresses for k=%d", e.id, len(peers), e.k)
@@ -159,6 +275,7 @@ func (e *Endpoint[M]) Connect(peers []string, timeout time.Duration) error {
 		}
 		return acceptErr
 	}
+	e.startPipeline()
 	return nil
 }
 
@@ -210,7 +327,9 @@ func (e *Endpoint[M]) dialAll(peers []string, deadline time.Time) error {
 func (e *Endpoint[M]) acceptAll(want int, deadline time.Time) error {
 	type deadliner interface{ SetDeadline(time.Time) error }
 	if d, ok := e.ln.(deadliner); ok {
-		d.SetDeadline(deadline)
+		if err := d.SetDeadline(deadline); err != nil {
+			return fmt.Errorf("tcp: machine %d set accept deadline: %w", e.id, err)
+		}
 		defer d.SetDeadline(time.Time{})
 	}
 	for got := 0; got < want; got++ {
@@ -258,22 +377,272 @@ func (e *Endpoint[M]) acceptAll(want int, deadline time.Time) error {
 	return nil
 }
 
+// startPipeline spawns the persistent per-connection workers: a writer
+// and a reader per data peer, plus (on the coordinator) a control
+// reader per peer for CollectReports. Workers park on their signal
+// channel between supersteps and exit when Close closes it.
+func (e *Endpoint[M]) startPipeline() {
+	e.writerCh = make([]chan pipeJob, e.k)
+	e.readerCh = make([]chan pipeJob, e.k)
+	for j := 0; j < e.k; j++ {
+		if j == e.id {
+			continue
+		}
+		e.writerCh[j] = make(chan pipeJob, 1)
+		e.readerCh[j] = make(chan pipeJob, 1)
+		go e.pipeWorker(e.writerCh[j], &e.workWG, func(job pipeJob) { e.runWriter(j, job) })
+		go e.pipeWorker(e.readerCh[j], &e.workWG, func(job pipeJob) { e.runReader(j, job) })
+	}
+	if e.id == 0 {
+		e.ctrlCh = make([]chan pipeJob, e.k)
+		e.reports = make([][]byte, e.k)
+		e.ctrlFrame = make([][]byte, e.k)
+		for j := 1; j < e.k; j++ {
+			e.ctrlCh[j] = make(chan pipeJob, 1)
+			go e.pipeWorker(e.ctrlCh[j], &e.ctrlWG, func(job pipeJob) { e.runCtrlReader(j, job) })
+		}
+	}
+	e.mu.Lock()
+	e.started = true
+	e.mu.Unlock()
+}
+
+// pipeWorker is the body of every persistent pipeline goroutine: run
+// one job per signal, park in between, exit when the signal channel
+// closes. The park is a bare channel receive — no select — because the
+// channel doubles as the quit signal: the dispatch/Close mutex
+// guarantees no send can follow the close, and a job already buffered
+// when Close fires is still delivered before the closed-channel zero
+// value, so the dispatcher's WaitGroup always drains (the job's I/O
+// fails fast on the closed connections).
+func (e *Endpoint[M]) pipeWorker(ch chan pipeJob, wg *sync.WaitGroup, run func(pipeJob)) {
+	for job := range ch {
+		run(job)
+		wg.Done()
+	}
+}
+
+// recordErr files a worker failure into a (cause, shrapnel) pair:
+// net.ErrClosed errors — the debris of our own teardown — are kept
+// apart from genuine causes, and within each class the first arrival
+// wins. Returns whether err was installed as the genuine cause.
+func (e *Endpoint[M]) recordErr(cause, shrapnel *error, err error) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if errors.Is(err, net.ErrClosed) {
+		if *shrapnel == nil {
+			*shrapnel = err
+		}
+		return false
+	}
+	if *cause == nil {
+		*cause = err
+		return true
+	}
+	return false
+}
+
+// blameWriteTimeout bounds the best-effort blame broadcast of a failing
+// endpoint: the frames are a handful of bytes, so the deadline only
+// matters against a peer whose receive buffer is completely wedged —
+// and teardown must not wait longer than this on such a peer.
+const blameWriteTimeout = time.Second
+
+// fail records a data-path failure and tears the endpoint down
+// immediately: the peers (and our own parked readers) are blocked in
+// reads bounded only by the superstep deadline — which may be absent —
+// and closing the connections is what converts a wedged cluster into an
+// error cascade right away; each endpoint's failed read closes it in
+// turn. Without this a single broken connection would stall every
+// machine until the deadline (or forever without one).
+//
+// Before closing, the first genuine failure is broadcast as a blame
+// frame on every data connection. This is what keeps attribution
+// correct across the cascade the close triggers: a peer reading our
+// connection finds "machine v failed" ahead of the FIN, instead of a
+// bare EOF it would have to attribute to US. Without it, a machine
+// whose exchange starts after the cascade has begun sees
+// indistinguishable EOFs from the victim and from healthy-but-closing
+// peers, and the persistent pipeline reacts fast enough to make that
+// race real (the slow per-superstep goroutine spawns of the previous
+// engine masked it).
+func (e *Endpoint[M]) fail(err error) {
+	if e.recordErr(&e.cause, &e.shrapnel, err) {
+		e.castBlame(err)
+	}
+	e.Close()
+}
+
+// castBlame ships a best-effort blame frame to every data peer before
+// the endpoint closes. Only machine-attributed causes are broadcast;
+// the suspect itself is skipped (it is the one machine that cannot act
+// on the news), as is any connection whose writer currently holds the
+// write mutex — blocking there on a wedged writer would postpone the
+// Close that fail() exists to perform, stalling the whole teardown.
+func (e *Endpoint[M]) castBlame(cause error) {
+	var me *transport.MachineError
+	if !errors.As(cause, &me) || me.Machine < 0 {
+		return
+	}
+	payload := wire.AppendAbort(nil, me.Superstep, me.Machine)
+	dl := time.Now().Add(blameWriteTimeout)
+	for j := 0; j < e.k; j++ {
+		if j == e.id || j == int(me.Machine) || e.out[j] == nil {
+			continue
+		}
+		if sent, err := e.out[j].tryWriteFrameLocked(dl, payload); sent && err == nil {
+			e.countSent(len(payload))
+		}
+	}
+}
+
+// runWriter encodes and ships this superstep's batch for peer j: its
+// own recycled buffer, its own connection, in parallel with every other
+// writer — the serial encode loop of the previous engine is gone.
+func (e *Endpoint[M]) runWriter(j int, job pipeJob) {
+	var buf []byte
+	var err error
+	if e.wireVersion == wire.BatchV1 {
+		buf, err = wire.AppendBatchV1(e.tx[j][:0], job.step, transport.MachineID(e.id), e.perDest[j], e.codec)
+	} else {
+		buf, err = wire.AppendBatchV2(e.tx[j][:0], job.step, transport.MachineID(e.id), transport.MachineID(j), e.perDest[j], e.codec)
+	}
+	e.tx[j] = buf[:0]
+	if err != nil {
+		// An encode failure is OUR defect (a codec bug, a malformed
+		// envelope), not peer j's: attribute it to this machine so the
+		// blame broadcast names the actual culprit instead of spreading
+		// "j failed" across the cluster.
+		e.fail(&transport.MachineError{Machine: transport.MachineID(e.id), Superstep: job.step,
+			Err: fmt.Errorf("tcp: machine %d encode batch for %d: %w", e.id, j, err)})
+		return
+	}
+	// writeFrameLocked installs job.dl first and refuses to write if the
+	// deadline cannot be set: falling through into an unbounded write
+	// would silently defeat the wedge detection the deadline exists for.
+	if err := e.out[j].writeFrameLocked(job.dl, buf); err != nil {
+		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d send to %d: %w", e.id, j, err)))
+		return
+	}
+	e.countSent(len(buf))
+}
+
+// runReader receives and decodes peer j's batch for this superstep.
+// Both the frame buffer and the decoded-envelope scratch are per-peer,
+// so each is touched by exactly one goroutine; the decoded values are
+// copied into the inbox during the merge, freeing both for reuse next
+// superstep.
+func (e *Endpoint[M]) runReader(j int, job pipeJob) {
+	dc := e.in[j]
+	if err := dc.c.SetReadDeadline(job.dl); err != nil {
+		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d set read deadline for %d: %w", e.id, j, err)))
+		return
+	}
+	frame, err := wire.ReadFrameInto(dc.r, e.frame[j])
+	if err != nil {
+		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d recv from %d: %w", e.id, j, err)))
+		return
+	}
+	e.frame[j] = frame[:0]
+	e.countRecv(len(frame))
+	if len(frame) > 0 && frame[0] == wire.BatchAbort {
+		// The peer is tearing down and names the machine it blames; the
+		// abort precedes its FIN in stream order, so we learn the true
+		// culprit instead of misattributing the peer's own EOF to it.
+		bstep, suspect, aerr := wire.DecodeAbort(frame)
+		if aerr != nil {
+			e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d bad abort from %d: %w", e.id, j, aerr)))
+			return
+		}
+		e.fail(&transport.MachineError{Machine: suspect, Superstep: job.step,
+			Err: fmt.Errorf("tcp: peer %d aborted superstep %d blaming machine %d", j, bstep, suspect)})
+		return
+	}
+	gotStep, from, envs, err := wire.DecodeBatchAnyInto(frame, e.codec, transport.MachineID(j), transport.MachineID(e.id), e.rx[j])
+	if err != nil {
+		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d decode from %d: %w", e.id, j, err)))
+		return
+	}
+	e.rx[j] = envs
+	if gotStep != job.step || int(from) != j {
+		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d expected (superstep %d, from %d), got (%d, %d)",
+			e.id, job.step, j, gotStep, from)))
+		return
+	}
+}
+
+// runCtrlReader receives peer j's control report for the coordinator.
+// Unlike the data path it does not tear the endpoint down on failure:
+// the coordinator decides how to propagate a missing report (see
+// transport/node's abort broadcast).
+func (e *Endpoint[M]) runCtrlReader(j int, job pipeJob) {
+	dc := e.ctrlIn[j]
+	if err := dc.c.SetReadDeadline(job.dl); err != nil {
+		e.recordErr(&e.ctrlCause, &e.ctrlShrapnel, attributed(j, job.step, fmt.Errorf("tcp: coordinator set read deadline for %d: %w", j, err)))
+		return
+	}
+	frame, err := wire.ReadFrameInto(dc.r, e.ctrlFrame[j])
+	if err != nil {
+		e.recordErr(&e.ctrlCause, &e.ctrlShrapnel, attributed(j, job.step, fmt.Errorf("tcp: coordinator read report from %d: %w", j, err)))
+		return
+	}
+	e.ctrlFrame[j] = frame[:0]
+	e.countRecv(len(frame))
+	e.reports[j] = frame
+}
+
+// dispatch signals one superstep to the parked pipeline workers. The
+// mutex makes the signal atomic with respect to Close: either every
+// worker receives its job before quit can fire (and the drain in
+// pipeWorker guarantees completion), or the endpoint is already closed
+// and no job is sent at all.
+func (e *Endpoint[M]) dispatch(step int, dl time.Time) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return fmt.Errorf("tcp: machine %d exchange on closed endpoint (superstep %d): %w", e.id, step, net.ErrClosed)
+	}
+	if !e.started {
+		return fmt.Errorf("tcp: machine %d exchange before Connect (superstep %d)", e.id, step)
+	}
+	e.cause, e.shrapnel = nil, nil
+	job := pipeJob{step: step, dl: dl}
+	e.workWG.Add(2 * (e.k - 1))
+	// Writers are released before any reader: on a loaded machine the
+	// scheduler then tends to ship our outgoing frames before the
+	// readers poll, so reads find their peer's data already buffered
+	// instead of parking in netpoll first.
+	for j := 0; j < e.k; j++ {
+		if j != e.id {
+			e.writerCh[j] <- job
+		}
+	}
+	for j := 0; j < e.k; j++ {
+		if j != e.id {
+			e.readerCh[j] <- job
+		}
+	}
+	return nil
+}
+
 // ioGuard applies ctx to the endpoint's blocking socket I/O. It returns
 // the connection deadline to install before each read/write (zero when
 // ctx has none, which clears any deadline left by a previous superstep)
-// and a release function the operation must call before returning.
+// and a release function — nil for an uncancellable ctx, so the
+// happy-path superstep allocates neither the AfterFunc nor a closure —
+// that the operation must call before returning when non-nil.
 // While the operation is in flight, cancellation of ctx closes the
 // whole endpoint: Close is the only way to unblock conns that are
 // already parked in a read, and a canceled run is over anyway — the
 // mesh is single-run and not restartable after a failure.
-func (e *Endpoint[M]) ioGuard(ctx context.Context) (deadline time.Time, release func()) {
+func (e *Endpoint[M]) ioGuard(ctx context.Context) (deadline time.Time, release func() bool) {
 	if d, ok := ctx.Deadline(); ok {
 		deadline = d
 	}
 	if ctx.Done() == nil {
-		return deadline, func() {}
+		return deadline, nil
 	}
-	stop := context.AfterFunc(ctx, func() {
+	return deadline, context.AfterFunc(ctx, func() {
 		// Only explicit cancellation closes here: deadline expiry is
 		// already enforced by the connection deadlines installed above,
 		// and letting them fire keeps the error deterministically
@@ -285,7 +654,6 @@ func (e *Endpoint[M]) ioGuard(ctx context.Context) (deadline time.Time, release 
 			e.Close()
 		}
 	})
-	return deadline, func() { stop() }
 }
 
 // attributed wraps a per-peer failure as a transport.MachineError naming
@@ -304,6 +672,12 @@ func attributed(peer, step int, err error) error {
 // returned inbox is assembled in sender-ID order, self-addressed
 // envelopes at position e.id, exactly like the loopback transport.
 //
+// The call is one pipeline generation: split the outbox per
+// destination, signal the parked workers (each writer encodes and ships
+// its own peer's batch concurrently; each reader receives and decodes
+// concurrently), wait for the generation to drain, then merge the
+// per-sender batches into the inbox.
+//
 // ctx bounds the whole superstep: its deadline is installed on every
 // connection before I/O, so a dead or wedged peer surfaces as a
 // *transport.MachineError (wrapping os.ErrDeadlineExceeded) within the
@@ -311,7 +685,9 @@ func attributed(peer, step int, err error) error {
 // parked read. After any error the endpoint is closed and unusable.
 func (e *Endpoint[M]) Exchange(ctx context.Context, step int, out []transport.Envelope[M]) ([]transport.Envelope[M], error) {
 	dl, release := e.ioGuard(ctx)
-	defer release()
+	if release != nil {
+		defer release()
+	}
 	perDest := e.perDest
 	for j := range perDest {
 		perDest[j] = perDest[j][:0]
@@ -324,108 +700,28 @@ func (e *Endpoint[M]) Exchange(ctx context.Context, step int, out []transport.En
 		perDest[env.To] = append(perDest[env.To], env)
 	}
 
-	perSender := e.rx
-	var wg sync.WaitGroup
-	errs := make([]error, 2*e.k)
-
-	// On any error, tear the endpoint down immediately: the peers (and
-	// our own reader goroutines below) are parked in reads bounded only
-	// by ctx's deadline — which may be absent — and closing the
-	// connections is what converts a wedged cluster into an error
-	// cascade right away: each endpoint's failed read closes it in
-	// turn. Without this a single broken connection would stall every
-	// machine until the deadline (or forever without one).
-	fail := func(slot int, err error) {
-		errs[slot] = err
-		e.Close()
-	}
-
-	// Writers: one batch frame per peer, flushed immediately. The
-	// per-peer encode buffer is recycled: WriteFrame has copied it into
-	// the connection's bufio writer before the next peer is encoded.
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for j := 0; j < e.k; j++ {
-			if j == e.id {
-				continue
-			}
-			e.out[j].c.SetWriteDeadline(dl)
-			buf, err := wire.AppendBatch(e.tx[j][:0], step, transport.MachineID(e.id), perDest[j], e.codec)
-			e.tx[j] = buf[:0]
-			if err == nil {
-				if err = wire.WriteFrame(e.out[j].w, buf); err == nil {
-					err = e.out[j].w.Flush()
-				}
-			}
-			if err != nil {
-				fail(j, attributed(j, step, fmt.Errorf("tcp: machine %d send to %d: %w", e.id, j, err)))
-				return
-			}
-		}
-	}()
-
-	// Readers: every incoming connection delivers exactly one batch
-	// frame per superstep; read them concurrently so no peer's write
-	// can block on our unread input.
-	for j := 0; j < e.k; j++ {
-		if j == e.id {
-			continue
-		}
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			// Both the frame buffer and the decoded-envelope scratch are
-			// per-peer, so each is touched by exactly one goroutine; the
-			// decoded values are copied into the inbox below, freeing
-			// both for reuse next superstep.
-			e.in[j].c.SetReadDeadline(dl)
-			frame, err := wire.ReadFrameInto(e.in[j].r, e.frame[j])
-			if err != nil {
-				fail(e.k+j, attributed(j, step, fmt.Errorf("tcp: machine %d recv from %d: %w", e.id, j, err)))
-				return
-			}
-			e.frame[j] = frame[:0]
-			gotStep, from, envs, err := wire.DecodeBatchInto(frame, e.codec, e.rx[j])
-			if err != nil {
-				fail(e.k+j, attributed(j, step, fmt.Errorf("tcp: machine %d decode from %d: %w", e.id, j, err)))
-				return
-			}
-			if gotStep != step || int(from) != j {
-				fail(e.k+j, attributed(j, step, fmt.Errorf("tcp: machine %d expected (superstep %d, from %d), got (%d, %d)",
-					e.id, step, j, gotStep, from)))
-				return
-			}
-			perSender[j] = envs
-		}(j)
-	}
-	wg.Wait()
-	// Pick the error that diagnoses the failure, not the teardown: once
-	// one goroutine's fail() closes the endpoint, the others' I/O dies
-	// with net.ErrClosed — shrapnel of OUR close, attributed to peers
-	// that may be perfectly healthy. An error that is not net.ErrClosed
-	// (a peer's reset connection, EOF, an expired deadline) names the
-	// actual culprit, so it wins.
-	var shrapnel error
-	for _, err := range errs {
-		if err == nil {
-			continue
-		}
-		if errors.Is(err, net.ErrClosed) {
-			if shrapnel == nil {
-				shrapnel = err
-			}
-			continue
-		}
+	if err := e.dispatch(step, dl); err != nil {
 		return nil, err
 	}
-	if shrapnel != nil {
-		return nil, shrapnel
+	e.workWG.Wait()
+
+	// Report the error that diagnoses the failure, not the teardown:
+	// recordErr kept the first genuine cause (a peer's FIN, a reset, an
+	// expired deadline) apart from the net.ErrClosed shrapnel of our own
+	// cascade close, so the genuine cause — which names the actual
+	// culprit — wins whenever one exists. The workWG barrier above is
+	// the happens-before edge that makes the plain reads safe.
+	if err := e.cause; err != nil {
+		return nil, err
+	}
+	if err := e.shrapnel; err != nil {
+		return nil, err
 	}
 
 	// Assemble the inbox in sender-ID order into the double-buffered
 	// storage: the previous superstep's inbox (the other generation) is
 	// still readable by the caller per the ownership rule.
+	perSender := e.rx
 	total := len(perDest[e.id])
 	for s := 0; s < e.k; s++ {
 		if s != e.id {
@@ -451,19 +747,28 @@ func (e *Endpoint[M]) Exchange(ctx context.Context, step int, out []transport.En
 
 // SendToCoordinator ships one control payload to machine 0, bounded by
 // ctx's deadline. On the coordinator itself the payload loops back
-// locally.
+// locally; the queued slice is retained until the matching
+// CollectReports pops it, so the caller must not recycle it earlier.
 func (e *Endpoint[M]) SendToCoordinator(ctx context.Context, payload []byte) error {
 	if e.id == 0 {
 		e.ownQueue = append(e.ownQueue, payload)
 		return nil
 	}
 	dl, release := e.ioGuard(ctx)
-	defer release()
-	e.ctrl.c.SetWriteDeadline(dl)
+	if release != nil {
+		defer release()
+	}
+	if err := e.ctrl.c.SetWriteDeadline(dl); err != nil {
+		return fmt.Errorf("tcp: machine %d set control write deadline: %w", e.id, err)
+	}
 	if err := wire.WriteFrame(e.ctrl.w, payload); err != nil {
 		return err
 	}
-	return e.ctrl.w.Flush()
+	if err := e.ctrl.w.Flush(); err != nil {
+		return err
+	}
+	e.countSent(len(payload))
+	return nil
 }
 
 // CollectReports (coordinator only) returns one control payload per
@@ -471,7 +776,12 @@ func (e *Endpoint[M]) SendToCoordinator(ctx context.Context, payload []byte) err
 // loop-back payload. A machine whose report does not arrive within
 // ctx's deadline surfaces as a *transport.MachineError naming it and
 // step — this is where the coordinator detects a dead peer between
-// supersteps.
+// supersteps. The reads are serviced by the persistent per-peer control
+// workers; the returned payloads are recycled storage — peer slots are
+// valid until the next CollectReports call, while position 0 aliases
+// the buffer the caller itself queued via SendToCoordinator and is only
+// valid until the caller's next control-plane send (Barrier and the
+// node runtime both re-encode into recycled scratch each superstep).
 func (e *Endpoint[M]) CollectReports(ctx context.Context, step int) ([][]byte, error) {
 	if e.id != 0 {
 		return nil, fmt.Errorf("tcp: machine %d is not the coordinator", e.id)
@@ -480,32 +790,41 @@ func (e *Endpoint[M]) CollectReports(ctx context.Context, step int) ([][]byte, e
 		return nil, fmt.Errorf("tcp: coordinator has no local report queued")
 	}
 	dl, release := e.ioGuard(ctx)
-	defer release()
-	reports := make([][]byte, e.k)
-	reports[0] = e.ownQueue[0]
-	e.ownQueue = e.ownQueue[1:]
-	var wg sync.WaitGroup
-	errs := make([]error, e.k)
+	if release != nil {
+		defer release()
+	}
+
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("tcp: coordinator collect on closed endpoint (superstep %d): %w", step, net.ErrClosed)
+	}
+	if !e.started {
+		e.mu.Unlock()
+		return nil, fmt.Errorf("tcp: coordinator collect before Connect (superstep %d)", step)
+	}
+	e.ctrlCause, e.ctrlShrapnel = nil, nil
+	job := pipeJob{step: step, dl: dl}
+	e.ctrlWG.Add(e.k - 1)
 	for j := 1; j < e.k; j++ {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			e.ctrlIn[j].c.SetReadDeadline(dl)
-			frame, err := wire.ReadFrame(e.ctrlIn[j].r)
-			if err != nil {
-				errs[j] = attributed(j, step, fmt.Errorf("tcp: coordinator read report from %d: %w", j, err))
-				return
-			}
-			reports[j] = frame
-		}(j)
+		e.ctrlCh[j] <- job
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
+	e.mu.Unlock()
+	e.ctrlWG.Wait()
+
+	e.reports[0] = e.ownQueue[0]
+	// Pop by shifting down on the same backing array: a re-slice would
+	// walk the array forward and force append to reallocate every few
+	// supersteps.
+	copy(e.ownQueue, e.ownQueue[1:])
+	e.ownQueue = e.ownQueue[:len(e.ownQueue)-1]
+	if err := e.ctrlCause; err != nil {
+		return nil, err
 	}
-	return reports, nil
+	if err := e.ctrlShrapnel; err != nil {
+		return nil, err
+	}
+	return e.reports, nil
 }
 
 // Broadcast (coordinator only) sends one control payload to every other
@@ -518,38 +837,57 @@ func (e *Endpoint[M]) Broadcast(ctx context.Context, payload []byte) error {
 		return fmt.Errorf("tcp: machine %d is not the coordinator", e.id)
 	}
 	dl, release := e.ioGuard(ctx)
-	defer release()
+	if release != nil {
+		defer release()
+	}
 	var first error
 	for j := 1; j < e.k; j++ {
-		e.ctrlIn[j].c.SetWriteDeadline(dl)
-		err := wire.WriteFrame(e.ctrlIn[j].w, payload)
+		err := e.ctrlIn[j].c.SetWriteDeadline(dl)
 		if err == nil {
-			err = e.ctrlIn[j].w.Flush()
+			if err = wire.WriteFrame(e.ctrlIn[j].w, payload); err == nil {
+				err = e.ctrlIn[j].w.Flush()
+			}
 		}
-		if err != nil && first == nil {
-			first = fmt.Errorf("tcp: coordinator broadcast to %d: %w", j, err)
+		if err != nil {
+			if first == nil {
+				first = fmt.Errorf("tcp: coordinator broadcast to %d: %w", j, err)
+			}
+			continue
 		}
+		e.countSent(len(payload))
 	}
 	return first
 }
 
 // ReceiveVerdict (non-coordinator) blocks for the coordinator's next
-// control payload, bounded by ctx's deadline.
+// control payload, bounded by ctx's deadline. The returned payload is
+// recycled storage, valid until the next ReceiveVerdict call.
 func (e *Endpoint[M]) ReceiveVerdict(ctx context.Context) ([]byte, error) {
 	if e.id == 0 {
 		return nil, fmt.Errorf("tcp: the coordinator does not receive verdicts")
 	}
 	dl, release := e.ioGuard(ctx)
-	defer release()
-	e.ctrl.c.SetReadDeadline(dl)
-	return wire.ReadFrame(e.ctrl.r)
+	if release != nil {
+		defer release()
+	}
+	if err := e.ctrl.c.SetReadDeadline(dl); err != nil {
+		return nil, fmt.Errorf("tcp: machine %d set verdict read deadline: %w", e.id, err)
+	}
+	frame, err := wire.ReadFrameInto(e.ctrl.r, e.verdictBuf)
+	if err != nil {
+		return nil, err
+	}
+	e.verdictBuf = frame[:0]
+	e.countRecv(len(frame))
+	return frame, nil
 }
 
 // Barrier runs one coordinator-driven superstep barrier: every machine
 // reports "superstep done" to machine 0, which releases them all once
 // the last report is in. ctx bounds both directions.
 func (e *Endpoint[M]) Barrier(ctx context.Context, step int) error {
-	payload := wire.AppendUvarint(nil, uint64(step))
+	payload := wire.AppendUvarint(e.barrierBuf[:0], uint64(step))
+	e.barrierBuf = payload
 	if err := e.SendToCoordinator(ctx, payload); err != nil {
 		return fmt.Errorf("tcp: machine %d barrier send (superstep %d): %w", e.id, step, err)
 	}
@@ -578,12 +916,40 @@ func (e *Endpoint[M]) Barrier(ctx context.Context, step int) error {
 }
 
 // Close tears down the listener and every connection, unblocking all
-// pending I/O on them. It is idempotent — concurrent and repeated calls
-// are safe and return the first call's result — which is what lets the
-// error-cascade teardown, context cancellation (ioGuard), and the
-// caller's own deferred Close coexist.
+// pending I/O on them, and retires the pipeline workers. It is
+// idempotent — concurrent and repeated calls are safe and return the
+// first call's result — which is what lets the error-cascade teardown,
+// context cancellation (ioGuard), and the caller's own deferred Close
+// coexist.
 func (e *Endpoint[M]) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
 	e.closeOnce.Do(func() {
+		// Retire the pipeline workers: no dispatch can race this close
+		// (closed was set under mu above; dispatch sends only while
+		// holding mu with closed unset), and buffered jobs survive a
+		// channel close, so in-flight supersteps still drain.
+		e.mu.Lock()
+		started := e.started
+		e.mu.Unlock()
+		if started {
+			for _, ch := range e.writerCh {
+				if ch != nil {
+					close(ch)
+				}
+			}
+			for _, ch := range e.readerCh {
+				if ch != nil {
+					close(ch)
+				}
+			}
+			for _, ch := range e.ctrlCh {
+				if ch != nil {
+					close(ch)
+				}
+			}
+		}
 		var errs []string
 		record := func(err error) {
 			if err != nil {
@@ -656,10 +1022,21 @@ func NewLoopbackMesh[M any](k int, codec wire.Codec[M]) ([]*Endpoint[M], error) 
 	return eps, nil
 }
 
+// driveJob is one superstep's assignment for a cluster-side endpoint
+// driver: exchange this outbox under this context, then pass the
+// barrier.
+type driveJob[M any] struct {
+	ctx  context.Context
+	step int
+	out  []transport.Envelope[M]
+}
+
 // Transport is the cluster-side transport.Transport implementation: all
 // k machines live in this process, but every envelope crosses a real
 // loopback TCP connection and every superstep ends with the
-// coordinator-driven barrier.
+// coordinator-driven barrier. Each endpoint is owned by a persistent
+// driver goroutine, signalled once per superstep — no goroutine or
+// error-slice churn on the steady-state path.
 type Transport[M any] struct {
 	eps []*Endpoint[M]
 	// inboxes are the double-buffered outer slices handed to the
@@ -667,61 +1044,108 @@ type Transport[M any] struct {
 	// the endpoints.
 	inboxes [2][][]transport.Envelope[M]
 	gen     int
+
+	drive   []chan driveJob[M]
+	wg      sync.WaitGroup
+	errs    []error
+	results [][]transport.Envelope[M]
+
+	mu        sync.Mutex
+	closed    bool
+	closeOnce sync.Once
 }
 
 // New builds a loopback-TCP transport for a k-machine cluster.
 func New[M any](k int, codec wire.Codec[M]) (*Transport[M], error) {
+	return NewWithVersion[M](k, codec, wire.BatchV2)
+}
+
+// NewWithVersion is New shipping the given wire batch version
+// (wire.BatchV1 or wire.BatchV2) — the A/B surface for measuring the v2
+// format's bytes-on-wire savings on identical runs.
+func NewWithVersion[M any](k int, codec wire.Codec[M], version byte) (*Transport[M], error) {
 	eps, err := NewLoopbackMesh(k, codec)
 	if err != nil {
 		return nil, err
 	}
-	return &Transport[M]{eps: eps}, nil
+	t := &Transport[M]{
+		eps:     eps,
+		drive:   make([]chan driveJob[M], k),
+		errs:    make([]error, k),
+		results: make([][]transport.Envelope[M], k),
+	}
+	for i := 0; i < k; i++ {
+		if err := eps[i].SetWireVersion(version); err != nil {
+			t.Close()
+			return nil, err
+		}
+		t.drive[i] = make(chan driveJob[M], 1)
+		go t.driver(i)
+	}
+	return t, nil
+}
+
+// driver is the persistent goroutine owning endpoint i: one
+// exchange+barrier per signal, parked in between, exits when Close
+// closes its channel. The same close-under-mutex discipline as the
+// endpoint's pipeWorker keeps the WaitGroup sound against a concurrent
+// Close.
+func (t *Transport[M]) driver(i int) {
+	for job := range t.drive[i] {
+		t.runStep(i, job)
+		t.wg.Done()
+	}
+}
+
+func (t *Transport[M]) runStep(i int, job driveJob[M]) {
+	inbox, err := t.eps[i].Exchange(job.ctx, job.step, job.out)
+	if err == nil {
+		if berr := t.eps[i].Barrier(job.ctx, job.step); berr != nil {
+			t.eps[i].Close()
+			err = berr
+		}
+	}
+	// On an Exchange error the endpoint has already closed itself; the
+	// close cascades error returns to every peer blocked on this
+	// endpoint's connections, so no driver hangs here.
+	t.errs[i] = err
+	t.results[i] = inbox
 }
 
 // Exchange implements transport.Transport: each endpoint ships its
-// batch over its sockets concurrently, then all pass the coordinator
-// barrier before any inbox is released to the cluster. ctx bounds the
-// whole superstep on every endpoint.
+// batch over its sockets concurrently (signalled to the persistent
+// drivers), then all pass the coordinator barrier before any inbox is
+// released to the cluster. ctx bounds the whole superstep on every
+// endpoint.
 func (t *Transport[M]) Exchange(ctx context.Context, step int, outs [][]transport.Envelope[M]) ([][]transport.Envelope[M], error) {
 	k := len(t.eps)
 	if len(outs) != k {
 		return nil, fmt.Errorf("tcp: got %d outboxes for a %d-machine cluster", len(outs), k)
 	}
-	if t.inboxes[t.gen] == nil {
-		t.inboxes[t.gen] = make([][]transport.Envelope[M], k)
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("tcp: exchange on closed transport (superstep %d): %w", step, net.ErrClosed)
 	}
-	inboxes := t.inboxes[t.gen]
-	t.gen ^= 1
-	errs := make([]error, k)
-	var wg sync.WaitGroup
 	for i := 0; i < k; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			inbox, err := t.eps[i].Exchange(ctx, step, outs[i])
-			if err != nil {
-				// Exchange already closed the endpoint; the close
-				// cascades error returns to every peer blocked on this
-				// endpoint's connections, so no goroutine hangs here.
-				errs[i] = err
-				return
-			}
-			if err := t.eps[i].Barrier(ctx, step); err != nil {
-				t.eps[i].Close()
-				errs[i] = err
-				return
-			}
-			inboxes[i] = inbox
-		}(i)
+		t.errs[i] = nil
+		t.results[i] = nil
 	}
-	wg.Wait()
+	t.wg.Add(k)
+	for i := 0; i < k; i++ {
+		t.drive[i] <- driveJob[M]{ctx: ctx, step: step, out: outs[i]}
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+
 	// Prefer the error that diagnoses the failure: a machine-attributed
 	// error that is not close-shrapnel (net.ErrClosed from our own
 	// cascade teardown) beats an attributed shrapnel error, which beats
 	// an unattributed one. When machine j dies, the survivors' errors
 	// name j while j's own endpoint reports only its severed sockets.
 	var attributed, first error
-	for _, err := range errs {
+	for _, err := range t.errs {
 		if err == nil {
 			continue
 		}
@@ -744,7 +1168,25 @@ func (t *Transport[M]) Exchange(ctx context.Context, step int, outs [][]transpor
 	if first != nil {
 		return nil, first
 	}
+
+	if t.inboxes[t.gen] == nil {
+		t.inboxes[t.gen] = make([][]transport.Envelope[M], k)
+	}
+	inboxes := t.inboxes[t.gen]
+	t.gen ^= 1
+	copy(inboxes, t.results)
 	return inboxes, nil
+}
+
+// WireStats sums the physical-layer counters of every endpoint: total
+// frames and bytes that crossed the loopback sockets. In a healthy mesh
+// sent and received totals match.
+func (t *Transport[M]) WireStats() transport.WireStats {
+	var w transport.WireStats
+	for _, e := range t.eps {
+		w = w.Plus(e.WireStats())
+	}
+	return w
 }
 
 // SeverMachine forcibly closes machine i's endpoint — its listener and
@@ -760,8 +1202,20 @@ func (t *Transport[M]) SeverMachine(i int) error {
 	return t.eps[i].Close()
 }
 
-// Close tears down every endpoint.
+// Close retires the drivers and tears down every endpoint.
 func (t *Transport[M]) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.mu.Unlock()
+	t.closeOnce.Do(func() {
+		for _, ch := range t.drive {
+			if ch != nil {
+				// A construction failure can reach Close before every
+				// driver channel exists.
+				close(ch)
+			}
+		}
+	})
 	var first error
 	for _, e := range t.eps {
 		if err := e.Close(); err != nil && first == nil {

@@ -112,6 +112,43 @@ func (e *MachineError) Error() string {
 // Unwrap exposes the cause to errors.Is/As.
 func (e *MachineError) Unwrap() error { return e.Err }
 
+// WireStats counts what a substrate physically shipped: whole frames
+// and their actual byte sizes (length prefixes included), data and
+// control plane alike. It is the measured counterpart of the paper's
+// word-based cost model — Stats.Words counts model words before any
+// transport touches an envelope, WireStats counts the bytes a real
+// socket carried — and comparing the two quantifies both the encoding
+// efficiency of the wire format and the protocol overhead (barrier and
+// report/verdict frames) that the model abstracts away. The loopback
+// transport ships nothing and reports zeros by not implementing
+// WireMeter at all.
+type WireStats struct {
+	// FramesSent/FramesRecv count whole frames shipped and received.
+	FramesSent, FramesRecv int64
+	// BytesSent/BytesRecv are the frames' on-wire sizes: payload plus
+	// length prefix.
+	BytesSent, BytesRecv int64
+}
+
+// Plus returns the field-wise sum, for aggregating per-endpoint
+// counters into a cluster total.
+func (w WireStats) Plus(o WireStats) WireStats {
+	return WireStats{
+		FramesSent: w.FramesSent + o.FramesSent,
+		FramesRecv: w.FramesRecv + o.FramesRecv,
+		BytesSent:  w.BytesSent + o.BytesSent,
+		BytesRecv:  w.BytesRecv + o.BytesRecv,
+	}
+}
+
+// WireMeter is implemented by transports that count bytes-on-wire
+// (transport/tcp; the chaos wrapper forwards to its inner transport).
+// Callers discover it with a type assertion and treat absence as "this
+// substrate ships no physical bytes".
+type WireMeter interface {
+	WireStats() WireStats
+}
+
 // Kind names a Transport implementation for configuration surfaces
 // (core.Config.Transport, kmachine.RunConfig.Transport).
 type Kind string
@@ -124,4 +161,10 @@ const (
 	// TCP runs every machine as its own listener+dialer over loopback
 	// TCP connections.
 	TCP Kind = "tcp"
+	// TCPWireV1 is TCP shipping the legacy v1 batch encoding instead of
+	// the compact v2 — the A/B surface that lets experiments measure
+	// the v2 format's bytes-on-wire savings on otherwise identical
+	// runs. Stats are bit-identical across wire versions by
+	// construction; only WireStats differ.
+	TCPWireV1 Kind = "tcp/wire-v1"
 )

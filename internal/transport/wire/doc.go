@@ -37,6 +37,54 @@
 // it as authoritative: a transport must hand back exactly the word
 // counts it was given.
 //
+// # Versioned batches (v2)
+//
+// The layout above is the legacy (version-less) v1 batch. Transports
+// now ship versioned batches: the first byte of the batch body names
+// the format (BatchV1 = 0x01 framing the v1 body verbatim, BatchV2 =
+// 0x02 for the compact layout), and DecodeBatchAny dispatches on it —
+// a v2-speaking endpoint still accepts a v1-framed peer.
+//
+// The v2 batch exploits that a TCP batch frame is already a
+// per-(sender, receiver, superstep) unit carried by a connection that
+// identifies both ends:
+//
+//	batchV2    := 0x02 superstep count              // empty batch
+//	batchV2    := 0x02 superstep count run* words* payloadLen payload
+//	superstep  := uvarint             // zero-based superstep index
+//	count      := uvarint             // number of envelopes
+//	run        := delta length        // From values, run-length encoded
+//	delta      := varint              // zigzag delta vs previous run's From
+//	                                  // (first run: vs the frame sender)
+//	length     := uvarint             // envelopes sharing this From (>= 1);
+//	                                  // run lengths sum to count
+//	words      := uvarint             // one per envelope, in order
+//	payloadLen := uvarint             // total bytes of the payload section
+//	payload    := msg*                // Codec bytes, concatenated in order
+//
+// Three fields of v1 disappear: the batch sender (implied by the
+// connection the frame arrives on, supplied to the decoder as an
+// argument), the per-envelope To (implied by the frame destination),
+// and the per-envelope From (collapsed to one two-byte run in the
+// common case where every envelope carries the sender's own From). The
+// payload length prefix lets a decoder validate the section boundary
+// and pre-size scratch before touching codec bytes. Empty batches —
+// the "nothing for you this superstep" markers that dominate frame
+// counts for sparse traffic — end right after count, so they cost no
+// more than their v1 equivalent.
+//
+// A failing endpoint may ship one final frame on a data connection
+// before closing it:
+//
+//	abort      := 0xFF superstep suspect
+//	suspect    := uvarint             // MachineID the sender blames
+//
+// The abort precedes the connection's FIN in stream order, which is
+// what lets a reader distinguish "this peer died" (bare EOF) from
+// "this peer is tearing down because suspect died" — the basis of
+// correct failure attribution across cascading teardowns (transport/tcp
+// castBlame).
+//
 // # Payload codecs
 //
 // Codec[M] implementations live next to the message types they

@@ -174,16 +174,308 @@ func DecodeBatchInto[M any](src []byte, c Codec[M], dst []transport.Envelope[M])
 	return step, from, envs, nil
 }
 
+// Batch format versions. A versioned batch begins with one of these
+// bytes; the legacy (PR-1) batch format has no version byte and is only
+// handled by DecodeBatch/DecodeBatchInto.
+const (
+	// BatchV1 frames the legacy per-envelope format (from/to/words per
+	// envelope) behind a version byte so it can coexist with v2 on the
+	// same connection.
+	BatchV1 = byte(0x01)
+	// BatchV2 is the compact per-destination format: the per-envelope To
+	// is elided (implied by the frame's destination), From is run-length
+	// delta-encoded, and the payload section is length-prefixed.
+	BatchV2 = byte(0x02)
+)
+
+// AppendBatchV1 appends a version-framed v1 batch: the BatchV1 byte
+// followed by the exact AppendBatch body. It exists for cross-version
+// interop (and its tests): a v2-speaking decoder must still accept a
+// peer that ships the legacy layout.
+func AppendBatchV1[M any](dst []byte, step int, from transport.MachineID, envs []transport.Envelope[M], c Codec[M]) ([]byte, error) {
+	return AppendBatch(append(dst, BatchV1), step, from, envs, c)
+}
+
+// AppendBatchV2 appends one superstep batch in the v2 layout:
+//
+//	batchV2 := version superstep count [run* words* payloadLen payload]
+//
+// Two envelope header fields of v1 are elided outright, because a TCP
+// batch frame is already a per-(sender, receiver, superstep) unit: the
+// per-envelope To is implied by the frame's destination, and the frame
+// sender is implied by the connection the frame arrives on — both are
+// supplied to the decoder as arguments and reconstructed. From values
+// are encoded as (delta, runLength) runs — zigzag delta against the
+// previous run's From, seeded with `from` — so the common transport
+// batch (every envelope From the frame's sender) costs two bytes of
+// From encoding total instead of one byte per envelope. The payload
+// section is length-prefixed so a decoder can validate and pre-size
+// before touching codec bytes. An empty batch (the "nothing for you
+// this superstep" marker, which dominates frame counts for sparse
+// traffic) ends right after count and costs no more than its v1
+// equivalent.
+func AppendBatchV2[M any](dst []byte, step int, from, to transport.MachineID, envs []transport.Envelope[M], c Codec[M]) ([]byte, error) {
+	dst = append(dst, BatchV2)
+	dst = AppendUvarint(dst, uint64(step))
+	dst = AppendUvarint(dst, uint64(len(envs)))
+	if len(envs) == 0 {
+		return dst, nil
+	}
+
+	// From runs: (delta, length) pairs over maximal runs of equal From.
+	// Envelopes inside a run share the head's From, so checking heads
+	// covers every From in the batch.
+	prev := from
+	for i := 0; i < len(envs); {
+		e := &envs[i]
+		if e.From < 0 {
+			return dst, fmt.Errorf("wire: envelope with negative From %d", e.From)
+		}
+		run := 1
+		for i+run < len(envs) && envs[i+run].From == e.From {
+			run++
+		}
+		dst = AppendVarint(dst, int64(e.From)-int64(prev))
+		dst = AppendUvarint(dst, uint64(run))
+		prev = e.From
+		i += run
+	}
+
+	// Words, one per envelope; To and Words are validated here, where
+	// every envelope is visited.
+	for i := range envs {
+		e := &envs[i]
+		if e.To != to {
+			return dst, fmt.Errorf("wire: v2 batch for machine %d holds envelope addressed to %d", to, e.To)
+		}
+		if e.Words < 0 {
+			return dst, fmt.Errorf("wire: envelope with negative Words %d", e.Words)
+		}
+		dst = AppendUvarint(dst, uint64(e.Words))
+	}
+
+	// Payload section, length-prefixed. Encode into the tail of dst,
+	// then insert the length prefix in front — a second small copy of
+	// just the payload bytes, which keeps the format streaming-friendly
+	// without a separate scratch buffer.
+	mark := len(dst)
+	var err error
+	for i := range envs {
+		if dst, err = c.Append(dst, envs[i].Msg); err != nil {
+			return dst, err
+		}
+	}
+	payload := len(dst) - mark
+	var hdr [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(hdr[:], uint64(payload))
+	dst = append(dst, hdr[:n]...)              // grow by prefix size
+	copy(dst[mark+n:], dst[mark:mark+payload]) // shift payload right
+	copy(dst[mark:], hdr[:n])                  // install the prefix
+	return dst, nil
+}
+
+// DecodeBatchAny decodes a version-framed batch (BatchV1 or BatchV2)
+// produced by AppendBatchV1/AppendBatchV2. `from` and `to` identify the
+// connection the frame arrived on — the machine at the far end and this
+// machine — and reconstruct the fields the v2 layout elides; v1 bodies
+// carry both explicitly and ignore the arguments (the returned sender
+// is the embedded one, which transports verify against the connection).
+func DecodeBatchAny[M any](src []byte, c Codec[M], from, to transport.MachineID) (step int, gotFrom transport.MachineID, envs []transport.Envelope[M], err error) {
+	return DecodeBatchAnyInto(src, c, from, to, nil)
+}
+
+// DecodeBatchAnyInto is DecodeBatchAny appending into dst[:0], the
+// recycled-scratch form transports use (see DecodeBatchInto).
+func DecodeBatchAnyInto[M any](src []byte, c Codec[M], from, to transport.MachineID, dst []transport.Envelope[M]) (step int, gotFrom transport.MachineID, envs []transport.Envelope[M], err error) {
+	if len(src) == 0 {
+		return 0, 0, nil, fmt.Errorf("wire: empty batch frame")
+	}
+	switch src[0] {
+	case BatchV1:
+		return DecodeBatchInto(src[1:], c, dst)
+	case BatchV2:
+		return decodeBatchV2Into(src[1:], c, from, to, dst)
+	default:
+		return 0, 0, nil, fmt.Errorf("wire: unknown batch version 0x%02x", src[0])
+	}
+}
+
+func decodeBatchV2Into[M any](src []byte, c Codec[M], from, to transport.MachineID, dst []transport.Envelope[M]) (step int, gotFrom transport.MachineID, envs []transport.Envelope[M], err error) {
+	pos := 0
+	var hdr [2]uint64
+	for i := range hdr {
+		v, n, err := Uvarint(src[pos:])
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		hdr[i] = v
+		pos += n
+	}
+	step = int(hdr[0])
+	count := hdr[1]
+	if count == 0 {
+		if pos != len(src) {
+			return 0, 0, nil, fmt.Errorf("wire: %d trailing bytes after empty v2 batch", len(src)-pos)
+		}
+		return step, from, dst[:0], nil
+	}
+	if count > uint64(len(src)-pos) {
+		// Each envelope contributes at least one Words byte; a count
+		// beyond the remaining bytes is corruption, not a big batch.
+		return 0, 0, nil, fmt.Errorf("wire: v2 batch claims %d envelopes in %d bytes", count, len(src)-pos)
+	}
+	envs = dst[:0]
+	if free := uint64(cap(envs)); free < count {
+		envs = make([]transport.Envelope[M], 0, count)
+	}
+
+	// From runs: fill the envelope headers first.
+	prev := int64(from)
+	for covered := uint64(0); covered < count; {
+		delta, n, err := Varint(src[pos:])
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		pos += n
+		length, n, err := Uvarint(src[pos:])
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		pos += n
+		f := prev + delta
+		if f < 0 || f > math.MaxInt32 {
+			return 0, 0, nil, fmt.Errorf("wire: v2 batch From %d out of range", f)
+		}
+		if length == 0 || length > count-covered {
+			return 0, 0, nil, fmt.Errorf("wire: v2 batch run of %d envelopes with %d uncovered", length, count-covered)
+		}
+		for i := uint64(0); i < length; i++ {
+			envs = append(envs, transport.Envelope[M]{From: transport.MachineID(f), To: to})
+		}
+		prev = f
+		covered += length
+	}
+
+	// Words, one per envelope.
+	for i := range envs {
+		w, n, err := Uvarint(src[pos:])
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		if w > math.MaxInt32 {
+			return 0, 0, nil, fmt.Errorf("wire: envelope words %d out of range", w)
+		}
+		envs[i].Words = int32(w)
+		pos += n
+	}
+
+	// Length-prefixed payload section: the prefix must account for
+	// exactly the remaining bytes, and the codec must consume exactly
+	// the prefix.
+	plen, n, err := Uvarint(src[pos:])
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	pos += n
+	if plen != uint64(len(src)-pos) {
+		return 0, 0, nil, fmt.Errorf("wire: v2 payload section claims %d bytes, %d remain", plen, len(src)-pos)
+	}
+	for i := range envs {
+		msg, n, err := c.Decode(src[pos:])
+		if err != nil {
+			return 0, 0, nil, err
+		}
+		envs[i].Msg = msg
+		pos += n
+	}
+	if pos != len(src) {
+		return 0, 0, nil, fmt.Errorf("wire: %d trailing bytes after v2 batch", len(src)-pos)
+	}
+	return step, from, envs, nil
+}
+
+// BatchAbort marks a blame frame: a failing endpoint's last words on a
+// data connection, naming the machine it holds responsible before the
+// connection closes. Readers that find one instead of a batch re-raise
+// the blame as a machine-attributed error, which is what keeps failure
+// attribution correct across cascading teardowns — the abort bytes
+// precede the closing FIN in stream order, so a peer can always
+// distinguish "this machine died" (bare EOF) from "this machine is
+// tearing down because someone else died" (abort frame, then EOF).
+const BatchAbort = byte(0xFF)
+
+// AppendAbort appends a blame frame: the BatchAbort marker, the
+// superstep in which the failure surfaced, and the suspect machine.
+func AppendAbort(dst []byte, step int, suspect transport.MachineID) []byte {
+	dst = append(dst, BatchAbort)
+	dst = AppendUvarint(dst, uint64(step))
+	return AppendUvarint(dst, uint64(suspect))
+}
+
+// DecodeAbort decodes a blame frame produced by AppendAbort.
+func DecodeAbort(src []byte) (step int, suspect transport.MachineID, err error) {
+	if len(src) == 0 || src[0] != BatchAbort {
+		return 0, 0, fmt.Errorf("wire: not an abort frame")
+	}
+	pos := 1
+	s, n, err := Uvarint(src[pos:])
+	if err != nil {
+		return 0, 0, err
+	}
+	pos += n
+	m, _, err := Uvarint(src[pos:])
+	if err != nil {
+		return 0, 0, err
+	}
+	if m > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("wire: abort suspect %d out of range", m)
+	}
+	return int(s), transport.MachineID(m), nil
+}
+
+// UvarintLen returns the encoded size of x in bytes without encoding it.
+func UvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// FrameSize returns the bytes a payload of the given length occupies on
+// the wire once framed by WriteFrame: the uvarint length prefix plus the
+// payload itself. Transports use it to account actual bytes-on-wire.
+func FrameSize(payloadLen int) int {
+	return UvarintLen(uint64(payloadLen)) + payloadLen
+}
+
 // WriteFrame writes a length-prefixed frame: uvarint payload length
-// followed by the payload bytes.
+// followed by the payload bytes. Byte-writers (bufio.Writer — every
+// transport connection) take an allocation-free path: the header array
+// of the generic path escapes through the io.Writer interface, which
+// would put one allocation on every frame of the hot exchange loop.
 func WriteFrame(w io.Writer, payload []byte) error {
 	if len(payload) > MaxFrame {
 		return ErrFrameTooLarge
 	}
-	var hdr [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
-	if _, err := w.Write(hdr[:n]); err != nil {
-		return err
+	if bw, ok := w.(io.ByteWriter); ok {
+		x := uint64(len(payload))
+		for x >= 0x80 {
+			if err := bw.WriteByte(byte(x) | 0x80); err != nil {
+				return err
+			}
+			x >>= 7
+		}
+		if err := bw.WriteByte(byte(x)); err != nil {
+			return err
+		}
+	} else {
+		var hdr [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+		if _, err := w.Write(hdr[:n]); err != nil {
+			return err
+		}
 	}
 	_, err := w.Write(payload)
 	return err

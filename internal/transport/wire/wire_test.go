@@ -146,6 +146,230 @@ func TestBatchRejectsCorruption(t *testing.T) {
 	}
 }
 
+// v2Batch builds a random single-destination batch (the shape the TCP
+// transport ships): every envelope addressed to `to`, From values in
+// runs so the run-length encoding path is exercised.
+func v2Batch(r *rng.RNG, from, to transport.MachineID, n int) []transport.Envelope[pairMsg] {
+	envs := make([]transport.Envelope[pairMsg], 0, n)
+	f := from
+	for len(envs) < n {
+		if r.Intn(3) == 0 {
+			f = transport.MachineID(r.Intn(64))
+		}
+		envs = append(envs, transport.Envelope[pairMsg]{
+			From:  f,
+			To:    to,
+			Words: int32(r.Intn(1000)),
+			Msg:   pairMsg{A: int64(r.Uint64()) >> 3, B: r.Uint64()},
+		})
+	}
+	return envs
+}
+
+func TestBatchV2RoundTripProperty(t *testing.T) {
+	r := rng.New(271)
+	c := pairCodec{}
+	for trial := 0; trial < 300; trial++ {
+		step := r.Intn(1 << 16)
+		from := transport.MachineID(r.Intn(64))
+		to := transport.MachineID(r.Intn(64))
+		envs := v2Batch(r, from, to, r.Intn(50))
+		buf, err := AppendBatchV2(nil, step, from, to, envs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotStep, gotFrom, gotEnvs, err := DecodeBatchAny(buf, c, from, to)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotStep != step || gotFrom != from || len(gotEnvs) != len(envs) {
+			t.Fatalf("batch header: got (%d,%d,%d), want (%d,%d,%d)",
+				gotStep, gotFrom, len(gotEnvs), step, from, len(envs))
+		}
+		for i := range envs {
+			if gotEnvs[i] != envs[i] {
+				t.Fatalf("envelope %d: got %+v, want %+v", i, gotEnvs[i], envs[i])
+			}
+		}
+	}
+}
+
+// TestBatchCrossVersionDecode: the same envelopes encoded as a
+// version-framed v1 batch and as a v2 batch must decode to identical
+// values through the same version-dispatching entry point — the interop
+// guarantee that lets endpoints of different wire versions share a mesh.
+func TestBatchCrossVersionDecode(t *testing.T) {
+	r := rng.New(99)
+	c := pairCodec{}
+	for trial := 0; trial < 100; trial++ {
+		step := r.Intn(1 << 12)
+		from := transport.MachineID(r.Intn(32))
+		to := transport.MachineID(r.Intn(32))
+		envs := v2Batch(r, from, to, r.Intn(30))
+		v1, err := AppendBatchV1(nil, step, from, envs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := AppendBatchV2(nil, step, from, to, envs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s1, f1, e1, err := DecodeBatchAny(v1, c, from, to)
+		if err != nil {
+			t.Fatalf("v1 decode: %v", err)
+		}
+		s2, f2, e2, err := DecodeBatchAny(v2, c, from, to)
+		if err != nil {
+			t.Fatalf("v2 decode: %v", err)
+		}
+		if s1 != s2 || f1 != f2 || len(e1) != len(e2) {
+			t.Fatalf("cross-version header mismatch: v1 (%d,%d,%d) v2 (%d,%d,%d)",
+				s1, f1, len(e1), s2, f2, len(e2))
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("envelope %d: v1 %+v, v2 %+v", i, e1[i], e2[i])
+			}
+		}
+	}
+}
+
+// TestBatchV2SmallerOnTransportShape pins the format's raison d'être:
+// on the batch shape the TCP transport actually ships — every envelope
+// From the frame's sender, To its destination — v2 beats the legacy v1
+// encoding once a batch holds a few envelopes, and the saving grows
+// linearly (about two bytes per envelope for single-byte machine IDs).
+func TestBatchV2SmallerOnTransportShape(t *testing.T) {
+	c := pairCodec{}
+	for _, n := range []int{3, 10, 100, 1000} {
+		envs := make([]transport.Envelope[pairMsg], n)
+		for i := range envs {
+			envs[i] = transport.Envelope[pairMsg]{From: 5, To: 9, Words: int32(i % 7), Msg: pairMsg{A: int64(i), B: uint64(i)}}
+		}
+		v1, err := AppendBatch(nil, 12, 5, envs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := AppendBatchV2(nil, 12, 5, 9, envs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(v2) >= len(v1) {
+			t.Errorf("n=%d: v2 encoding %d bytes, legacy v1 %d bytes — no saving", n, len(v2), len(v1))
+		}
+		// 2 bytes per envelope (From + To elided) minus the constant
+		// format overhead (version byte, one run, payload prefix).
+		// overhead (version byte, one run, payload prefix — each field a
+		// few varint bytes).
+		if saved, want := len(v1)-len(v2), 2*n-8; saved < want {
+			t.Errorf("n=%d: saved only %d bytes, want >= %d", n, saved, want)
+		}
+	}
+}
+
+func TestBatchV2RejectsCorruption(t *testing.T) {
+	c := pairCodec{}
+	envs := []transport.Envelope[pairMsg]{
+		{From: 1, To: 2, Words: 4, Msg: pairMsg{A: -9, B: 11}},
+		{From: 3, To: 2, Words: 7, Msg: pairMsg{A: 5, B: 0}},
+	}
+	buf, err := AppendBatchV2(nil, 3, 1, 2, envs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the pristine encoding decodes.
+	if _, _, _, err := DecodeBatchAny(buf, c, 1, 2); err != nil {
+		t.Fatalf("pristine v2 batch rejected: %v", err)
+	}
+	// Truncation at every boundary must be detected.
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, _, err := DecodeBatchAny(buf[:cut], c, 1, 2); err == nil {
+			t.Errorf("v2 batch truncated to %d/%d bytes decoded without error", cut, len(buf))
+		}
+	}
+	if _, _, _, err := DecodeBatchAny(append(append([]byte(nil), buf...), 0xff), c, 1, 2); err == nil {
+		t.Error("v2 batch with trailing bytes decoded without error")
+	}
+	if _, _, _, err := DecodeBatchAny([]byte{0x7f}, c, 1, 2); err == nil {
+		t.Error("unknown batch version decoded without error")
+	}
+	if _, _, _, err := DecodeBatchAny(nil, c, 1, 2); err == nil {
+		t.Error("empty batch frame decoded without error")
+	}
+	// Absurd count with no envelope bytes behind it.
+	huge := []byte{BatchV2}
+	huge = AppendUvarint(huge, 0)
+	huge = AppendUvarint(huge, 1<<40)
+	if _, _, _, err := DecodeBatchAny(huge, c, 1, 2); err == nil {
+		t.Error("v2 batch with absurd count decoded without error")
+	}
+	// A run whose delta drives From negative.
+	neg := []byte{BatchV2}
+	neg = AppendUvarint(neg, 0) // step
+	neg = AppendUvarint(neg, 1) // sender
+	neg = AppendUvarint(neg, 1) // count
+	neg = AppendVarint(neg, -5) // delta: From = 1-5 = -4
+	neg = AppendUvarint(neg, 1) // run length
+	neg = AppendUvarint(neg, 0) // words
+	neg = AppendUvarint(neg, 0) // payloadLen
+	if _, _, _, err := DecodeBatchAny(neg, c, 1, 2); err == nil {
+		t.Error("v2 batch with negative From decoded without error")
+	}
+	// A zero-length run (would never terminate coverage).
+	zero := []byte{BatchV2}
+	zero = AppendUvarint(zero, 0)
+	zero = AppendUvarint(zero, 1) // count 1
+	zero = AppendVarint(zero, 0)
+	zero = AppendUvarint(zero, 0) // run length 0
+	if _, _, _, err := DecodeBatchAny(zero, c, 1, 2); err == nil {
+		t.Error("v2 batch with zero-length run decoded without error")
+	}
+	// Payload length prefix that disagrees with the remaining bytes.
+	lie, err := AppendBatchV2(nil, 3, 1, 2, envs[:1], c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lie = append(lie, 0x00) // one trailing byte the prefix does not cover
+	if _, _, _, err := DecodeBatchAny(lie, c, 1, 2); err == nil {
+		t.Error("v2 batch with lying payload prefix decoded without error")
+	}
+}
+
+func TestAppendBatchV2RejectsForeignDestination(t *testing.T) {
+	c := pairCodec{}
+	envs := []transport.Envelope[pairMsg]{{From: 0, To: 3, Words: 1}}
+	if _, err := AppendBatchV2(nil, 0, 0, 2, envs, c); err == nil {
+		t.Error("v2 batch accepted an envelope addressed to a different machine")
+	}
+	if _, err := AppendBatchV2(nil, 0, 0, 3, []transport.Envelope[pairMsg]{{From: 0, To: 3, Words: -1}}, c); err == nil {
+		t.Error("v2 batch accepted negative Words")
+	}
+	if _, err := AppendBatchV2(nil, 0, 0, 3, []transport.Envelope[pairMsg]{{From: -1, To: 3, Words: 1}}, c); err == nil {
+		t.Error("v2 batch accepted negative From")
+	}
+}
+
+func TestFrameSize(t *testing.T) {
+	r := rng.New(5)
+	c := pairCodec{}
+	for trial := 0; trial < 50; trial++ {
+		from := transport.MachineID(r.Intn(64))
+		to := transport.MachineID(r.Intn(64))
+		envs := v2Batch(r, from, to, r.Intn(40))
+		enc, err := AppendBatchV2(nil, r.Intn(1000), from, to, envs, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, enc); err != nil {
+			t.Fatal(err)
+		}
+		if got := FrameSize(len(enc)); got != buf.Len() {
+			t.Errorf("FrameSize(%d) = %d, actual frame is %d bytes", len(enc), got, buf.Len())
+		}
+	}
+}
+
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payloads := [][]byte{nil, {}, {1}, bytes.Repeat([]byte{0xAB}, 100000)}
