@@ -1,0 +1,72 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// lineHandler is the default slog handler: the classic one-line
+// "kmnode: message key=value ..." rendering operators grep for, now fed
+// from structured records so the same attrs serialise losslessly under
+// -log-format json. Levels and timestamps are deliberately omitted —
+// kmnode diagnostics are few and their order on stderr is their
+// timeline; error-ness is conveyed by the message and the exit status.
+type lineHandler struct {
+	mu    *sync.Mutex // shared across WithAttrs clones: one writer lock per sink
+	w     io.Writer
+	attrs []slog.Attr
+}
+
+func newLineHandler(w io.Writer) *lineHandler {
+	return &lineHandler{mu: &sync.Mutex{}, w: w}
+}
+
+// Enabled implements slog.Handler: everything Info and up prints.
+func (h *lineHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= slog.LevelInfo
+}
+
+// Handle implements slog.Handler.
+func (h *lineHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString("kmnode: ")
+	b.WriteString(r.Message)
+	for _, a := range h.attrs {
+		appendAttr(&b, a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		appendAttr(&b, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+func appendAttr(b *strings.Builder, a slog.Attr) {
+	v := a.Value.String()
+	if strings.ContainsAny(v, " \t\"") {
+		v = fmt.Sprintf("%q", v)
+	}
+	b.WriteByte(' ')
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	b.WriteString(v)
+}
+
+// WithAttrs implements slog.Handler.
+func (h *lineHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	clone := *h
+	clone.attrs = append(append([]slog.Attr(nil), h.attrs...), attrs...)
+	return &clone
+}
+
+// WithGroup implements slog.Handler. kmnode's diagnostics are flat;
+// grouped attrs keep their own keys.
+func (h *lineHandler) WithGroup(string) slog.Handler { return h }

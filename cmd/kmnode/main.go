@@ -27,12 +27,26 @@
 // Either way the computation reports the measured round complexity
 // (the paper's T) plus the algorithm's result summary, and the numbers
 // are bit-identical to the in-process simulator on the same seed.
+//
+// Observability: -trace out.json records a wall-clock phase timeline
+// (compute / barrier / exchange per machine and superstep, plus
+// per-peer frame spans) and writes it as Chrome trace-event JSON —
+// open it in chrome://tracing or Perfetto. -debug-addr serves
+// net/http/pprof and expvar (see debug.go for the published gauges)
+// while the run is in flight; -debug-linger keeps that server alive
+// after the run so the final counters can still be scraped.
+// Diagnostics go to stderr via log/slog — one human-readable line per
+// event by default, `-log-format json` for machine consumption — with
+// machine/superstep attribution attached as structured attrs whenever
+// the runtime recorded it. Results (stats, summaries, hashes) stay on
+// stdout.
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
@@ -40,9 +54,19 @@ import (
 	"kmachine/internal/algo"
 	_ "kmachine/internal/algo/all"
 	"kmachine/internal/core"
+	"kmachine/internal/obs"
 	"kmachine/internal/transport"
 	"kmachine/internal/transport/node"
 )
+
+// logger is the process-wide diagnostic logger (stderr). It starts on
+// the one-line text handler so even pre-flag failures render; main
+// swaps in the JSON handler when -log-format json asks for it.
+var logger = slog.New(newLineHandler(os.Stderr))
+
+// tel is the process-wide telemetry state (trace recorder, trace output
+// path, debug-server linger); zero means "not instrumented".
+var tel telemetry
 
 func main() {
 	// A panic that escapes the runtime (a bug, not an expected failure)
@@ -51,27 +75,39 @@ func main() {
 	// their exit status is what orchestration scripts key off.
 	defer func() {
 		if r := recover(); r != nil {
-			fatalf("internal panic: %v", r)
+			fatal("internal panic", slog.Any("panic", r))
 		}
 	}()
 	var (
-		local    = flag.Int("local", 0, "spawn a full k-machine cluster over loopback TCP in this process")
-		id       = flag.Int("id", -1, "this node's machine ID (standalone mode)")
-		k        = flag.Int("k", 0, "cluster size (standalone mode)")
-		listen   = flag.String("listen", "", "listen address, e.g. 127.0.0.1:9000 (standalone mode)")
-		peers    = flag.String("peers", "", "comma-separated k listen addresses in machine-ID order (standalone mode)")
-		algoName = flag.String("algo", "pagerank", "computation to run ("+strings.Join(algo.Names(), "|")+")")
-		list     = flag.Bool("algos", false, "list registered algorithms and exit")
-		n        = flag.Int("n", 10000, "number of vertices (keys for dsort, probes/machine for routing)")
-		p        = flag.Float64("p", 0.0, "G(n,p) edge probability; 0 means 10/n")
-		seed     = flag.Uint64("seed", 1, "seed for graph, partition, and machine randomness")
-		bw       = flag.Int("bandwidth", 0, "per-link words/round; 0 means DefaultBandwidth(n)")
-		eps      = flag.Float64("eps", 0.15, "PageRank reset probability")
-		top      = flag.Int("top", 5, "how many top-ranked vertices to print")
-		timeout  = flag.Duration("dial-timeout", 10*time.Second, "how long to wait for peers to come up")
-		deadline = flag.Duration("superstep-timeout", 0, "per-superstep deadline; a crashed or wedged peer surfaces as an attributed error within it (0 = none)")
+		local     = flag.Int("local", 0, "spawn a full k-machine cluster over loopback TCP in this process")
+		id        = flag.Int("id", -1, "this node's machine ID (standalone mode)")
+		k         = flag.Int("k", 0, "cluster size (standalone mode)")
+		listen    = flag.String("listen", "", "listen address, e.g. 127.0.0.1:9000 (standalone mode)")
+		peers     = flag.String("peers", "", "comma-separated k listen addresses in machine-ID order (standalone mode)")
+		algoName  = flag.String("algo", "pagerank", "computation to run ("+strings.Join(algo.Names(), "|")+")")
+		list      = flag.Bool("algos", false, "list registered algorithms and exit")
+		n         = flag.Int("n", 10000, "number of vertices (keys for dsort, probes/machine for routing)")
+		p         = flag.Float64("p", 0.0, "G(n,p) edge probability; 0 means 10/n")
+		seed      = flag.Uint64("seed", 1, "seed for graph, partition, and machine randomness")
+		bw        = flag.Int("bandwidth", 0, "per-link words/round; 0 means DefaultBandwidth(n)")
+		eps       = flag.Float64("eps", 0.15, "PageRank reset probability")
+		top       = flag.Int("top", 5, "how many top-ranked vertices to print")
+		timeout   = flag.Duration("dial-timeout", 10*time.Second, "how long to wait for peers to come up")
+		deadline  = flag.Duration("superstep-timeout", 0, "per-superstep deadline; a crashed or wedged peer surfaces as an attributed error within it (0 = none)")
+		trace     = flag.String("trace", "", "write a Chrome trace-event JSON phase timeline to this file (open in chrome://tracing or Perfetto)")
+		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :0 or 127.0.0.1:6060)")
+		linger    = flag.Duration("debug-linger", 0, "keep the debug server alive this long after the run, so final counters can be scraped")
+		logFormat = flag.String("log-format", "text", "diagnostic log format on stderr: text (one line per event) or json")
 	)
 	flag.Parse()
+
+	switch *logFormat {
+	case "text":
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	default:
+		fatal("unknown -log-format", slog.String("format", *logFormat), slog.String("supported", "text, json"))
+	}
 
 	if *list {
 		for _, e := range algo.Entries() {
@@ -81,45 +117,68 @@ func main() {
 	}
 	entry, ok := algo.Lookup(*algoName)
 	if !ok {
-		fatalf("unknown -algo %q (supported: %s)", *algoName, strings.Join(algo.Names(), ", "))
+		fatal("unknown -algo", slog.String("algo", *algoName), slog.String("supported", strings.Join(algo.Names(), ", ")))
 	}
 
 	prob := algo.Problem{N: *n, EdgeP: *p, Seed: *seed, Bandwidth: *bw, Eps: *eps, Top: *top, SuperstepTimeout: *deadline}
 	switch {
 	case *local >= 2:
 		prob.K = *local
-		runLocal(entry, prob)
 	case *id >= 0:
 		prob.K = *k
-		runStandalone(entry, prob, *id, *listen, *peers, *timeout)
 	default:
 		fmt.Fprintln(os.Stderr, "kmnode: need either -local k, or -id with -k/-listen/-peers")
 		flag.Usage()
 		os.Exit(2)
 	}
+
+	// The trace recorder doubles as the debug plane's data source, so
+	// either flag turns it on; with k known, the per-peer wire counters
+	// get their lanes.
+	if *trace != "" || *debugAddr != "" {
+		tel = telemetry{trace: obs.NewTrace(0, prob.K), tracePath: *trace, linger: *linger}
+		prob.Recorder = tel.trace
+	}
+	if *debugAddr != "" {
+		addr, err := startDebugServer(*debugAddr, tel.trace)
+		if err != nil {
+			fatal("debug server failed to start", slog.String("addr", *debugAddr), slog.Any("err", err))
+		}
+		tel.debugOn = true
+		logger.Info("debug server listening", slog.String("addr", addr))
+	}
+
+	if *local >= 2 {
+		runLocal(entry, prob)
+	} else {
+		runStandalone(entry, prob, *id, *listen, *peers, *timeout)
+	}
+	tel.flush()
 }
 
 func runLocal(entry *algo.Entry, prob algo.Problem) {
-	fmt.Printf("kmnode: local cluster, k=%d machines over loopback TCP, algo=%s n=%d seed=%d\n",
-		prob.K, entry.Name, prob.N, prob.Seed)
+	logger.Info("local cluster starting",
+		slog.Int("k", prob.K), slog.String("algo", entry.Name),
+		slog.Int("n", prob.N), slog.Uint64("seed", prob.Seed))
 	start := time.Now()
 	out, err := entry.RunNodeLocal(prob)
 	if err != nil {
-		fatalf("cluster failed: %s", diagnose(err))
+		failRun("cluster failed", err)
 	}
 	printOutcome(out, time.Since(start))
 }
 
 func runStandalone(entry *algo.Entry, prob algo.Problem, id int, listen, peerList string, timeout time.Duration) {
 	if prob.K < 2 || listen == "" || peerList == "" {
-		fatalf("standalone mode needs -k >= 2, -listen, and -peers")
+		fatal("standalone mode needs -k >= 2, -listen, and -peers")
 	}
 	peers := strings.Split(peerList, ",")
 	if len(peers) != prob.K {
-		fatalf("-peers lists %d addresses, want k=%d", len(peers), prob.K)
+		fatal("-peers list does not match k", slog.Int("addresses", len(peers)), slog.Int("k", prob.K))
 	}
-	fmt.Printf("kmnode: machine %d/%d on %s, algo=%s n=%d seed=%d\n",
-		id, prob.K, listen, entry.Name, prob.N, prob.Seed)
+	logger.Info("machine starting",
+		slog.Int("machine", id), slog.Int("k", prob.K), slog.String("listen", listen),
+		slog.String("algo", entry.Name), slog.Int("n", prob.N), slog.Uint64("seed", prob.Seed))
 
 	start := time.Now()
 	out, err := entry.RunStandalone(prob, node.Config{
@@ -127,23 +186,38 @@ func runStandalone(entry *algo.Entry, prob algo.Problem, id int, listen, peerLis
 		ListenAddr:  listen,
 		Peers:       peers,
 		DialTimeout: timeout,
+		Recorder:    tel.recorder(),
 	})
 	if err != nil {
-		fatalf("machine %d failed: %s", id, diagnose(err))
+		failRun("machine failed", err, slog.Int("self", id))
 	}
 	printOutcome(out, time.Since(start))
 }
 
-// diagnose renders a run failure as one line, leading with the
-// machine/superstep attribution when the runtime recorded one — the
-// line an operator greps for to learn WHICH process of the cluster to
-// look at.
-func diagnose(err error) string {
+// failRun logs a run failure and exits non-zero. The machine/superstep
+// attribution the runtime recorded — WHICH process of the cluster to
+// look at, and when it died — rides along as structured attrs instead
+// of being interpolated into the message.
+func failRun(msg string, err error, extra ...any) {
+	args := extra
 	var me *transport.MachineError
 	if errors.As(err, &me) {
-		return fmt.Sprintf("machine %d failed in superstep %d (%v)", me.Machine, me.Superstep, me.Err)
+		args = append(args,
+			slog.Int("machine", int(me.Machine)),
+			slog.Int("superstep", me.Superstep),
+			slog.Any("err", me.Err))
+	} else {
+		args = append(args, slog.Any("err", err))
 	}
-	return err.Error()
+	tel.flush()
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
+// fatal logs a configuration or internal failure and exits non-zero.
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
 }
 
 func printOutcome(out *algo.Outcome, wall time.Duration) {
@@ -164,7 +238,52 @@ func printStats(s *core.Stats, wall time.Duration) {
 		s.Rounds, s.Supersteps, s.Messages, s.Words, s.MaxRecvWords)
 }
 
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "kmnode: "+format+"\n", args...)
-	os.Exit(1)
+// telemetry is the optional observability state of a run: the span
+// recorder feeding both the -trace export and the debug plane's
+// expvars.
+type telemetry struct {
+	trace     *obs.Trace
+	tracePath string
+	linger    time.Duration
+	debugOn   bool
+}
+
+// recorder returns the trace as an obs.Recorder, or a true nil
+// interface when telemetry is off — assigning the nil *obs.Trace field
+// directly would produce a non-nil interface holding a nil pointer,
+// which defeats the runtime's rec != nil fast-path check.
+func (t *telemetry) recorder() obs.Recorder {
+	if t.trace == nil {
+		return nil
+	}
+	return t.trace
+}
+
+// flush writes the trace file, prints the phase summary, and keeps the
+// debug server lingering if asked. Called once on every exit path that
+// ran (or attempted) a computation.
+func (t *telemetry) flush() {
+	if t.trace == nil {
+		return
+	}
+	spans := t.trace.Spans()
+	if sum := obs.Summarize(spans); sum.Supersteps > 0 {
+		fmt.Printf("phases over %d supersteps: compute p50=%v max=%v | barrier p50=%v max=%v | exchange p50=%v max=%v | spans cover %.1f%% of %v wall\n",
+			sum.Supersteps,
+			time.Duration(sum.Compute.P50Ns), time.Duration(sum.Compute.MaxNs),
+			time.Duration(sum.Barrier.P50Ns), time.Duration(sum.Barrier.MaxNs),
+			time.Duration(sum.Exchange.P50Ns), time.Duration(sum.Exchange.MaxNs),
+			100*sum.Coverage, time.Duration(sum.WallNs).Round(time.Millisecond))
+	}
+	if t.tracePath != "" {
+		if err := obs.WriteChromeTraceFile(t.tracePath, spans); err != nil {
+			logger.Error("trace write failed", slog.String("path", t.tracePath), slog.Any("err", err))
+		} else {
+			logger.Info("trace written", slog.String("path", t.tracePath), slog.Int("spans", len(spans)))
+		}
+	}
+	if t.debugOn && t.linger > 0 {
+		logger.Info("debug server lingering", slog.Duration("for", t.linger))
+		time.Sleep(t.linger)
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"kmachine/internal/core"
+	"kmachine/internal/obs"
 	"kmachine/internal/partition"
 	"kmachine/internal/transport"
 	"kmachine/internal/transport/node"
@@ -44,6 +45,13 @@ type Problem struct {
 	// hanging the run. 0 means no deadline; the happy path is
 	// unaffected either way.
 	SuperstepTimeout time.Duration
+	// Recorder, when non-nil, receives wall-clock phase spans from the
+	// run on every substrate (core.Config.Recorder /
+	// node.Config.Recorder): compute, barrier-wait, and exchange per
+	// superstep, plus per-peer frame spans on socket substrates. Spans
+	// measure time only — Stats, outputs, and hashes are identical with
+	// or without a recorder. nil (the default) records nothing.
+	Recorder obs.Recorder
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -67,7 +75,7 @@ func (prob Problem) withDefaults() Problem {
 // machine streams draw from Seed+2 on every substrate.
 func (prob Problem) coreConfig(kind transport.Kind) core.Config {
 	return core.Config{K: prob.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
-		Transport: kind, SuperstepTimeout: prob.SuperstepTimeout}
+		Transport: kind, SuperstepTimeout: prob.SuperstepTimeout, Recorder: prob.Recorder}
 }
 
 // Outcome is the substrate-agnostic report of one registry run.
@@ -180,7 +188,7 @@ func Register[M, L, O any](s Spec[M, L, O]) {
 				return nil, err
 			}
 			ncfg := node.Config{K: p.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
-				SuperstepTimeout: prob.SuperstepTimeout}
+				SuperstepTimeout: prob.SuperstepTimeout, Recorder: prob.Recorder}
 			out, stats, err := NodeRunLocal(a, p, ncfg)
 			if err != nil {
 				return nil, err
@@ -198,6 +206,9 @@ func Register[M, L, O any](s Spec[M, L, O]) {
 			ncfg.Seed = prob.Seed + 2
 			if ncfg.SuperstepTimeout == 0 {
 				ncfg.SuperstepTimeout = prob.SuperstepTimeout
+			}
+			if ncfg.Recorder == nil {
+				ncfg.Recorder = prob.Recorder
 			}
 			local, stats, err := NodeRun(a, p, ncfg)
 			if err != nil {

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"time"
 
+	"kmachine/internal/obs"
 	"kmachine/internal/rng"
 	"kmachine/internal/transport"
 	"kmachine/internal/transport/inmem"
@@ -130,6 +131,19 @@ type Config struct {
 	// happy-path behaviour (Stats, outputs, determinism) is identical
 	// with or without one.
 	SuperstepTimeout time.Duration
+	// Recorder, when non-nil, receives wall-clock phase spans from the
+	// run: per machine and superstep, a compute span (the Step call) and
+	// a barrier span (waiting for the slowest machine), plus one
+	// cluster-level exchange span per superstep; socket substrates
+	// additionally record per-peer frame spans (RunOverWire installs the
+	// recorder on transports implementing transport.TraceSink). The
+	// recorder must tolerate concurrent Record calls and should not
+	// allocate (obs.Trace satisfies both). nil — the default — keeps the
+	// engine on its span-free path: the zero-allocation discipline and
+	// the golden determinism hashes are fenced with the recorder off,
+	// and Stats are identical either way (spans measure time, never
+	// model cost).
+	Recorder obs.Recorder
 }
 
 // Log2Words returns the machine word size for an n-vertex input under

@@ -4,6 +4,8 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"kmachine/internal/obs"
 )
 
 // This file is the superstep engine behind Cluster.RunOn: k persistent
@@ -79,6 +81,11 @@ type engine[M any] struct {
 	done     *barrier // collects workers after their Step
 	stop     bool     // set (pre-start-barrier) to shut workers down
 
+	// rec receives per-machine compute and barrier-wait spans when
+	// non-nil (Config.Recorder); nil keeps workers on the span-free
+	// path the alloc fences pin.
+	rec obs.Recorder
+
 	inboxes [][]Envelope[M]
 	outs    [][]Envelope[M]
 	dones   []bool
@@ -93,8 +100,25 @@ func (e *engine[M]) worker(i int) {
 		if e.stop {
 			return
 		}
+		if e.rec == nil {
+			e.stepMachine(i)
+			e.done.Await()
+			continue
+		}
+		// Instrumented path: the compute span is the Step call, the
+		// barrier span the wait for the slowest machine to arrive at the
+		// done barrier (the straggler itself records ~0). The superstep
+		// is captured before the barrier releases — after it, the
+		// coordinator may already be stamping the next one into ctxs.
+		t0 := obs.Now()
 		e.stepMachine(i)
+		t1 := obs.Now()
+		step := int32(e.ctxs[i].Superstep)
+		e.rec.Record(obs.Span{Start: t0, Dur: t1 - t0,
+			Machine: int32(i), Peer: -1, Superstep: step, Phase: obs.PhaseCompute})
 		e.done.Await()
+		e.rec.Record(obs.Span{Start: t1, Dur: obs.Now() - t1,
+			Machine: int32(i), Peer: -1, Superstep: step, Phase: obs.PhaseBarrier})
 	}
 }
 
@@ -153,6 +177,7 @@ func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 
 	e := &engine[M]{
 		machines: c.machines,
+		rec:      c.cfg.Recorder,
 		start:    newBarrier(k + 1),
 		done:     newBarrier(k + 1),
 		inboxes:  make([][]Envelope[M], k),
@@ -262,7 +287,19 @@ func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 		if c.cfg.SuperstepTimeout > 0 {
 			sctx, cancel = context.WithTimeout(runCtx, c.cfg.SuperstepTimeout)
 		}
+		var xt0 int64
+		if e.rec != nil {
+			xt0 = obs.Now()
+		}
 		next, err := t.Exchange(sctx, step, e.outs)
+		if e.rec != nil {
+			// One cluster-level span per superstep (Machine -1): the
+			// exchange is a barrier, so its duration is the whole
+			// cluster's communication phase. Recorded on the error path
+			// too — a failed run's timeline is the one worth reading.
+			e.rec.Record(obs.Span{Start: xt0, Dur: obs.Now() - xt0,
+				Machine: -1, Peer: -1, Superstep: int32(step), Phase: obs.PhaseExchange})
+		}
 		if cancel != nil {
 			cancel()
 		}

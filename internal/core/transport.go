@@ -52,6 +52,14 @@ func RunOverWire[M any](c *Cluster[M], codec wire.Codec[M]) (*Stats, transport.W
 		return nil, transport.WireStats{}, err
 	}
 	defer t.Close()
+	if c.cfg.Recorder != nil {
+		// Substrates with frame-level detail (tcp) record per-peer
+		// write/read/decode spans into the same recorder the engine's
+		// phase spans go to; the loopback has none and stays dark.
+		if ts, ok := t.(transport.TraceSink); ok {
+			ts.SetRecorder(c.cfg.Recorder)
+		}
+	}
 	stats, err := c.RunOn(t)
 	var w transport.WireStats
 	if m, ok := t.(transport.WireMeter); ok {

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner
-// per experiment in DESIGN.md's index (F1, E1–E20), each regenerating
+// per experiment in DESIGN.md's index (F1, E1–E21), each regenerating
 // the series behind a claim of the paper. cmd/kmbench prints the tables
 // that EXPERIMENTS.md records; the root bench_test.go exposes each
 // experiment as a testing.B benchmark.
@@ -133,6 +133,11 @@ type Config struct {
 	Quick bool
 	// Seed perturbs all randomness.
 	Seed uint64
+	// TracePath, when non-empty, asks E21 to write a Chrome
+	// trace-event JSON timeline of its instrumented TCP PageRank run
+	// to this file (open in chrome://tracing or Perfetto). Other
+	// experiments ignore it.
+	TracePath string
 }
 
 // Runner is one experiment entry point. Run returns an error instead
@@ -169,5 +174,6 @@ func All() []Runner {
 		{"E18", "4-clique enumeration (§1.2 generalization)", E18Cliques4},
 		{"E19", "substrate equivalence (registry × transports)", E19SubstrateMatrix},
 		{"E20", "bytes-on-wire (model words vs physical bytes, v1 vs v2)", E20WireBytes},
+		{"E21", "phase timings (compute/barrier/exchange share of wall)", E21PhaseTimings},
 	}
 }

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteChromeTrace writes spans as a Chrome trace-event JSON array —
+// the format chrome://tracing and Perfetto's legacy importer open
+// directly. Each span becomes one complete ("X") event; timestamps and
+// durations are microseconds relative to the process epoch. Lane
+// layout: machines are threads of process 0 (tid = machine ID),
+// cluster-level spans (Machine = -1, the in-process engine's exchange)
+// live on process 1. Output is deterministic for a given span slice —
+// events are emitted in input order with fixed formatting — which is
+// what the golden test pins.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	// Name the lanes so the viewer reads "machine 3", not "tid 3".
+	fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":0,"args":{"name":"machines"}},`+"\n")
+	fmt.Fprintf(bw, `{"name":"process_name","ph":"M","pid":1,"args":{"name":"cluster"}}`)
+	seen := map[int32]bool{}
+	for _, s := range spans {
+		if s.Machine >= 0 && !seen[s.Machine] {
+			seen[s.Machine] = true
+			fmt.Fprintf(bw, ",\n"+`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"machine %d"}}`,
+				s.Machine, s.Machine)
+		}
+	}
+	for _, s := range spans {
+		pid, tid := 0, s.Machine
+		if s.Machine < 0 {
+			pid, tid = 1, 0
+		}
+		fmt.Fprintf(bw, ",\n"+`{"name":%q,"cat":"superstep","ph":"X","ts":%.3f,"dur":%.3f,"pid":%d,"tid":%d,"args":{"superstep":%d`,
+			s.Phase.String(), float64(s.Start)/1e3, float64(s.Dur)/1e3, pid, tid, s.Superstep)
+		if s.Peer >= 0 {
+			fmt.Fprintf(bw, `,"peer":%d`, s.Peer)
+		}
+		if s.Bytes > 0 {
+			fmt.Fprintf(bw, `,"bytes":%d`, s.Bytes)
+		}
+		bw.WriteString("}}")
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTraceFile writes the spans to path via WriteChromeTrace.
+func WriteChromeTraceFile(path string, spans []Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWriteChromeTraceGolden pins the exact bytes the writer emits for
+// a fixed span set — the trace-event format is consumed by external
+// viewers, so the output must stay deterministic and stable.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	spans := []Span{
+		{Start: 1000, Dur: 5500, Machine: 0, Peer: -1, Superstep: 0, Phase: PhaseCompute},
+		{Start: 6500, Dur: 500, Machine: 0, Peer: -1, Superstep: 0, Phase: PhaseBarrier},
+		{Start: 7000, Dur: 3000, Machine: -1, Peer: -1, Superstep: 0, Phase: PhaseExchange},
+		{Start: 7100, Dur: 900, Machine: 0, Peer: 1, Superstep: 0, Phase: PhaseFrameWrite, Bytes: 128},
+	}
+	const want = `[
+{"name":"process_name","ph":"M","pid":0,"args":{"name":"machines"}},
+{"name":"process_name","ph":"M","pid":1,"args":{"name":"cluster"}},
+{"name":"thread_name","ph":"M","pid":0,"tid":0,"args":{"name":"machine 0"}},
+{"name":"compute","cat":"superstep","ph":"X","ts":1.000,"dur":5.500,"pid":0,"tid":0,"args":{"superstep":0}},
+{"name":"barrier","cat":"superstep","ph":"X","ts":6.500,"dur":0.500,"pid":0,"tid":0,"args":{"superstep":0}},
+{"name":"exchange","cat":"superstep","ph":"X","ts":7.000,"dur":3.000,"pid":1,"tid":0,"args":{"superstep":0}},
+{"name":"frame-write","cat":"superstep","ph":"X","ts":7.100,"dur":0.900,"pid":0,"tid":0,"args":{"superstep":0,"peer":1,"bytes":128}}
+]
+`
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, spans); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	if b.String() != want {
+		t.Fatalf("golden mismatch:\n--- got ---\n%s\n--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestWriteChromeTraceParses checks the output is a valid JSON array of
+// event objects for a larger, machine-generated span set.
+func TestWriteChromeTraceParses(t *testing.T) {
+	var spans []Span
+	for step := int32(0); step < 5; step++ {
+		for m := int32(0); m < 4; m++ {
+			base := int64(step)*1000 + int64(m)*10
+			spans = append(spans,
+				Span{Start: base, Dur: 400, Machine: m, Peer: -1, Superstep: step, Phase: PhaseCompute},
+				Span{Start: base + 400, Dur: 100, Machine: m, Peer: -1, Superstep: step, Phase: PhaseBarrier},
+				Span{Start: base + 500, Dur: 50, Machine: m, Peer: (m + 1) % 4, Superstep: step, Phase: PhaseFrameRead, Bytes: 64},
+			)
+		}
+		spans = append(spans, Span{Start: int64(step)*1000 + 500, Dur: 300, Machine: -1, Peer: -1, Superstep: step, Phase: PhaseExchange})
+	}
+	var b strings.Builder
+	if err := WriteChromeTrace(&b, spans); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &events); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	// 2 process metadata + 4 thread metadata + the spans themselves.
+	if want := 2 + 4 + len(spans); len(events) != want {
+		t.Fatalf("got %d events, want %d", len(events), want)
+	}
+	for i, ev := range events {
+		if ev["name"] == "" || ev["ph"] == "" {
+			t.Fatalf("event %d missing name/ph: %v", i, ev)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTraceRingRetainsTail(t *testing.T) {
+	tr := NewTrace(4, 0)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Start: int64(i), Dur: 1, Machine: 0, Peer: -1, Superstep: int32(i), Phase: PhaseCompute})
+	}
+	c := tr.Counters()
+	if c.Total != 10 || c.Dropped != 6 {
+		t.Fatalf("counters = total %d dropped %d, want 10/6", c.Total, c.Dropped)
+	}
+	spans := tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("retained %d spans, want 4", len(spans))
+	}
+	for i, s := range spans {
+		if want := int64(6 + i); s.Start != want {
+			t.Fatalf("span %d start = %d, want %d (tail of the stream, in order)", i, s.Start, want)
+		}
+	}
+	if c.CurrentSuperstep != 9 || c.SuperstepsStarted != 10 {
+		t.Fatalf("superstep gauge = %d/%d, want 9/10", c.CurrentSuperstep, c.SuperstepsStarted)
+	}
+}
+
+func TestTraceGauges(t *testing.T) {
+	tr := NewTrace(64, 3)
+	tr.Record(Span{Start: 0, Dur: 5, Machine: 0, Peer: -1, Superstep: 0, Phase: PhaseCompute})
+	tr.Record(Span{Start: 5, Dur: 2, Machine: 0, Peer: -1, Superstep: 0, Phase: PhaseBarrier})
+	tr.Record(Span{Start: 7, Dur: 3, Machine: -1, Peer: -1, Superstep: 0, Phase: PhaseExchange})
+	tr.Record(Span{Start: 7, Dur: 1, Machine: 0, Peer: 1, Superstep: 0, Phase: PhaseFrameWrite, Bytes: 100})
+	tr.Record(Span{Start: 7, Dur: 2, Machine: 0, Peer: 2, Superstep: 0, Phase: PhaseFrameRead, Bytes: 40})
+	c := tr.Counters()
+	if c.PhaseCount[PhaseCompute] != 1 || c.PhaseNs[PhaseCompute] != 5 {
+		t.Fatalf("compute gauge = %d/%dns", c.PhaseCount[PhaseCompute], c.PhaseNs[PhaseCompute])
+	}
+	if c.FramesSent != 1 || c.BytesSent != 100 || c.FramesRecv != 1 || c.BytesRecv != 40 {
+		t.Fatalf("wire gauges = sent %d/%dB recv %d/%dB", c.FramesSent, c.BytesSent, c.FramesRecv, c.BytesRecv)
+	}
+	if len(c.PerPeer) != 3 {
+		t.Fatalf("per-peer lanes = %d, want 3", len(c.PerPeer))
+	}
+	if c.PerPeer[1].FramesSent != 1 || c.PerPeer[1].BytesSent != 100 {
+		t.Fatalf("peer 1 counters = %+v", c.PerPeer[1])
+	}
+	if c.PerPeer[2].FramesRecv != 1 || c.PerPeer[2].BytesRecv != 40 {
+		t.Fatalf("peer 2 counters = %+v", c.PerPeer[2])
+	}
+}
+
+// TestTraceConcurrentRecord hammers one Trace from many goroutines —
+// the recorder contract says Record must be concurrency-safe, and this
+// is the test the race detector watches.
+func TestTraceConcurrentRecord(t *testing.T) {
+	tr := NewTrace(128, 4)
+	var wg sync.WaitGroup
+	const writers, each = 8, 500
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				tr.Record(Span{Start: Now(), Dur: 1, Machine: int32(w % 4), Peer: int32(i % 4), Superstep: int32(i), Phase: Phase(i % NumPhases)})
+				if i%100 == 0 {
+					tr.Spans()
+					tr.Counters()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c := tr.Counters(); c.Total != writers*each {
+		t.Fatalf("total = %d, want %d", c.Total, writers*each)
+	}
+}
+
+func TestTraceRecordDoesNotAllocate(t *testing.T) {
+	tr := NewTrace(1024, 4)
+	s := Span{Start: 1, Dur: 2, Machine: 1, Peer: 2, Superstep: 3, Phase: PhaseFrameWrite, Bytes: 64}
+	allocs := testing.AllocsPerRun(1000, func() { tr.Record(s) })
+	if allocs != 0 {
+		t.Fatalf("Trace.Record allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestPerSuperstepAndSummarize(t *testing.T) {
+	// Two supersteps, two machines, hand-built timeline (ns):
+	// step 0: m0 compute [0,10), m1 compute [0,14), barriers to 14,
+	//         cluster exchange [14,20).
+	// step 1: computes [20,26) and [20,30), barriers to 30, exchange
+	//         [30,34), then a gap [34,40) covered by nothing.
+	spans := []Span{
+		{Start: 0, Dur: 10, Machine: 0, Peer: -1, Superstep: 0, Phase: PhaseCompute},
+		{Start: 0, Dur: 14, Machine: 1, Peer: -1, Superstep: 0, Phase: PhaseCompute},
+		{Start: 10, Dur: 4, Machine: 0, Peer: -1, Superstep: 0, Phase: PhaseBarrier},
+		{Start: 14, Dur: 0, Machine: 1, Peer: -1, Superstep: 0, Phase: PhaseBarrier},
+		{Start: 14, Dur: 6, Machine: -1, Peer: -1, Superstep: 0, Phase: PhaseExchange},
+		{Start: 14, Dur: 2, Machine: 0, Peer: 1, Superstep: 0, Phase: PhaseFrameWrite, Bytes: 10},
+		{Start: 20, Dur: 6, Machine: 0, Peer: -1, Superstep: 1, Phase: PhaseCompute},
+		{Start: 20, Dur: 10, Machine: 1, Peer: -1, Superstep: 1, Phase: PhaseCompute},
+		{Start: 26, Dur: 4, Machine: 0, Peer: -1, Superstep: 1, Phase: PhaseBarrier},
+		{Start: 30, Dur: 0, Machine: 1, Peer: -1, Superstep: 1, Phase: PhaseBarrier},
+		{Start: 30, Dur: 4, Machine: -1, Peer: -1, Superstep: 1, Phase: PhaseExchange},
+		{Start: 36, Dur: 4, Machine: -1, Peer: -1, Superstep: 1, Phase: PhaseExchange},
+	}
+	per := PerSuperstep(spans)
+	if len(per) != 2 {
+		t.Fatalf("got %d supersteps, want 2", len(per))
+	}
+	s0 := per[0]
+	if s0.Compute.Count != 2 || s0.Compute.MaxNs != 14 || s0.Compute.P50Ns != 14 {
+		t.Fatalf("step 0 compute agg = %+v", s0.Compute)
+	}
+	if s0.Exchange.TotalNs != 6 || s0.WallNs != 20 {
+		t.Fatalf("step 0 exchange %dns wall %dns, want 6/20", s0.Exchange.TotalNs, s0.WallNs)
+	}
+	sum := Summarize(spans)
+	if sum.Supersteps != 2 {
+		t.Fatalf("supersteps = %d, want 2", sum.Supersteps)
+	}
+	if sum.WallNs != 40 {
+		t.Fatalf("wall = %dns, want 40", sum.WallNs)
+	}
+	// Union covers [0,34) and [36,40): 38 of 40ns.
+	if sum.CoveredNs != 38 {
+		t.Fatalf("covered = %dns, want 38", sum.CoveredNs)
+	}
+	if sum.Coverage < 0.94 || sum.Coverage > 0.96 {
+		t.Fatalf("coverage = %.3f, want 0.95", sum.Coverage)
+	}
+	if sum.Compute.MaxNs != 14 || sum.Compute.Count != 4 {
+		t.Fatalf("run compute agg = %+v", sum.Compute)
+	}
+	if sum.Exchange.TotalNs != 14 {
+		t.Fatalf("run exchange total = %dns, want 14", sum.Exchange.TotalNs)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if s := Summarize(nil); s.Supersteps != 0 || s.Coverage != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if per := PerSuperstep(nil); len(per) != 0 {
+		t.Fatalf("empty per-superstep = %+v", per)
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := []string{"compute", "barrier", "exchange", "frame-write", "frame-read", "frame-decode"}
+	for p := 0; p < NumPhases; p++ {
+		if got := Phase(p).String(); got != want[p] {
+			t.Fatalf("Phase(%d) = %q, want %q", p, got, want[p])
+		}
+	}
+	if got := Phase(99).String(); got != "unknown" {
+		t.Fatalf("Phase(99) = %q", got)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"time"
 
+	"kmachine/internal/obs"
 	"kmachine/internal/transport"
 )
 
@@ -151,4 +152,14 @@ func (t *Transport[M]) WireStats() transport.WireStats {
 		return m.WireStats()
 	}
 	return transport.WireStats{}
+}
+
+// SetRecorder forwards the telemetry recorder to the inner transport
+// when it records frame spans (transport.TraceSink), so wrapping a
+// substrate in faults does not blind the tracer; a sink-less inner
+// transport makes this a no-op.
+func (t *Transport[M]) SetRecorder(r obs.Recorder) {
+	if s, ok := t.inner.(transport.TraceSink); ok {
+		s.SetRecorder(r)
+	}
 }

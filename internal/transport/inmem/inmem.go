@@ -16,6 +16,7 @@ package inmem
 import (
 	"context"
 	"fmt"
+	"sync/atomic"
 
 	"kmachine/internal/transport"
 )
@@ -40,6 +41,13 @@ type Transport[M any] struct {
 
 	counts []int // per-destination envelope counts / placement cursors
 	starts []int // prefix offsets of each inbox within flat
+
+	// Counter-only observability (see Counters): the loopback ships no
+	// physical bytes and records no frame spans, but counting its work
+	// gives instrumented runs a shape to compare across substrates.
+	// Atomics only because a debug plane may snapshot mid-run; Exchange
+	// itself is serial.
+	exchanges, envelopes atomic.Int64
 }
 
 // New returns a loopback transport for a k-machine cluster.
@@ -116,7 +124,30 @@ func (t *Transport[M]) Exchange(ctx context.Context, step int, outs [][]transpor
 		// cannot clobber its neighbour's envelopes.
 		b.inboxes[j] = flat[starts[j]:starts[j+1]:starts[j+1]]
 	}
+	t.exchanges.Add(1)
+	t.envelopes.Add(int64(total))
 	return b.inboxes, nil
+}
+
+// Counters is the loopback's counter-only observability: how many
+// Exchange barriers completed and how many envelopes they routed. It is
+// the loopback analogue of the socket substrate's frame counters — no
+// bytes, no timings (a slice shuffle has nothing worth timing), just
+// the shape — which is what lets substrate-equivalence tests assert
+// trace-shape parity: on identical runs, Exchanges here equals the
+// completed superstep count on tcp, and Envelopes the envelopes its
+// batches carried.
+type Counters struct {
+	// Exchanges counts completed Exchange calls (one per superstep).
+	Exchanges int64
+	// Envelopes counts every envelope routed across all exchanges.
+	Envelopes int64
+}
+
+// Counters returns a snapshot of the transport's counters. Safe to call
+// at any time, including mid-run.
+func (t *Transport[M]) Counters() Counters {
+	return Counters{Exchanges: t.exchanges.Load(), Envelopes: t.envelopes.Load()}
 }
 
 // Close implements transport.Transport.

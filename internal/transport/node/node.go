@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"kmachine/internal/core"
+	"kmachine/internal/obs"
 	"kmachine/internal/rng"
 	"kmachine/internal/transport"
 	"kmachine/internal/transport/tcp"
@@ -67,6 +68,16 @@ type Config struct {
 	// on every surviving node instead of hanging the cluster. 0 means
 	// no deadline. Happy-path Stats and outputs are unaffected.
 	SuperstepTimeout time.Duration
+	// Recorder, when non-nil, receives wall-clock phase spans from this
+	// node's superstep loop — compute (the Step call), exchange (this
+	// node's data-plane barrier), and barrier (the report/verdict
+	// control round), all with Machine = ID — and is installed on the
+	// endpoint so its pipeline workers record per-peer frame spans too.
+	// Same contract as core.Config.Recorder: concurrency-safe,
+	// allocation-free, nil keeps the loop on its span-free path. In
+	// RunLocal all k machines share the one recorder, yielding a
+	// cluster-wide timeline.
+	Recorder obs.Recorder
 }
 
 func (cfg *Config) validate() error {
@@ -99,6 +110,9 @@ func Run[M any](cfg Config, m core.Machine[M], codec wire.Codec[M]) (*core.Stats
 	if err := ep.Connect(cfg.Peers, cfg.DialTimeout); err != nil {
 		return nil, err
 	}
+	if cfg.Recorder != nil {
+		ep.SetRecorder(cfg.Recorder)
+	}
 	return runLoop(cfg, ep, m)
 }
 
@@ -114,6 +128,11 @@ func RunLocal[M any](cfg Config, codec wire.Codec[M], factory func(core.MachineI
 	eps, err := tcp.NewLoopbackMesh[M](k, codec)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Recorder != nil {
+		for _, ep := range eps {
+			ep.SetRecorder(cfg.Recorder)
+		}
 	}
 	defer func() {
 		for _, ep := range eps {
@@ -201,7 +220,15 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 		}
 
 		ctx.Superstep = step
+		var t0 int64
+		if cfg.Recorder != nil {
+			t0 = obs.Now()
+		}
 		out, done, stepErr := stepSafely(m, ctx, inbox)
+		if cfg.Recorder != nil {
+			cfg.Recorder.Record(obs.Span{Start: t0, Dur: obs.Now() - t0,
+				Machine: int32(cfg.ID), Peer: -1, Superstep: int32(step), Phase: obs.PhaseCompute})
+		}
 		for i := range linkScratch {
 			linkScratch[i] = 0
 		}
@@ -261,9 +288,31 @@ func superstepRound[M any](cfg Config, ep *tcp.Endpoint[M], coord *coordinator, 
 		defer cancel()
 	}
 
+	// Phase spans mirror core's engine, but per node: the exchange span
+	// is this node's data-plane barrier (Machine = ID, not the cluster's
+	// -1 — each node performs its own), and the report/verdict control
+	// round below plays the role of core's barrier wait, so it records
+	// as PhaseBarrier.
+	rec := cfg.Recorder
+	var t0 int64
+	if rec != nil {
+		t0 = obs.Now()
+	}
 	next, err := ep.Exchange(sctx, step, out)
+	if rec != nil {
+		rec.Record(obs.Span{Start: t0, Dur: obs.Now() - t0,
+			Machine: int32(cfg.ID), Peer: -1, Superstep: int32(step), Phase: obs.PhaseExchange})
+	}
 	if err != nil {
 		return verdict{}, nil, err
+	}
+	var b0 int64
+	if rec != nil {
+		b0 = obs.Now()
+		defer func() {
+			rec.Record(obs.Span{Start: b0, Dur: obs.Now() - b0,
+				Machine: int32(cfg.ID), Peer: -1, Superstep: int32(step), Phase: obs.PhaseBarrier})
+		}()
 	}
 	if err := ep.SendToCoordinator(sctx, repPayload); err != nil {
 		return verdict{}, nil, fmt.Errorf("node: machine %d report (superstep %d): %w", cfg.ID, step, err)

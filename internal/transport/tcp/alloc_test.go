@@ -14,6 +14,7 @@ import (
 	"context"
 	"testing"
 
+	"kmachine/internal/obs"
 	"kmachine/internal/transport"
 )
 
@@ -63,5 +64,21 @@ func TestSteadyStateExchangeAllocBudget(t *testing.T) {
 	budget := float64(supersteps / 2)
 	if got > budget {
 		t.Errorf("steady-state exchange allocated %.0f times over %d supersteps, budget %.0f — a per-superstep allocation crept into the pipeline", got, supersteps, budget)
+	}
+
+	// Same fence with a live obs.Trace recorder: the pipeline workers
+	// record a frame-write span per batch sent and frame-read +
+	// frame-decode spans per batch received, all into the trace's
+	// preallocated ring — so instrumentation must not move the budget.
+	// The trace is built once, outside the measured runs.
+	trace := obs.NewTrace(4096, k)
+	tr.SetRecorder(trace)
+	run() // re-warm with the recorder installed
+	instrumented := testing.AllocsPerRun(3, run)
+	if instrumented > budget {
+		t.Errorf("instrumented exchange allocated %.0f times over %d supersteps, budget %.0f — recording frame spans must not allocate", instrumented, supersteps, budget)
+	}
+	if c := trace.Counters(); c.FramesSent == 0 || c.FramesRecv == 0 {
+		t.Fatalf("recorder saw no frames (sent=%d recv=%d) — the instrumented path did not run", c.FramesSent, c.FramesRecv)
 	}
 }

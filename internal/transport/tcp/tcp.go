@@ -42,6 +42,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kmachine/internal/obs"
 	"kmachine/internal/transport"
 	"kmachine/internal/transport/wire"
 )
@@ -148,10 +149,16 @@ type Endpoint[M any] struct {
 
 	// Bytes-on-wire accounting: every frame that crosses a socket —
 	// data batches and control payloads alike — is counted with its
-	// length prefix. Atomics because writers, readers, and the control
-	// plane account concurrently.
-	sentFrames, recvFrames atomic.Int64
-	sentBytes, recvBytes   atomic.Int64
+	// length prefix, against the peer it crossed to or from. Atomics
+	// because writers, readers, and the control plane account
+	// concurrently; WireStats sums the lanes into totals on demand.
+	wirePeers []peerWire // indexed by peer machine ID; [e.id] stays zero
+
+	// rec, when non-nil, receives per-frame telemetry spans from the
+	// pipeline workers (obs.PhaseFrameWrite/Read/Decode). Set via
+	// SetRecorder before the first Exchange; read without
+	// synchronisation on the hot paths.
+	rec obs.Recorder
 
 	// mu serialises job dispatch against Close so a send can never race
 	// the closing of a signal channel (see dispatch), and closed gates
@@ -184,7 +191,14 @@ func Listen[M any](id, k int, addr string, codec wire.Codec[M]) (*Endpoint[M], e
 		tx:          make([][]byte, k),
 		frame:       make([][]byte, k),
 		rx:          make([][]transport.Envelope[M], k),
+		wirePeers:   make([]peerWire, k),
 	}, nil
+}
+
+// peerWire is one peer's lane of the wire counters.
+type peerWire struct {
+	sentFrames, recvFrames atomic.Int64
+	sentBytes, recvBytes   atomic.Int64
 }
 
 // Addr returns the listener's concrete address (useful with ":0").
@@ -211,25 +225,44 @@ func (e *Endpoint[M]) SetWireVersion(v byte) error {
 
 // WireStats returns the endpoint's physical-layer counters: frames and
 // actual bytes (length prefix included) sent and received across data
-// and control connections. Safe to call at any time, including
-// mid-run.
+// and control connections, with a per-peer breakdown in PerPeer
+// (indexed by peer machine ID; the endpoint's own slot stays zero).
+// Safe to call at any time, including mid-run.
 func (e *Endpoint[M]) WireStats() transport.WireStats {
-	return transport.WireStats{
-		FramesSent: e.sentFrames.Load(),
-		FramesRecv: e.recvFrames.Load(),
-		BytesSent:  e.sentBytes.Load(),
-		BytesRecv:  e.recvBytes.Load(),
+	w := transport.WireStats{PerPeer: make([]transport.PeerWireStats, e.k)}
+	for j := range e.wirePeers {
+		p := &e.wirePeers[j]
+		pp := transport.PeerWireStats{
+			FramesSent: p.sentFrames.Load(),
+			FramesRecv: p.recvFrames.Load(),
+			BytesSent:  p.sentBytes.Load(),
+			BytesRecv:  p.recvBytes.Load(),
+		}
+		w.PerPeer[j] = pp
+		w.FramesSent += pp.FramesSent
+		w.FramesRecv += pp.FramesRecv
+		w.BytesSent += pp.BytesSent
+		w.BytesRecv += pp.BytesRecv
 	}
+	return w
 }
 
-func (e *Endpoint[M]) countSent(payloadLen int) {
-	e.sentFrames.Add(1)
-	e.sentBytes.Add(int64(wire.FrameSize(payloadLen)))
+// SetRecorder installs the telemetry recorder the pipeline workers
+// record frame spans into (implements the transport.TraceSink shape at
+// the endpoint level). Must be called before the first Exchange; nil
+// (the default) keeps the workers on their span-free path.
+func (e *Endpoint[M]) SetRecorder(r obs.Recorder) { e.rec = r }
+
+func (e *Endpoint[M]) countSent(peer, payloadLen int) {
+	p := &e.wirePeers[peer]
+	p.sentFrames.Add(1)
+	p.sentBytes.Add(int64(wire.FrameSize(payloadLen)))
 }
 
-func (e *Endpoint[M]) countRecv(payloadLen int) {
-	e.recvFrames.Add(1)
-	e.recvBytes.Add(int64(wire.FrameSize(payloadLen)))
+func (e *Endpoint[M]) countRecv(peer, payloadLen int) {
+	p := &e.wirePeers[peer]
+	p.recvFrames.Add(1)
+	p.recvBytes.Add(int64(wire.FrameSize(payloadLen)))
 }
 
 // Connect completes the mesh: it dials a data connection to every peer
@@ -491,7 +524,7 @@ func (e *Endpoint[M]) castBlame(cause error) {
 			continue
 		}
 		if sent, err := e.out[j].tryWriteFrameLocked(dl, payload); sent && err == nil {
-			e.countSent(len(payload))
+			e.countSent(j, len(payload))
 		}
 	}
 }
@@ -500,6 +533,10 @@ func (e *Endpoint[M]) castBlame(cause error) {
 // own recycled buffer, its own connection, in parallel with every other
 // writer — the serial encode loop of the previous engine is gone.
 func (e *Endpoint[M]) runWriter(j int, job pipeJob) {
+	var t0 int64
+	if e.rec != nil {
+		t0 = obs.Now()
+	}
 	var buf []byte
 	var err error
 	if e.wireVersion == wire.BatchV1 {
@@ -524,7 +561,12 @@ func (e *Endpoint[M]) runWriter(j int, job pipeJob) {
 		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d send to %d: %w", e.id, j, err)))
 		return
 	}
-	e.countSent(len(buf))
+	e.countSent(j, len(buf))
+	if e.rec != nil {
+		e.rec.Record(obs.Span{Start: t0, Dur: obs.Now() - t0,
+			Machine: int32(e.id), Peer: int32(j), Superstep: int32(job.step),
+			Phase: obs.PhaseFrameWrite, Bytes: int32(wire.FrameSize(len(buf)))})
+	}
 }
 
 // runReader receives and decodes peer j's batch for this superstep.
@@ -533,6 +575,10 @@ func (e *Endpoint[M]) runWriter(j int, job pipeJob) {
 // copied into the inbox during the merge, freeing both for reuse next
 // superstep.
 func (e *Endpoint[M]) runReader(j int, job pipeJob) {
+	var t0 int64
+	if e.rec != nil {
+		t0 = obs.Now()
+	}
 	dc := e.in[j]
 	if err := dc.c.SetReadDeadline(job.dl); err != nil {
 		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d set read deadline for %d: %w", e.id, j, err)))
@@ -544,7 +590,17 @@ func (e *Endpoint[M]) runReader(j int, job pipeJob) {
 		return
 	}
 	e.frame[j] = frame[:0]
-	e.countRecv(len(frame))
+	e.countRecv(j, len(frame))
+	var t1 int64
+	if e.rec != nil {
+		// The read span is dominated by stall — waiting for peer j to
+		// produce and ship its frame — which is the quantity worth
+		// seeing per peer; the decode below gets its own span.
+		t1 = obs.Now()
+		e.rec.Record(obs.Span{Start: t0, Dur: t1 - t0,
+			Machine: int32(e.id), Peer: int32(j), Superstep: int32(job.step),
+			Phase: obs.PhaseFrameRead, Bytes: int32(wire.FrameSize(len(frame)))})
+	}
 	if len(frame) > 0 && frame[0] == wire.BatchAbort {
 		// The peer is tearing down and names the machine it blames; the
 		// abort precedes its FIN in stream order, so we learn the true
@@ -559,6 +615,11 @@ func (e *Endpoint[M]) runReader(j int, job pipeJob) {
 		return
 	}
 	gotStep, from, envs, err := wire.DecodeBatchAnyInto(frame, e.codec, transport.MachineID(j), transport.MachineID(e.id), e.rx[j])
+	if e.rec != nil {
+		e.rec.Record(obs.Span{Start: t1, Dur: obs.Now() - t1,
+			Machine: int32(e.id), Peer: int32(j), Superstep: int32(job.step),
+			Phase: obs.PhaseFrameDecode})
+	}
 	if err != nil {
 		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d decode from %d: %w", e.id, j, err)))
 		return
@@ -587,7 +648,7 @@ func (e *Endpoint[M]) runCtrlReader(j int, job pipeJob) {
 		return
 	}
 	e.ctrlFrame[j] = frame[:0]
-	e.countRecv(len(frame))
+	e.countRecv(j, len(frame))
 	e.reports[j] = frame
 }
 
@@ -767,7 +828,7 @@ func (e *Endpoint[M]) SendToCoordinator(ctx context.Context, payload []byte) err
 	if err := e.ctrl.w.Flush(); err != nil {
 		return err
 	}
-	e.countSent(len(payload))
+	e.countSent(0, len(payload))
 	return nil
 }
 
@@ -854,7 +915,7 @@ func (e *Endpoint[M]) Broadcast(ctx context.Context, payload []byte) error {
 			}
 			continue
 		}
-		e.countSent(len(payload))
+		e.countSent(j, len(payload))
 	}
 	return first
 }
@@ -878,7 +939,7 @@ func (e *Endpoint[M]) ReceiveVerdict(ctx context.Context) ([]byte, error) {
 		return nil, err
 	}
 	e.verdictBuf = frame[:0]
-	e.countRecv(len(frame))
+	e.countRecv(0, len(frame))
 	return frame, nil
 }
 
@@ -1187,6 +1248,15 @@ func (t *Transport[M]) WireStats() transport.WireStats {
 		w = w.Plus(e.WireStats())
 	}
 	return w
+}
+
+// SetRecorder implements transport.TraceSink: every endpoint's pipeline
+// workers record their per-peer frame spans into r. Call before the
+// first Exchange.
+func (t *Transport[M]) SetRecorder(r obs.Recorder) {
+	for _, e := range t.eps {
+		e.SetRecorder(r)
+	}
 }
 
 // SeverMachine forcibly closes machine i's endpoint — its listener and

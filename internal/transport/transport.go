@@ -26,6 +26,8 @@ package transport
 import (
 	"context"
 	"fmt"
+
+	"kmachine/internal/obs"
 )
 
 // MachineID identifies one of the k machines.
@@ -128,17 +130,55 @@ type WireStats struct {
 	// BytesSent/BytesRecv are the frames' on-wire sizes: payload plus
 	// length prefix.
 	BytesSent, BytesRecv int64
+	// PerPeer, when the substrate tracks it, breaks the totals down by
+	// peer machine ID (slice index; the entry at an endpoint's own ID
+	// stays zero — machines don't dial themselves). Aggregating
+	// transports (the tcp cluster transport, chaos) sum per-endpoint
+	// breakdowns, so entry j then reads "traffic exchanged with machine
+	// j, summed over all endpoints". Nil when the substrate doesn't
+	// track per-peer traffic.
+	PerPeer []PeerWireStats
+}
+
+// PeerWireStats is one peer's share of an endpoint's wire traffic.
+type PeerWireStats struct {
+	FramesSent, FramesRecv int64
+	BytesSent, BytesRecv   int64
 }
 
 // Plus returns the field-wise sum, for aggregating per-endpoint
-// counters into a cluster total.
+// counters into a cluster total. PerPeer breakdowns merge entry-wise
+// (the result is sized to the longer of the two).
 func (w WireStats) Plus(o WireStats) WireStats {
-	return WireStats{
+	sum := WireStats{
 		FramesSent: w.FramesSent + o.FramesSent,
 		FramesRecv: w.FramesRecv + o.FramesRecv,
 		BytesSent:  w.BytesSent + o.BytesSent,
 		BytesRecv:  w.BytesRecv + o.BytesRecv,
 	}
+	if len(w.PerPeer) > 0 || len(o.PerPeer) > 0 {
+		n := len(w.PerPeer)
+		if len(o.PerPeer) > n {
+			n = len(o.PerPeer)
+		}
+		sum.PerPeer = make([]PeerWireStats, n)
+		for i := range sum.PerPeer {
+			var a, b PeerWireStats
+			if i < len(w.PerPeer) {
+				a = w.PerPeer[i]
+			}
+			if i < len(o.PerPeer) {
+				b = o.PerPeer[i]
+			}
+			sum.PerPeer[i] = PeerWireStats{
+				FramesSent: a.FramesSent + b.FramesSent,
+				FramesRecv: a.FramesRecv + b.FramesRecv,
+				BytesSent:  a.BytesSent + b.BytesSent,
+				BytesRecv:  a.BytesRecv + b.BytesRecv,
+			}
+		}
+	}
+	return sum
 }
 
 // WireMeter is implemented by transports that count bytes-on-wire
@@ -147,6 +187,18 @@ func (w WireStats) Plus(o WireStats) WireStats {
 // substrate ships no physical bytes".
 type WireMeter interface {
 	WireStats() WireStats
+}
+
+// TraceSink is implemented by transports that can record per-frame
+// telemetry spans (obs.PhaseFrameWrite/Read/Decode) into a recorder —
+// transport/tcp's pipeline workers do; the chaos wrapper forwards to
+// its inner transport. Callers discover it with a type assertion
+// (core.RunOverWire installs Config.Recorder this way) and treat
+// absence as "this substrate has no frame-level detail to offer".
+// SetRecorder must be called before the first Exchange; the transport
+// reads the recorder without synchronisation on its hot paths.
+type TraceSink interface {
+	SetRecorder(r obs.Recorder)
 }
 
 // Kind names a Transport implementation for configuration surfaces

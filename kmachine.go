@@ -31,6 +31,7 @@ package kmachine
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"kmachine/internal/algo"
@@ -41,6 +42,7 @@ import (
 	"kmachine/internal/gen"
 	"kmachine/internal/graph"
 	"kmachine/internal/infotheory"
+	"kmachine/internal/obs"
 	"kmachine/internal/pagerank"
 	"kmachine/internal/partition"
 	"kmachine/internal/transport"
@@ -71,6 +73,33 @@ type VertexPartition = partition.VertexPartition
 // Stats is the measured communication profile of a distributed run:
 // rounds (the paper's T), messages, words, and per-machine totals.
 type Stats = core.Stats
+
+// Recorder receives wall-clock phase spans from an instrumented run
+// (see RunConfig.Recorder); Trace is the standard implementation and
+// TraceSpan one recorded interval (see internal/obs for the span
+// vocabulary: compute, barrier, exchange, and per-peer frame phases).
+type (
+	Recorder  = obs.Recorder
+	Trace     = obs.Trace
+	TraceSpan = obs.Span
+)
+
+// NewTrace returns the standard ring-buffer Recorder: capacity spans of
+// preallocated storage (<= 0 selects obs.DefaultTraceSpans) and, when
+// k > 0, per-peer wire counters for a k-machine cluster. Recording is
+// concurrency-safe and allocation-free; read the result with
+// Trace.Spans, Trace.Counters, WriteChromeTrace, or Summarize.
+func NewTrace(capacity, k int) *Trace { return obs.NewTrace(capacity, k) }
+
+// WriteChromeTrace writes spans as Chrome trace-event JSON, the format
+// chrome://tracing and Perfetto open directly.
+func WriteChromeTrace(w io.Writer, spans []TraceSpan) error {
+	return obs.WriteChromeTrace(w, spans)
+}
+
+// Summarize condenses a trace into per-phase aggregates, wall-clock,
+// and span coverage (see obs.RunSummary).
+func Summarize(spans []TraceSpan) obs.RunSummary { return obs.Summarize(spans) }
 
 // Bound is one instantiation of the General Lower Bound Theorem.
 type Bound = infotheory.Bound
@@ -152,6 +181,16 @@ type RunConfig struct {
 	// of hanging the cluster. 0 means no deadline. The happy path —
 	// Stats, outputs, determinism — is identical with or without one.
 	SuperstepTimeout time.Duration
+	// Recorder, when non-nil, receives wall-clock phase spans from the
+	// run: per machine and superstep, compute (the Step call),
+	// barrier-wait (waiting for the slowest machine), and exchange (the
+	// transport moving the batched envelopes), plus per-peer frame spans
+	// on socket substrates. Use NewTrace for the standard ring-buffer
+	// implementation and WriteChromeTrace / Summarize to read the result
+	// out. Spans measure time only: Stats, outputs, and determinism
+	// hashes are identical with or without a recorder, and nil (the
+	// default) keeps the engine on its zero-allocation span-free path.
+	Recorder Recorder
 }
 
 // coreConfig is the shared translation of a RunConfig into the
@@ -165,6 +204,7 @@ func (rc RunConfig) coreConfig(k, bandwidth int, seed uint64) core.Config {
 		DropPerSuperstep: rc.DropPerSuperstep,
 		Context:          rc.Context,
 		SuperstepTimeout: rc.SuperstepTimeout,
+		Recorder:         rc.Recorder,
 	}
 }
 
