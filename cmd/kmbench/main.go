@@ -1,6 +1,6 @@
 // Command kmbench regenerates the paper-reproduction tables recorded in
 // EXPERIMENTS.md: one table per experiment in DESIGN.md's index
-// (F1, E1–E21), each exercising a claim of "On the Distributed
+// (F1, E1–E22), each exercising a claim of "On the Distributed
 // Complexity of Large-Scale Graph Computations" (SPAA 2018).
 //
 // Usage:
@@ -68,6 +68,7 @@ func kmbenchMain() (err error) {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	tracePath := flag.String("trace", "", "write a Chrome trace-event JSON timeline of E21's instrumented TCP PageRank run to this file (only meaningful when E21 runs)")
+	streaming := flag.Bool("streaming", false, "run the registry-driven experiments (E19, E21) with streaming supersteps — results and Stats are identical, only the schedule changes")
 	flag.Parse()
 
 	if *jsonOut && *mdOut {
@@ -132,7 +133,7 @@ func kmbenchMain() (err error) {
 		}
 	}
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, TracePath: *tracePath}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, TracePath: *tracePath, Streaming: *streaming}
 	mode := "full"
 	if *quick {
 		mode = "quick"

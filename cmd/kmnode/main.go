@@ -94,6 +94,7 @@ func main() {
 		top       = flag.Int("top", 5, "how many top-ranked vertices to print")
 		timeout   = flag.Duration("dial-timeout", 10*time.Second, "how long to wait for peers to come up")
 		deadline  = flag.Duration("superstep-timeout", 0, "per-superstep deadline; a crashed or wedged peer surfaces as an attributed error within it (0 = none)")
+		streaming = flag.Bool("streaming", false, "streaming supersteps: overlap compute with communication by shipping per-peer batches mid-superstep (results and stats are identical)")
 		trace     = flag.String("trace", "", "write a Chrome trace-event JSON phase timeline to this file (open in chrome://tracing or Perfetto)")
 		debugAddr = flag.String("debug-addr", "", "serve net/http/pprof and expvar on this address (e.g. :0 or 127.0.0.1:6060)")
 		linger    = flag.Duration("debug-linger", 0, "keep the debug server alive this long after the run, so final counters can be scraped")
@@ -120,7 +121,8 @@ func main() {
 		fatal("unknown -algo", slog.String("algo", *algoName), slog.String("supported", strings.Join(algo.Names(), ", ")))
 	}
 
-	prob := algo.Problem{N: *n, EdgeP: *p, Seed: *seed, Bandwidth: *bw, Eps: *eps, Top: *top, SuperstepTimeout: *deadline}
+	prob := algo.Problem{N: *n, EdgeP: *p, Seed: *seed, Bandwidth: *bw, Eps: *eps, Top: *top,
+		SuperstepTimeout: *deadline, Streaming: *streaming}
 	switch {
 	case *local >= 2:
 		prob.K = *local

@@ -52,6 +52,13 @@ type Problem struct {
 	// measure time only — Stats, outputs, and hashes are identical with
 	// or without a recorder. nil (the default) records nothing.
 	Recorder obs.Recorder
+	// Streaming opts the run into streaming supersteps on every
+	// substrate (core.Config.Streaming / node.Config.Streaming):
+	// opted-in machines overlap compute with communication by handing
+	// finished per-peer batches to the transport mid-superstep. Purely a
+	// scheduling knob — Stats, outputs, and hashes are bit-identical
+	// with it on or off. Default off.
+	Streaming bool
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -75,7 +82,8 @@ func (prob Problem) withDefaults() Problem {
 // machine streams draw from Seed+2 on every substrate.
 func (prob Problem) coreConfig(kind transport.Kind) core.Config {
 	return core.Config{K: prob.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
-		Transport: kind, SuperstepTimeout: prob.SuperstepTimeout, Recorder: prob.Recorder}
+		Transport: kind, SuperstepTimeout: prob.SuperstepTimeout, Recorder: prob.Recorder,
+		Streaming: prob.Streaming}
 }
 
 // Outcome is the substrate-agnostic report of one registry run.
@@ -188,7 +196,8 @@ func Register[M, L, O any](s Spec[M, L, O]) {
 				return nil, err
 			}
 			ncfg := node.Config{K: p.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
-				SuperstepTimeout: prob.SuperstepTimeout, Recorder: prob.Recorder}
+				SuperstepTimeout: prob.SuperstepTimeout, Recorder: prob.Recorder,
+				Streaming: prob.Streaming}
 			out, stats, err := NodeRunLocal(a, p, ncfg)
 			if err != nil {
 				return nil, err
@@ -209,6 +218,9 @@ func Register[M, L, O any](s Spec[M, L, O]) {
 			}
 			if ncfg.Recorder == nil {
 				ncfg.Recorder = prob.Recorder
+			}
+			if prob.Streaming {
+				ncfg.Streaming = true
 			}
 			local, stats, err := NodeRun(a, p, ncfg)
 			if err != nil {

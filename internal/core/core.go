@@ -91,6 +91,13 @@ type StepContext struct {
 	// RNG is the machine's private random stream (paper: "each machine
 	// has access to a private source of true random bits").
 	RNG *rng.RNG
+
+	// emitter is the machine's eager per-peer emission hook when the run
+	// streams supersteps (a *Emitter[M] bound by the engine or the node
+	// runtime); nil on the lockstep path. It is reached through the
+	// generic package-level EmitBatch/EmitOrAppend, because StepContext
+	// itself is deliberately non-generic.
+	emitter any
 }
 
 // Config configures a cluster run.
@@ -131,6 +138,15 @@ type Config struct {
 	// happy-path behaviour (Stats, outputs, determinism) is identical
 	// with or without one.
 	SuperstepTimeout time.Duration
+	// Streaming opts the run into streaming supersteps when the
+	// transport supports them (it implements transport.Streamer and
+	// reports CanStream): machines that emit per-peer batches through
+	// EmitBatch hand them to the wire while the superstep is still
+	// computing, instead of the compute → barrier → exchange lockstep.
+	// The knob changes scheduling only — §1.1 accounting stays
+	// pre-transport, so Stats, outputs, and determinism hashes are
+	// bit-identical with the flag on or off. Default off.
+	Streaming bool
 	// Recorder, when non-nil, receives wall-clock phase spans from the
 	// run: per machine and superstep, a compute span (the Step call) and
 	// a barrier span (waiting for the slowest machine), plus one

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"kmachine/internal/obs"
+	"kmachine/internal/transport"
 )
 
 // This file is the superstep engine behind Cluster.RunOn: k persistent
@@ -192,6 +193,25 @@ func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 	}
 	defer e.shutdown()
 
+	// Streaming supersteps: discovered like TraceSink/WireMeter, by
+	// type assertion, and additionally gated on the config knob and the
+	// transport's own CanStream answer (a chaos wrapper exposes the
+	// methods but delegates the decision to its inner transport). The
+	// lockstep loop below stays byte-identical when the knob is off.
+	if c.cfg.Streaming {
+		if s, ok := t.(transport.Streamer[M]); ok && s.CanStream() {
+			return stats, c.runStreaming(e, s, runCtx, stats)
+		}
+	}
+	return stats, c.runLockstep(e, t, runCtx, stats)
+}
+
+// runLockstep is the classic compute → barrier → exchange loop: every
+// envelope travels in the machine's returned outs, and the transport
+// sees one Exchange call per superstep.
+func (c *Cluster[M]) runLockstep(e *engine[M], t Transport[M], runCtx context.Context, stats *Stats) error {
+	k := c.cfg.K
+
 	// Link-load accumulator: linkLoad is dense (k×k) but only the
 	// entries in touched are nonzero, so accounting and re-zeroing cost
 	// O(touched links), not O(k²). recvS/sentS are the per-superstep
@@ -203,22 +223,22 @@ func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 
 	for step := 0; ; step++ {
 		if step >= c.cfg.MaxSupersteps {
-			return stats, ErrMaxSupersteps
+			return ErrMaxSupersteps
 		}
 		if err := runCtx.Err(); err != nil {
-			return stats, fmt.Errorf("core: run canceled before superstep %d: %w", step, err)
+			return fmt.Errorf("core: run canceled before superstep %d: %w", step, err)
 		}
 		e.superstep(step)
 		for _, perr := range e.panics {
 			if perr != nil {
-				return stats, perr
+				return perr
 			}
 		}
 		// Second cancellation point, between the step barrier and the
 		// exchange: a cancel that landed while machines were stepping
 		// aborts before any envelope reaches the transport.
 		if err := runCtx.Err(); err != nil {
-			return stats, fmt.Errorf("core: run canceled in superstep %d: %w", step, err)
+			return fmt.Errorf("core: run canceled in superstep %d: %w", step, err)
 		}
 
 		// Validate, stamp, and accumulate the touched link loads; the
@@ -236,10 +256,10 @@ func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 			for j := range e.outs[i] {
 				env := &e.outs[i][j]
 				if env.To < 0 || int(env.To) >= k {
-					return stats, fmt.Errorf("core: machine %d sent to invalid machine %d", i, env.To)
+					return fmt.Errorf("core: machine %d sent to invalid machine %d", i, env.To)
 				}
 				if env.Words < 0 {
-					return stats, fmt.Errorf("core: machine %d sent negative-size envelope", i)
+					return fmt.Errorf("core: machine %d sent negative-size envelope", i)
 				}
 				env.From = MachineID(i)
 				if int(env.To) == i {
@@ -258,7 +278,7 @@ func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 			}
 		}
 		if allDone && !pending {
-			return stats, nil
+			return nil
 		}
 
 		ss := accountSparse(k, c.cfg.Bandwidth, linkLoad, touched, messages, recvS, sentS)
@@ -309,13 +329,202 @@ func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 			// cancellation as the root cause so errors.Is(err,
 			// context.Canceled) holds as Config.Context documents.
 			if cErr := runCtx.Err(); cErr != nil {
-				return stats, fmt.Errorf("core: run canceled in superstep %d: %w (teardown: %v)", step, cErr, err)
+				return fmt.Errorf("core: run canceled in superstep %d: %w (teardown: %v)", step, cErr, err)
 			}
-			return stats, fmt.Errorf("core: transport exchange failed in superstep %d: %w", step, err)
+			return fmt.Errorf("core: transport exchange failed in superstep %d: %w", step, err)
 		}
 		if len(next) != k {
-			return stats, fmt.Errorf("core: transport returned %d inboxes for a %d-machine cluster", len(next), k)
+			return fmt.Errorf("core: transport returned %d inboxes for a %d-machine cluster", len(next), k)
 		}
 		e.inboxes = next
 	}
+}
+
+// runStreaming is the streaming-superstep loop: the transport is opened
+// with BeginSuperstep before the workers are released, machines hand
+// finished per-peer batches to it mid-compute through their bound
+// Emitters, and FinishSuperstep ships the remainder and doubles as the
+// superstep barrier.
+//
+// The §1.1 accounting is unchanged by construction. Every envelope is
+// validated and From-stamped in core before the transport sees it —
+// streamed batches in EmitBatch (on the emitting worker's goroutine),
+// rest envelopes in the loop below — and the link-load sums fold the
+// emitters' records and the rest loads together after the step barrier;
+// since per-link sums and maxima are order-independent, the resulting
+// SuperstepStat is bit-identical to the lockstep computation over the
+// same envelopes. Mixing schedules per peer is forbidden (a machine
+// that streamed a batch to j must not also return rest envelopes for
+// j), which keeps each receiver's per-sender envelope order — and hence
+// the golden output hashes — schedule-independent.
+//
+// Termination quiesces BEFORE FinishSuperstep, exactly like lockstep
+// returns before its Exchange — so the final superstep's BeginSuperstep
+// is deliberately left dangling and the transport's Close (deferred by
+// the caller) unblocks the eagerly-parked receive I/O. Finishing it
+// instead would ship k(k-1) empty frames the lockstep schedule never
+// sends, breaking wire-byte parity.
+func (c *Cluster[M]) runStreaming(e *engine[M], s transport.Streamer[M], runCtx context.Context, stats *Stats) error {
+	k := c.cfg.K
+	emitters := make([]*Emitter[M], k)
+	for i := 0; i < k; i++ {
+		emitters[i] = NewEmitter[M](s, MachineID(i), k)
+		emitters[i].Bind(&e.ctxs[i])
+	}
+
+	linkLoad := make([]int64, k*k)
+	touched := make([]int32, 0, 4*k)
+	recvS := make([]int64, k)
+	sentS := make([]int64, k)
+
+	for step := 0; ; step++ {
+		done, err := c.streamStep(e, s, emitters, runCtx, step, stats, linkLoad, &touched, recvS, sentS)
+		if done || err != nil {
+			return err
+		}
+	}
+}
+
+// streamStep drives one streaming superstep; done reports quiescent
+// termination. The per-superstep deadline, when configured, covers the
+// whole superstep — BeginSuperstep through FinishSuperstep — because
+// under streaming the wire is active during compute, not only in a
+// trailing exchange phase.
+func (c *Cluster[M]) streamStep(e *engine[M], s transport.Streamer[M], emitters []*Emitter[M],
+	runCtx context.Context, step int, stats *Stats, linkLoad []int64, touchedP *[]int32, recvS, sentS []int64) (done bool, err error) {
+	k := c.cfg.K
+	if step >= c.cfg.MaxSupersteps {
+		return false, ErrMaxSupersteps
+	}
+	if err := runCtx.Err(); err != nil {
+		return false, fmt.Errorf("core: run canceled before superstep %d: %w", step, err)
+	}
+	sctx, cancel := runCtx, context.CancelFunc(nil)
+	if c.cfg.SuperstepTimeout > 0 {
+		sctx, cancel = context.WithTimeout(runCtx, c.cfg.SuperstepTimeout)
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	for i := 0; i < k; i++ {
+		emitters[i].Reset()
+	}
+	if berr := s.BeginSuperstep(sctx, step); berr != nil {
+		return false, fmt.Errorf("core: transport begin superstep %d: %w", step, berr)
+	}
+	e.superstep(step)
+	for _, perr := range e.panics {
+		if perr != nil {
+			return false, perr
+		}
+	}
+	if err := runCtx.Err(); err != nil {
+		return false, fmt.Errorf("core: run canceled in superstep %d: %w", step, err)
+	}
+
+	// Validate and stamp the rest envelopes, fold both emission records
+	// into the touched link loads, and surface any mid-compute
+	// SendBatch failure before the finish barrier.
+	touched := *touchedP
+	var messages int64
+	allDone, pending := true, false
+	for i := 0; i < k; i++ {
+		em := emitters[i]
+		if serr := em.Err(); serr != nil {
+			if cErr := runCtx.Err(); cErr != nil {
+				return false, fmt.Errorf("core: run canceled in superstep %d: %w (teardown: %v)", step, cErr, serr)
+			}
+			return false, fmt.Errorf("core: machine %d streaming emit failed in superstep %d: %w", i, step, serr)
+		}
+		if !e.dones[i] {
+			allDone = false
+		}
+		if len(e.outs[i]) > 0 {
+			pending = true
+		}
+		for _, j := range em.touched {
+			if w := em.words[j]; w > 0 {
+				idx := i*k + int(j)
+				if linkLoad[idx] == 0 {
+					touched = append(touched, int32(idx))
+				}
+				linkLoad[idx] += w
+			}
+		}
+		messages += em.msgs
+		if em.anySent {
+			pending = true
+		}
+		for j := range e.outs[i] {
+			env := &e.outs[i][j]
+			if env.To < 0 || int(env.To) >= k {
+				*touchedP = touched
+				return false, fmt.Errorf("core: machine %d sent to invalid machine %d", i, env.To)
+			}
+			if env.Words < 0 {
+				*touchedP = touched
+				return false, fmt.Errorf("core: machine %d sent negative-size envelope", i)
+			}
+			env.From = MachineID(i)
+			if int(env.To) == i {
+				continue
+			}
+			if em.emitted[env.To] {
+				*touchedP = touched
+				return false, fmt.Errorf("core: machine %d returned envelopes for machine %d after streaming a batch to it in superstep %d", i, env.To, step)
+			}
+			messages++
+			if w := int64(env.Words); w > 0 {
+				idx := i*k + int(env.To)
+				if linkLoad[idx] == 0 {
+					touched = append(touched, int32(idx))
+				}
+				linkLoad[idx] += w
+			}
+		}
+	}
+	if allDone && !pending {
+		*touchedP = touched
+		return true, nil
+	}
+
+	ss := accountSparse(k, c.cfg.Bandwidth, linkLoad, touched, messages, recvS, sentS)
+	*touchedP = touched[:0]
+	for i := 0; i < k; i++ {
+		stats.RecvWords[i] += recvS[i]
+		stats.SentWords[i] += sentS[i]
+	}
+	stats.Rounds += ss.Rounds
+	stats.Supersteps++
+	stats.Messages += ss.Messages
+	stats.Words += ss.Words
+	if !c.cfg.DropPerSuperstep {
+		stats.PerSuperstep = append(stats.PerSuperstep, ss)
+	}
+
+	var xt0 int64
+	if e.rec != nil {
+		xt0 = obs.Now()
+	}
+	next, ferr := s.FinishSuperstep(sctx, step, e.outs)
+	if e.rec != nil {
+		// The cluster-level exchange span under streaming is only the
+		// finish barrier — the drain of whatever the eager path had not
+		// already shipped. Its shrinkage relative to lockstep is the
+		// schedule's win; the obs overlap gauge (frame-write ∩ compute)
+		// is the direct proof of concurrency.
+		e.rec.Record(obs.Span{Start: xt0, Dur: obs.Now() - xt0,
+			Machine: -1, Peer: -1, Superstep: int32(step), Phase: obs.PhaseExchange})
+	}
+	if ferr != nil {
+		if cErr := runCtx.Err(); cErr != nil {
+			return false, fmt.Errorf("core: run canceled in superstep %d: %w (teardown: %v)", step, cErr, ferr)
+		}
+		return false, fmt.Errorf("core: transport exchange failed in superstep %d: %w", step, ferr)
+	}
+	if len(next) != k {
+		return false, fmt.Errorf("core: transport returned %d inboxes for a %d-machine cluster", len(next), k)
+	}
+	e.inboxes = next
+	return false, nil
 }

@@ -103,6 +103,13 @@ type sortMachine struct {
 	// DeliverInto scratch, recycled across supersteps.
 	delivBuf []smsg
 	outBuf   []core.Envelope[wire]
+	// buckets[j] collects the superstep's envelopes addressed to machine
+	// j; core.EmitBuckets streams the non-self buckets eagerly on
+	// streaming runs and appends them to the returned outs on lockstep
+	// runs, byte-identically either way. The broadcast supersteps (0 and
+	// 3) go further and emit each peer's batch as soon as its loop
+	// completes, overlapping the remaining peers' assembly with the wire.
+	buckets [][]core.Envelope[wire]
 	// sortTmp is the radix-sort ping-pong buffer, shared by the three
 	// key sorts of a run.
 	sortTmp []uint64
@@ -174,8 +181,13 @@ func searchGreater[T cmp.Ordered](xs []T, key T) int {
 }
 
 func (m *sortMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) ([]core.Envelope[wire], bool) {
-	delivered, out := routing.DeliverInto(core.MachineID(ctx.Self), inbox, m.delivBuf[:0], m.outBuf[:0])
+	buckets := m.buckets
+	for j := range buckets {
+		buckets[j] = buckets[j][:0]
+	}
+	delivered := routing.DeliverIntoBuckets(core.MachineID(ctx.Self), inbox, m.delivBuf[:0], buckets)
 	m.delivBuf = delivered[:0]
+	out := m.outBuf[:0]
 	defer func() { m.outBuf = out[:0] }()
 	for _, d := range delivered {
 		switch d.Kind {
@@ -211,9 +223,14 @@ func (m *sortMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) (
 				continue
 			}
 			for _, s := range mySamples {
-				out = routing.RouteDirect(out, core.MachineID(j), 1, smsg{Kind: kindSample, Value: s})
+				routing.RouteDirectBuckets(buckets, core.MachineID(j), 1, smsg{Kind: kindSample, Value: s})
 			}
+			// Peer j's broadcast batch is complete: hand it to the wire
+			// now (streaming runs) while the remaining peers' batches are
+			// still being assembled.
+			out = core.EmitOrAppend(ctx, core.MachineID(j), buckets[j], out)
 		}
+		out = append(out, buckets[ctx.Self]...)
 		return out, false
 
 	case 1:
@@ -229,12 +246,14 @@ func (m *sortMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) (
 				m.bucket = append(m.bucket, key)
 				continue
 			}
-			out = routing.Route(out, ctx.RNG, ctx.K, core.MachineID(b), 1, smsg{Kind: kindKey, Value: key})
+			routing.RouteBuckets(buckets, ctx.RNG, ctx.K, core.MachineID(b), 1, smsg{Kind: kindKey, Value: key})
 		}
+		out = core.EmitBuckets(ctx, buckets, out)
 		return out, false
 
 	case 2:
 		// Relay hop for key routing.
+		out = core.EmitBuckets(ctx, buckets, out)
 		return out, false
 
 	case 3:
@@ -246,8 +265,10 @@ func (m *sortMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) (
 			if core.MachineID(j) == ctx.Self {
 				continue
 			}
-			out = routing.RouteDirect(out, core.MachineID(j), 1, smsg{Kind: kindSize, Count: int64(len(m.bucket))})
+			routing.RouteDirectBuckets(buckets, core.MachineID(j), 1, smsg{Kind: kindSize, Count: int64(len(m.bucket))})
+			out = core.EmitOrAppend(ctx, core.MachineID(j), buckets[j], out)
 		}
+		out = append(out, buckets[ctx.Self]...)
 		return out, false
 
 	case 4:
@@ -281,16 +302,19 @@ func (m *sortMachine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) (
 				continue
 			}
 			m.rebal++
-			out = routing.Route(out, ctx.RNG, ctx.K, target, 1, smsg{Kind: kindFinal, Value: key})
+			routing.RouteBuckets(buckets, ctx.RNG, ctx.K, target, 1, smsg{Kind: kindFinal, Value: key})
 		}
+		out = core.EmitBuckets(ctx, buckets, out)
 		return out, false
 
 	case 5:
 		// Relay hop for rebalance keys.
+		out = core.EmitBuckets(ctx, buckets, out)
 		return out, false
 
 	default:
 		m.sortKeys(m.final)
+		out = core.EmitBuckets(ctx, buckets, out)
 		return out, true
 	}
 }
@@ -319,6 +343,7 @@ func newSortMachine(id core.MachineID, in *Input, n, k, samplesPerMachine int) *
 	}
 	m.outBuf = make([]core.Envelope[wire], 0, sz)
 	m.delivBuf = make([]smsg, 0, sz)
+	m.buckets = make([][]core.Envelope[wire], k)
 	m.samples = make([]uint64, 0, k*samplesPerMachine)
 	m.bucket = make([]uint64, 0, sz)
 	m.final = make([]uint64, 0, sz)

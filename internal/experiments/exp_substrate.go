@@ -29,7 +29,7 @@ func E19SubstrateMatrix(cfg Config) (Table, error) {
 	}
 	allAgree := true
 	for _, entry := range algo.Entries() {
-		prob := algo.Problem{N: n, K: 8, Seed: cfg.Seed + 191}
+		prob := algo.Problem{N: n, K: 8, Seed: cfg.Seed + 191, Streaming: cfg.Streaming}
 		switch entry.Name {
 		case "pagerank":
 			// The token walk is the longest workload; keep it modest.

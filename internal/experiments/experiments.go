@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner
-// per experiment in DESIGN.md's index (F1, E1–E21), each regenerating
+// per experiment in DESIGN.md's index (F1, E1–E22), each regenerating
 // the series behind a claim of the paper. cmd/kmbench prints the tables
 // that EXPERIMENTS.md records; the root bench_test.go exposes each
 // experiment as a testing.B benchmark.
@@ -138,6 +138,13 @@ type Config struct {
 	// to this file (open in chrome://tracing or Perfetto). Other
 	// experiments ignore it.
 	TracePath string
+	// Streaming runs the registry-driven experiments (E19's substrate
+	// matrix, E21's phase timings) with streaming supersteps, so a
+	// whole-suite A/B against the lockstep schedule is one kmbench flag
+	// away. Results and Stats are identical by construction — what
+	// changes is the wall-clock and the phase timeline. E22 ignores it:
+	// that experiment always runs both schedules.
+	Streaming bool
 }
 
 // Runner is one experiment entry point. Run returns an error instead
@@ -175,5 +182,6 @@ func All() []Runner {
 		{"E19", "substrate equivalence (registry × transports)", E19SubstrateMatrix},
 		{"E20", "bytes-on-wire (model words vs physical bytes, v1 vs v2)", E20WireBytes},
 		{"E21", "phase timings (compute/barrier/exchange share of wall)", E21PhaseTimings},
+		{"E22", "streaming supersteps (overlap compute and wire)", E22Streaming},
 	}
 }

@@ -147,6 +147,12 @@ type machine struct {
 	beta     []int64
 	delivBuf []msg
 	outBuf   []core.Envelope[wire]
+	// buckets[j] collects the superstep's envelopes addressed to machine
+	// j (per-destination program order preserved — see the routing
+	// *Buckets contract); core.EmitBuckets streams each non-self bucket
+	// eagerly on streaming runs and appends all of them to the returned
+	// outs on lockstep runs, byte-identically either way.
+	buckets [][]core.Envelope[wire]
 
 	iter int
 }
@@ -162,6 +168,7 @@ func newMachine(view *partition.View, opts Options) *machine {
 		heavyDist: make(map[int32]*rng.Alias),
 		accVals:   make([]int64, n),
 		beta:      make([]int64, view.K()),
+		buckets:   make([][]core.Envelope[wire], view.K()),
 	}
 	for _, v := range view.Locals() {
 		m.tokens[v] = int64(opts.Tokens)
@@ -195,19 +202,37 @@ func (m *machine) byIn(u int32) []int32 {
 type wire = routing.Hop[msg]
 
 func (m *machine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) ([]core.Envelope[wire], bool) {
-	delivered, out := routing.DeliverInto(m.view.Self(), inbox, m.delivBuf[:0], m.outBuf[:0])
+	buckets := m.buckets
+	for j := range buckets {
+		buckets[j] = buckets[j][:0]
+	}
+	delivered := routing.DeliverIntoBuckets(m.view.Self(), inbox, m.delivBuf[:0], buckets)
 	m.delivBuf = delivered[:0]
+	out := m.outBuf[:0]
 	for _, d := range delivered {
 		m.receive(ctx, d)
 	}
 	// Even supersteps start walk iterations; odd ones only relay/receive.
 	if ctx.Superstep%2 != 0 {
+		out = core.EmitBuckets(ctx, buckets, out)
 		m.outBuf = out
 		return out, m.iter >= m.opts.Iterations
 	}
 	if m.iter >= m.opts.Iterations {
+		// Quiescence must be judged on what the superstep PRODUCED, not
+		// on what is left in out after streaming — the predicate below is
+		// therefore computed over the buckets, identically on both
+		// schedules.
+		quiet := true
+		for j := range buckets {
+			if len(buckets[j]) > 0 {
+				quiet = false
+				break
+			}
+		}
+		out = core.EmitBuckets(ctx, buckets, out)
 		m.outBuf = out
-		return out, len(out) == 0
+		return out, quiet
 	}
 	m.iter++
 
@@ -229,7 +254,7 @@ func (m *machine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) ([]co
 			continue
 		}
 		if m.opts.HeavyPath && t >= int64(ctx.K) {
-			out = m.walkHeavy(ctx, u, t, adj, out)
+			m.walkHeavy(ctx, u, t, adj)
 			continue
 		}
 		if m.opts.Aggregate {
@@ -253,11 +278,12 @@ func (m *machine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) ([]co
 			}
 			m.accVals[v]++
 		}
-		out = m.flushLight(ctx, out)
+		m.flushLight(ctx)
 	}
 	if m.opts.Aggregate {
-		out = m.flushLight(ctx, out)
+		m.flushLight(ctx)
 	}
+	out = core.EmitBuckets(ctx, buckets, out)
 	m.outBuf = out
 	return out, false
 }
@@ -265,9 +291,9 @@ func (m *machine) Step(ctx *core.StepContext, inbox []core.Envelope[wire]) ([]co
 // flushLight emits one ⟨count, dest:v⟩ message per accumulated
 // destination vertex, in sorted vertex order for determinism, and
 // resets the accumulator (zeroing only the touched entries).
-func (m *machine) flushLight(ctx *core.StepContext, out []core.Envelope[wire]) []core.Envelope[wire] {
+func (m *machine) flushLight(ctx *core.StepContext) {
 	if len(m.accKeys) == 0 {
-		return out
+		return
 	}
 	keys := m.accKeys
 	slices.Sort(keys)
@@ -276,19 +302,18 @@ func (m *machine) flushLight(ctx *core.StepContext, out []core.Envelope[wire]) [
 		m.accVals[v] = 0
 		home := m.view.HomeOf(v)
 		if m.opts.TwoHop {
-			out = routing.Route(out, ctx.RNG, ctx.K, home, msgWords, payload)
+			routing.RouteBuckets(m.buckets, ctx.RNG, ctx.K, home, msgWords, payload)
 		} else {
-			out = routing.RouteDirect(out, home, msgWords, payload)
+			routing.RouteDirectBuckets(m.buckets, home, msgWords, payload)
 		}
 	}
 	m.accKeys = keys[:0]
-	return out
 }
 
 // walkHeavy implements Algorithm 1 lines 18-27: sample a destination
 // machine per token from the degree distribution and send one count
 // message per machine.
-func (m *machine) walkHeavy(ctx *core.StepContext, u int32, t int64, adj []int32, out []core.Envelope[wire]) []core.Envelope[wire] {
+func (m *machine) walkHeavy(ctx *core.StepContext, u int32, t int64, adj []int32) {
 	dist, ok := m.heavyDist[u]
 	if !ok {
 		weights := make([]float64, ctx.K)
@@ -311,10 +336,9 @@ func (m *machine) walkHeavy(ctx *core.StepContext, u int32, t int64, adj []int32
 		}
 		// Heavy messages go direct: there is at most one per (vertex,
 		// machine) pair, so they cannot congest a link (Lemma 12).
-		out = routing.RouteDirect(out, core.MachineID(j), msgWords,
+		routing.RouteDirectBuckets(m.buckets, core.MachineID(j), msgWords,
 			msg{Kind: kindHeavy, V: u, Count: c})
 	}
-	return out
 }
 
 // receive processes a delivered payload.

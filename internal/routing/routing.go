@@ -82,6 +82,55 @@ func DeliverInto[M any](self core.MachineID, inbox []core.Envelope[Hop[M]], deli
 	return delivered, forwards
 }
 
+// The *Buckets variants below are the streaming-superstep counterparts
+// of Route/RouteDirect/DeliverInto: instead of one interleaved out
+// slice they append into a per-destination-machine bucket array
+// (buckets[j] holds the envelopes addressed to machine j), which is the
+// shape core.EmitBuckets streams eagerly. Appending a given call's
+// envelope to bucket j preserves the program order of all envelopes
+// addressed to j, and inbox assembly orders by (sender, per-sender
+// program order) — so a bucketed machine produces byte-identical
+// inboxes to its interleaved self, on any schedule. RNG draws happen at
+// the same call sites in the same order, keeping determinism hashes
+// unchanged.
+
+// RouteBuckets is Route into per-destination buckets: the envelope
+// lands in the bucket of its (uniformly random) intermediate machine.
+func RouteBuckets[M any](buckets [][]core.Envelope[Hop[M]], r *rng.RNG, k int, final core.MachineID, words int32, msg M) {
+	mid := r.Intn(k)
+	buckets[mid] = append(buckets[mid], core.Envelope[Hop[M]]{
+		To:    core.MachineID(mid),
+		Words: words,
+		Msg:   Hop[M]{Final: final, Msg: msg},
+	})
+}
+
+// RouteDirectBuckets is RouteDirect into per-destination buckets.
+func RouteDirectBuckets[M any](buckets [][]core.Envelope[Hop[M]], final core.MachineID, words int32, msg M) {
+	buckets[final] = append(buckets[final], core.Envelope[Hop[M]]{
+		To:    final,
+		Words: words,
+		Msg:   Hop[M]{Final: final, Msg: msg},
+	})
+}
+
+// DeliverIntoBuckets is DeliverInto with the second-hop forwards
+// appended into per-destination buckets instead of one forwards slice.
+func DeliverIntoBuckets[M any](self core.MachineID, inbox []core.Envelope[Hop[M]], delivered []M, buckets [][]core.Envelope[Hop[M]]) []M {
+	for _, e := range inbox {
+		if e.Msg.Final == self {
+			delivered = append(delivered, e.Msg.Msg)
+			continue
+		}
+		buckets[e.Msg.Final] = append(buckets[e.Msg.Final], core.Envelope[Hop[M]]{
+			To:    e.Msg.Final,
+			Words: e.Words,
+			Msg:   e.Msg,
+		})
+	}
+	return delivered
+}
+
 // HeavyDegreeThreshold is the §3.2 proxy-assignment cutoff 2·k·log n:
 // vertices at or above it have their edge shipments delegated to the
 // neighbours' home machines.

@@ -141,6 +141,75 @@ func (t *Transport[M]) Exchange(ctx context.Context, step int, outs [][]transpor
 	return in, err
 }
 
+// CanStream implements transport.Streamer by delegation: chaos itself
+// adds no wire, so the streaming capability is exactly the inner
+// transport's. Exposing the methods while answering false here is the
+// pattern that lets a wrapper implement the interface unconditionally —
+// callers must gate on CanStream, per the contract.
+func (t *Transport[M]) CanStream() bool {
+	if s, ok := t.inner.(transport.Streamer[M]); ok {
+		return s.CanStream()
+	}
+	return false
+}
+
+// BeginSuperstep forwards to the inner streamer. Faults stay attached
+// to FinishSuperstep — the streaming superstep's barrier — mirroring
+// their timing on the lockstep path, where they fire in Exchange.
+func (t *Transport[M]) BeginSuperstep(ctx context.Context, step int) error {
+	return t.inner.(transport.Streamer[M]).BeginSuperstep(ctx, step)
+}
+
+// SendBatch forwards an eagerly-emitted batch to the inner streamer.
+func (t *Transport[M]) SendBatch(from, to transport.MachineID, batch []transport.Envelope[M]) error {
+	return t.inner.(transport.Streamer[M]).SendBatch(from, to, batch)
+}
+
+// FinishSuperstep applies due faults, then forwards to the inner
+// streamer — the same injection points and attribution guarantee as
+// Exchange, so the chaos suite asserts identical failure behaviour
+// under either schedule. A KillAt victim dies here even if its batches
+// were already streamed: the run aborts with the attributed error
+// before any inbox is assembled, exactly like a machine crashing
+// mid-superstep.
+func (t *Transport[M]) FinishSuperstep(ctx context.Context, step int, rest [][]transport.Envelope[M]) ([][]transport.Envelope[M], error) {
+	for _, f := range t.faults {
+		switch f.kind {
+		case faultDelay:
+			if f.step >= 0 && f.step != step {
+				continue
+			}
+			select {
+			case <-time.After(f.delay):
+			case <-ctx.Done():
+				return nil, &transport.MachineError{Machine: f.victim, Superstep: step,
+					Err: fmt.Errorf("chaos: delayed superstep overran its deadline: %w", ctx.Err())}
+			}
+		case faultKill:
+			if f.step != step || t.killed {
+				continue
+			}
+			t.killed, t.victim = true, f.victim
+			t.inner.Close()
+			return nil, &transport.MachineError{Machine: f.victim, Superstep: step, Err: ErrKilled}
+		case faultDropConn:
+			if f.step != step || t.killed {
+				continue
+			}
+			t.killed, t.victim = true, f.victim
+			f.sever()
+		}
+	}
+	in, err := t.inner.(transport.Streamer[M]).FinishSuperstep(ctx, step, rest)
+	if err != nil && t.killed {
+		var me *transport.MachineError
+		if !errors.As(err, &me) || me.Machine != t.victim {
+			err = &transport.MachineError{Machine: t.victim, Superstep: step, Err: err}
+		}
+	}
+	return in, err
+}
+
 // Close closes the inner transport.
 func (t *Transport[M]) Close() error { return t.inner.Close() }
 

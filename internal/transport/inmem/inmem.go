@@ -48,6 +48,17 @@ type Transport[M any] struct {
 	// Atomics only because a debug plane may snapshot mid-run; Exchange
 	// itself is serial.
 	exchanges, envelopes atomic.Int64
+
+	// Streaming-superstep staging (transport.Streamer): SendBatch runs
+	// concurrently, one goroutine per sender, so the staged batches are
+	// indexed [from*k+to] and each sender records the pairs it touched
+	// in its own list — no two goroutines ever write the same slot.
+	// FinishSuperstep folds the staged batches into the normal
+	// count-then-place assembly and resets the staging via the pair
+	// lists, keeping the steady state allocation-free.
+	streaming bool
+	staged    [][]transport.Envelope[M] // [from*k+to], nil when not staged
+	strPairs  [][]int32                 // per-sender list of staged destinations
 }
 
 // New returns a loopback transport for a k-machine cluster.
@@ -148,6 +159,136 @@ type Counters struct {
 // at any time, including mid-run.
 func (t *Transport[M]) Counters() Counters {
 	return Counters{Exchanges: t.exchanges.Load(), Envelopes: t.envelopes.Load()}
+}
+
+// CanStream implements transport.Streamer: the loopback always can.
+func (t *Transport[M]) CanStream() bool { return true }
+
+// BeginSuperstep implements transport.Streamer. There is no wire to
+// arm; it just opens the staging area for SendBatch.
+func (t *Transport[M]) BeginSuperstep(ctx context.Context, step int) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("inmem: superstep %d canceled: %w", step, err)
+	}
+	if t.closed {
+		return fmt.Errorf("inmem: BeginSuperstep on closed transport (superstep %d)", step)
+	}
+	if t.staged == nil {
+		t.staged = make([][]transport.Envelope[M], t.k*t.k)
+		t.strPairs = make([][]int32, t.k)
+		for i := range t.strPairs {
+			t.strPairs[i] = make([]int32, 0, t.k)
+		}
+	}
+	t.streaming = true
+	return nil
+}
+
+// SendBatch implements transport.Streamer. It only stages the batch —
+// the caller owns the slice until FinishSuperstep, per the Streamer
+// contract, and the loopback copies envelopes out of it there. Safe for
+// concurrent calls with distinct senders: each sender goroutine writes
+// only its own staging slots and pair list.
+func (t *Transport[M]) SendBatch(from, to transport.MachineID, batch []transport.Envelope[M]) error {
+	if !t.streaming {
+		return fmt.Errorf("inmem: SendBatch outside an open streaming superstep")
+	}
+	if from < 0 || int(from) >= t.k || to < 0 || int(to) >= t.k || from == to {
+		return fmt.Errorf("inmem: SendBatch with invalid pair (%d -> %d)", from, to)
+	}
+	idx := int(from)*t.k + int(to)
+	if t.staged[idx] != nil {
+		return fmt.Errorf("inmem: duplicate SendBatch for pair (%d -> %d)", from, to)
+	}
+	t.staged[idx] = batch
+	t.strPairs[from] = append(t.strPairs[from], int32(to))
+	return nil
+}
+
+// FinishSuperstep implements transport.Streamer: the same
+// count-then-place assembly as Exchange, with each sender's staged
+// batches taking the place of its (forbidden) rest envelopes for those
+// destinations. Iterating senders in machine order keeps inbox assembly
+// sender-ID ordered, so the result is byte-identical to an Exchange
+// carrying the same envelopes.
+func (t *Transport[M]) FinishSuperstep(ctx context.Context, step int, rest [][]transport.Envelope[M]) ([][]transport.Envelope[M], error) {
+	defer func() {
+		for i := range t.strPairs {
+			for _, to := range t.strPairs[i] {
+				t.staged[i*t.k+int(to)] = nil
+			}
+			t.strPairs[i] = t.strPairs[i][:0]
+		}
+		t.streaming = false
+	}()
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("inmem: superstep %d canceled: %w", step, err)
+	}
+	if t.closed {
+		return nil, fmt.Errorf("inmem: FinishSuperstep on closed transport (superstep %d)", step)
+	}
+	if !t.streaming {
+		return nil, fmt.Errorf("inmem: FinishSuperstep without BeginSuperstep (superstep %d)", step)
+	}
+	if len(rest) != t.k {
+		return nil, fmt.Errorf("inmem: got %d outboxes for a %d-machine cluster", len(rest), t.k)
+	}
+
+	counts := t.counts
+	for i := range counts {
+		counts[i] = 0
+	}
+	total := 0
+	for i := range rest {
+		for _, to := range t.strPairs[i] {
+			n := len(t.staged[i*t.k+int(to)])
+			counts[to] += n
+			total += n
+		}
+		for j := range rest[i] {
+			to := rest[i][j].To
+			if to < 0 || int(to) >= t.k {
+				return nil, fmt.Errorf("inmem: envelope to invalid machine %d (superstep %d)", to, step)
+			}
+			counts[to]++
+		}
+		total += len(rest[i])
+	}
+
+	b := &t.bufs[t.gen]
+	t.gen ^= 1
+	if cap(b.flat) < total {
+		b.flat = make([]transport.Envelope[M], total)
+	}
+	flat := b.flat[:total]
+	if b.inboxes == nil {
+		b.inboxes = make([][]transport.Envelope[M], t.k)
+	}
+
+	starts := t.starts
+	starts[0] = 0
+	for j := 0; j < t.k; j++ {
+		starts[j+1] = starts[j] + counts[j]
+		counts[j] = starts[j]
+	}
+	for i := range rest {
+		for _, to := range t.strPairs[i] {
+			batch := t.staged[i*t.k+int(to)]
+			copy(flat[counts[to]:], batch)
+			counts[to] += len(batch)
+		}
+		for j := range rest[i] {
+			to := rest[i][j].To
+			flat[counts[to]] = rest[i][j]
+			counts[to]++
+		}
+	}
+	for j := 0; j < t.k; j++ {
+		b.inboxes[j] = flat[starts[j]:starts[j+1]:starts[j+1]]
+	}
+	t.exchanges.Add(1)
+	t.envelopes.Add(int64(total))
+	return b.inboxes, nil
 }
 
 // Close implements transport.Transport.

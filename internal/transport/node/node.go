@@ -66,8 +66,18 @@ type Config struct {
 	// (exchange, report, verdict): a peer process that crashes or
 	// wedges surfaces as a machine-attributed error within the timeout
 	// on every surviving node instead of hanging the cluster. 0 means
-	// no deadline. Happy-path Stats and outputs are unaffected.
+	// no deadline. Happy-path Stats and outputs are unaffected. Under
+	// Streaming the deadline covers the whole superstep — begin,
+	// compute, finish — since the wire is active throughout.
 	SuperstepTimeout time.Duration
+	// Streaming opts this node into streaming supersteps: an emitter is
+	// bound into the machine's StepContext so core.EmitBatch hands
+	// finished per-peer batches to the endpoint mid-compute, and the
+	// superstep's exchange becomes a BeginSuperstep/FinishSuperstep
+	// pair. Purely a scheduling knob — reports, Stats, outputs, and
+	// golden hashes are bit-identical to the lockstep schedule. All
+	// nodes of a cluster must agree on it. Default off.
+	Streaming bool
 	// Recorder, when non-nil, receives wall-clock phase spans from this
 	// node's superstep loop — compute (the Step call), exchange (this
 	// node's data-plane barrier), and barrier (the report/verdict
@@ -204,6 +214,11 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 	linkScratch := make([]int64, cfg.K) // per-superstep link row, reused
 	var repBuf []byte                   // report encode scratch, reused
 	ctx := &core.StepContext{Self: core.MachineID(cfg.ID), K: cfg.K, RNG: r}
+	var em *core.Emitter[M]
+	if cfg.Streaming {
+		em = core.NewEmitter[M](epSender[M]{ep: ep}, core.MachineID(cfg.ID), cfg.K)
+		em.Bind(ctx)
+	}
 	for step := 0; ; step++ {
 		if step >= cfg.MaxSupersteps {
 			// Every node shares MaxSupersteps and steps in lockstep, so
@@ -219,6 +234,28 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 			return coordStats(coord), fmt.Errorf("node: machine %d canceled before superstep %d: %w", cfg.ID, step, err)
 		}
 
+		// Under streaming the per-superstep deadline must already be
+		// running when the first eager batch hits the wire, so the
+		// superstep context is created here, around compute, instead of
+		// inside superstepRound; BeginSuperstep arms the endpoint (and
+		// releases its readers) before the Step call.
+		sctx := context.Context(nil)
+		var cancel context.CancelFunc
+		if em != nil {
+			sctx = runCtx
+			if cfg.SuperstepTimeout > 0 {
+				sctx, cancel = context.WithTimeout(runCtx, cfg.SuperstepTimeout)
+			}
+			em.Reset()
+			if err := ep.BeginSuperstep(sctx, step); err != nil {
+				if cancel != nil {
+					cancel()
+				}
+				ep.Close()
+				return coordStats(coord), err
+			}
+		}
+
 		ctx.Superstep = step
 		var t0 int64
 		if cfg.Recorder != nil {
@@ -229,12 +266,34 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 			cfg.Recorder.Record(obs.Span{Start: t0, Dur: obs.Now() - t0,
 				Machine: int32(cfg.ID), Peer: -1, Superstep: int32(step), Phase: obs.PhaseCompute})
 		}
+		if em != nil {
+			if err := em.Err(); err != nil {
+				// A failed eager send is a transport failure, not an
+				// algorithm error: the endpoint is (or is about to be)
+				// dead, so the report/verdict protocol cannot carry the
+				// news. Tear down and return the attributed error, like
+				// any other exchange failure.
+				if cancel != nil {
+					cancel()
+				}
+				ep.Close()
+				return coordStats(coord), fmt.Errorf("node: machine %d streaming emit failed in superstep %d: %w", cfg.ID, step, err)
+			}
+		}
 		for i := range linkScratch {
 			linkScratch[i] = 0
 		}
 		rep := report{done: done, emitted: len(out) > 0, linkWords: linkScratch}
 		if stepErr == nil {
-			stepErr = validateAndAccount(cfg, out, &rep)
+			stepErr = validateAndAccount(cfg, out, &rep, em, step)
+		}
+		if em != nil {
+			// Fold the eager emissions into the same report the rest
+			// envelopes filled: order-independent sums, so the
+			// coordinator's accounting is bit-identical to lockstep.
+			msgs, any := em.AccountInto(rep.linkWords)
+			rep.messages += msgs
+			rep.emitted = rep.emitted || any
 		}
 		if stepErr != nil {
 			rep.err = stepErr.Error()
@@ -242,7 +301,10 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 		}
 
 		repBuf = rep.appendEncode(repBuf[:0], step)
-		v, next, err := superstepRound(cfg, ep, coord, runCtx, step, repBuf, out, &rep)
+		v, next, err := superstepRound(cfg, ep, coord, runCtx, sctx, step, repBuf, out, &rep)
+		if cancel != nil {
+			cancel()
+		}
 		if err != nil {
 			// When the run context died mid-superstep the transport
 			// error is just the shrapnel of the teardown (closed
@@ -280,12 +342,18 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 // by runLoop, which is safe because the endpoint either writes it out
 // immediately or (on the coordinator) queues it only until the
 // CollectReports of this same superstep pops it.
-func superstepRound[M any](cfg Config, ep *tcp.Endpoint[M], coord *coordinator, runCtx context.Context, step int, repPayload []byte, out []core.Envelope[M], rep *report) (verdict, []core.Envelope[M], error) {
-	sctx := runCtx
-	if cfg.SuperstepTimeout > 0 {
-		var cancel context.CancelFunc
-		sctx, cancel = context.WithTimeout(runCtx, cfg.SuperstepTimeout)
-		defer cancel()
+// Under streaming (sctx non-nil) the superstep context was created by
+// runLoop — it already covers the compute that streamed batches — and
+// the data-plane barrier is FinishSuperstep instead of Exchange.
+func superstepRound[M any](cfg Config, ep *tcp.Endpoint[M], coord *coordinator, runCtx, sctx context.Context, step int, repPayload []byte, out []core.Envelope[M], rep *report) (verdict, []core.Envelope[M], error) {
+	streaming := sctx != nil
+	if sctx == nil {
+		sctx = runCtx
+		if cfg.SuperstepTimeout > 0 {
+			var cancel context.CancelFunc
+			sctx, cancel = context.WithTimeout(runCtx, cfg.SuperstepTimeout)
+			defer cancel()
+		}
 	}
 
 	// Phase spans mirror core's engine, but per node: the exchange span
@@ -298,7 +366,13 @@ func superstepRound[M any](cfg Config, ep *tcp.Endpoint[M], coord *coordinator, 
 	if rec != nil {
 		t0 = obs.Now()
 	}
-	next, err := ep.Exchange(sctx, step, out)
+	var next []core.Envelope[M]
+	var err error
+	if streaming {
+		next, err = ep.FinishSuperstep(sctx, step, out)
+	} else {
+		next, err = ep.Exchange(sctx, step, out)
+	}
 	if rec != nil {
 		rec.Record(obs.Span{Start: t0, Dur: obs.Now() - t0,
 			Machine: int32(cfg.ID), Peer: -1, Superstep: int32(step), Phase: obs.PhaseExchange})
@@ -398,8 +472,10 @@ func stepSafely[M any](m core.Machine[M], ctx *core.StepContext, inbox []core.En
 
 // validateAndAccount mirrors core's per-envelope validation and
 // From-stamping, and fills the report's link-word vector (self links
-// are free, exactly like core).
-func validateAndAccount[M any](cfg Config, out []core.Envelope[M], rep *report) error {
+// are free, exactly like core). Under streaming (em non-nil) it also
+// enforces the no-mixing rule: a peer that already received a streamed
+// batch this superstep must not reappear in the rest envelopes.
+func validateAndAccount[M any](cfg Config, out []core.Envelope[M], rep *report, em *core.Emitter[M], step int) error {
 	for j := range out {
 		e := &out[j]
 		if e.To < 0 || int(e.To) >= cfg.K {
@@ -410,11 +486,23 @@ func validateAndAccount[M any](cfg Config, out []core.Envelope[M], rep *report) 
 		}
 		e.From = core.MachineID(cfg.ID)
 		if int(e.To) != cfg.ID {
+			if em != nil && em.EmittedTo(e.To) {
+				return fmt.Errorf("node: machine %d returned envelopes for machine %d after streaming a batch to it in superstep %d", cfg.ID, e.To, step)
+			}
 			rep.linkWords[e.To] += int64(e.Words)
 			rep.messages++
 		}
 	}
 	return nil
+}
+
+// epSender adapts a node's endpoint to the transport.BatchSender the
+// core emitter wants: every batch a node emits is its own, so `from` is
+// implied by the endpoint.
+type epSender[M any] struct{ ep *tcp.Endpoint[M] }
+
+func (s epSender[M]) SendBatch(from, to transport.MachineID, batch []transport.Envelope[M]) error {
+	return s.ep.StreamBatch(to, batch)
 }
 
 // report is one node's per-superstep account to the coordinator.

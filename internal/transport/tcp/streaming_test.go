@@ -1,0 +1,85 @@
+package tcp
+
+// Streamer conformance for the TCP mesh: driving the relaxed-barrier
+// API directly — BeginSuperstep, a mix of eager SendBatch calls and
+// leftovers handed to FinishSuperstep — must assemble exactly the
+// inboxes the lockstep loopback Exchange produces for the same
+// traffic, superstep after superstep. This pins the two invariants the
+// engine's oracle relies on at the transport layer: one frame per
+// (src,dst) pair regardless of when the batch was dispatched, and
+// sender-ID-ordered inbox merge regardless of arrival order.
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"kmachine/internal/rng"
+	"kmachine/internal/transport"
+	"kmachine/internal/transport/inmem"
+)
+
+func TestTCPStreamingMatchesLoopback(t *testing.T) {
+	const k = 5
+	tr, err := New[testMsg](k, testCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if !tr.CanStream() {
+		t.Fatal("TCP transport does not advertise streaming")
+	}
+	lb := inmem.New[testMsg](k)
+
+	ctx := context.Background()
+	rT, rL := rng.New(99), rng.New(99)
+	for step := 0; step < 30; step++ {
+		outsT := randomOuts(rT, k)
+		outsL := randomOuts(rL, k)
+
+		if err := tr.BeginSuperstep(ctx, step); err != nil {
+			t.Fatalf("superstep %d: begin: %v", step, err)
+		}
+		// Split each outbox by destination; dispatch even-numbered peers
+		// eagerly mid-"compute", leave odd peers and self-addressed
+		// envelopes for the finish — both paths must land identically.
+		rest := make([][]transport.Envelope[testMsg], k)
+		for i := 0; i < k; i++ {
+			perDest := make([][]transport.Envelope[testMsg], k)
+			for _, env := range outsT[i] {
+				perDest[env.To] = append(perDest[env.To], env)
+			}
+			for j := 0; j < k; j++ {
+				if len(perDest[j]) == 0 {
+					continue
+				}
+				if j != i && j%2 == 0 {
+					if err := tr.SendBatch(transport.MachineID(i), transport.MachineID(j), perDest[j]); err != nil {
+						t.Fatalf("superstep %d: send %d->%d: %v", step, i, j, err)
+					}
+				} else {
+					rest[i] = append(rest[i], perDest[j]...)
+				}
+			}
+		}
+		got, err := tr.FinishSuperstep(ctx, step, rest)
+		if err != nil {
+			t.Fatalf("superstep %d: finish: %v", step, err)
+		}
+		want, err := lb.Exchange(ctx, step, outsL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < k; j++ {
+			if len(got[j]) == 0 && len(want[j]) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got[j], want[j]) {
+				t.Fatalf("superstep %d inbox %d:\n streamed: %+v\n lockstep: %+v", step, j, got[j], want[j])
+			}
+		}
+	}
+	if w := tr.WireStats(); w.FramesSent == 0 {
+		t.Error("streamed supersteps shipped no frames — traffic bypassed the wire")
+	}
+}

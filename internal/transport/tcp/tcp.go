@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -136,16 +137,44 @@ type Endpoint[M any] struct {
 	// and verdictBuf are the control-plane equivalents: the payloads
 	// returned by CollectReports and ReceiveVerdict stay valid until the
 	// next call of the same method.
-	perDest    [][]transport.Envelope[M] // outgoing split by destination
-	tx         [][]byte                  // per-peer batch encode buffers
-	frame      [][]byte                  // per-peer frame read buffers
-	rx         [][]transport.Envelope[M] // per-peer decoded batches
-	inboxes    [2][]transport.Envelope[M]
-	gen        int
-	reports    [][]byte // id==0: assembled CollectReports result
-	ctrlFrame  [][]byte // id==0: per-peer control read buffers
-	barrierBuf []byte
-	verdictBuf []byte
+	perDest [][]transport.Envelope[M] // outgoing split by destination
+	tx      [][]byte                  // per-peer batch encode buffers
+	frame   [][]byte                  // per-peer frame read buffers
+	rx      [][]transport.Envelope[M] // per-peer decoded batches
+	inboxes [2][]transport.Envelope[M]
+	gen     int
+
+	// txSrc[j] is what peer j's writer worker encodes this superstep:
+	// the recycled perDest[j] split on the lockstep path, or the
+	// machine's own eagerly-streamed batch slice on the streaming path
+	// (which the Streamer contract keeps immutable until FinishSuperstep
+	// returns). A separate indirection — instead of storing streamed
+	// batches into perDest — so the next superstep's perDest[j][:0]
+	// recycling can never append into machine-owned memory.
+	txSrc [][]transport.Envelope[M]
+
+	// Streaming-superstep state (the endpoint-level half of
+	// transport.Streamer; the cluster Transport composes k of these).
+	// Guarded by mu where concurrent with StreamBatch; the
+	// Begin→drive→Finish handoff provides the rest of the ordering.
+	strEmitted []bool      // peers already streamed to this superstep
+	strOn      bool        // BeginSuperstep called, FinishSuperstep pending
+	strStep    int         // the open superstep
+	strDl      time.Time   // its I/O deadline
+	strRelease func() bool // its ioGuard release, disarmed by Finish
+
+	// serialWriters, sampled at construction, records that the process
+	// has a single execution core (GOMAXPROCS=1): parallel writer workers
+	// then cannot overlap with anything, and every wakeup is a pure
+	// scheduling tax, so the inline serial-write paths (Exchange,
+	// StreamBatch, FinishSuperstep) are taken unconditionally. Readers
+	// stay parallel regardless — a read is mostly netpoll parking, which
+	// costs no core while it waits.
+	serialWriters bool
+	reports       [][]byte // id==0: assembled CollectReports result
+	ctrlFrame     [][]byte // id==0: per-peer control read buffers
+	barrierBuf    []byte
+	verdictBuf    []byte
 
 	// Bytes-on-wire accounting: every frame that crosses a socket —
 	// data batches and control payloads alike — is counted with its
@@ -191,7 +220,11 @@ func Listen[M any](id, k int, addr string, codec wire.Codec[M]) (*Endpoint[M], e
 		tx:          make([][]byte, k),
 		frame:       make([][]byte, k),
 		rx:          make([][]transport.Envelope[M], k),
+		txSrc:       make([][]transport.Envelope[M], k),
+		strEmitted:  make([]bool, k),
 		wirePeers:   make([]peerWire, k),
+
+		serialWriters: runtime.GOMAXPROCS(0) == 1,
 	}, nil
 }
 
@@ -540,9 +573,9 @@ func (e *Endpoint[M]) runWriter(j int, job pipeJob) {
 	var buf []byte
 	var err error
 	if e.wireVersion == wire.BatchV1 {
-		buf, err = wire.AppendBatchV1(e.tx[j][:0], job.step, transport.MachineID(e.id), e.perDest[j], e.codec)
+		buf, err = wire.AppendBatchV1(e.tx[j][:0], job.step, transport.MachineID(e.id), e.txSrc[j], e.codec)
 	} else {
-		buf, err = wire.AppendBatchV2(e.tx[j][:0], job.step, transport.MachineID(e.id), transport.MachineID(j), e.perDest[j], e.codec)
+		buf, err = wire.AppendBatchV2(e.tx[j][:0], job.step, transport.MachineID(e.id), transport.MachineID(j), e.txSrc[j], e.codec)
 	}
 	e.tx[j] = buf[:0]
 	if err != nil {
@@ -657,7 +690,13 @@ func (e *Endpoint[M]) runCtrlReader(j int, job pipeJob) {
 // worker receives its job before quit can fire (and the drain in
 // pipeWorker guarantees completion), or the endpoint is already closed
 // and no job is sent at all.
-func (e *Endpoint[M]) dispatch(step int, dl time.Time) error {
+//
+// With inlineWriters set, only the readers are signalled — the caller
+// runs the writers serially on its own goroutine afterwards (the
+// tiny-superstep path, see Exchange). Signal order rotates with the
+// superstep: machine i starts its sweep at peer (i+step) mod k, so the
+// k machines do not all hammer peer 0's sockets first every superstep.
+func (e *Endpoint[M]) dispatch(step int, dl time.Time, inlineWriters bool) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -668,18 +707,22 @@ func (e *Endpoint[M]) dispatch(step int, dl time.Time) error {
 	}
 	e.cause, e.shrapnel = nil, nil
 	job := pipeJob{step: step, dl: dl}
-	e.workWG.Add(2 * (e.k - 1))
-	// Writers are released before any reader: on a loaded machine the
-	// scheduler then tends to ship our outgoing frames before the
-	// readers poll, so reads find their peer's data already buffered
-	// instead of parking in netpoll first.
-	for j := 0; j < e.k; j++ {
-		if j != e.id {
-			e.writerCh[j] <- job
+	if inlineWriters {
+		e.workWG.Add(e.k - 1)
+	} else {
+		e.workWG.Add(2 * (e.k - 1))
+		// Writers are released before any reader: on a loaded machine
+		// the scheduler then tends to ship our outgoing frames before
+		// the readers poll, so reads find their peer's data already
+		// buffered instead of parking in netpoll first.
+		for o := 0; o < e.k; o++ {
+			if j := (e.id + step + o) % e.k; j != e.id {
+				e.writerCh[j] <- job
+			}
 		}
 	}
-	for j := 0; j < e.k; j++ {
-		if j != e.id {
+	for o := 0; o < e.k; o++ {
+		if j := (e.id + step + o) % e.k; j != e.id {
 			e.readerCh[j] <- job
 		}
 	}
@@ -760,9 +803,34 @@ func (e *Endpoint[M]) Exchange(ctx context.Context, step int, out []transport.En
 		}
 		perDest[env.To] = append(perDest[env.To], env)
 	}
+	remote := 0
+	for j := range perDest {
+		e.txSrc[j] = perDest[j]
+		if j != e.id {
+			remote += len(perDest[j])
+		}
+	}
 
-	if err := e.dispatch(step, dl); err != nil {
+	// Tiny supersteps skip the writer wakeups: when the whole outbox is
+	// at most ~2 envelopes per peer, encoding is trivial and the cost of
+	// signalling k-1 parked goroutines dominates shipping k-1
+	// few-byte frames (the k=16/batch=1 regression of the parallel
+	// pipeline). Write them serially on this goroutine instead — each
+	// connection's buffered writer still coalesces prefix+payload into
+	// one flush/syscall — while the readers stay parallel. A GOMAXPROCS=1
+	// process takes this path for every superstep: with one core the
+	// parallel writers can't overlap anyway, so the wakeups are all tax.
+	inline := e.serialWriters || remote <= 2*e.k
+	if err := e.dispatch(step, dl, inline); err != nil {
 		return nil, err
+	}
+	if inline {
+		job := pipeJob{step: step, dl: dl}
+		for o := 0; o < e.k; o++ {
+			if j := (e.id + step + o) % e.k; j != e.id {
+				e.runWriter(j, job)
+			}
+		}
 	}
 	e.workWG.Wait()
 
@@ -778,12 +846,16 @@ func (e *Endpoint[M]) Exchange(ctx context.Context, step int, out []transport.En
 	if err := e.shrapnel; err != nil {
 		return nil, err
 	}
+	return e.mergeInbox(), nil
+}
 
-	// Assemble the inbox in sender-ID order into the double-buffered
-	// storage: the previous superstep's inbox (the other generation) is
-	// still readable by the caller per the ownership rule.
+// mergeInbox assembles the superstep's inbox in sender-ID order into
+// the double-buffered storage: the previous superstep's inbox (the
+// other generation) is still readable by the caller per the ownership
+// rule. Call only after the pipeline generation drained error-free.
+func (e *Endpoint[M]) mergeInbox() []transport.Envelope[M] {
 	perSender := e.rx
-	total := len(perDest[e.id])
+	total := len(e.perDest[e.id])
 	for s := 0; s < e.k; s++ {
 		if s != e.id {
 			total += len(perSender[s])
@@ -796,14 +868,253 @@ func (e *Endpoint[M]) Exchange(ctx context.Context, step int, out []transport.En
 	inbox := buf[:0]
 	for s := 0; s < e.k; s++ {
 		if s == e.id {
-			inbox = append(inbox, perDest[s]...)
+			inbox = append(inbox, e.perDest[s]...)
 			continue
 		}
 		inbox = append(inbox, perSender[s]...)
 	}
 	e.inboxes[e.gen] = inbox
 	e.gen ^= 1
-	return inbox, nil
+	return inbox
+}
+
+// BeginSuperstep opens streaming superstep `step` on this endpoint: the
+// per-superstep failure state is reset and every reader worker is
+// released immediately, so incoming batch frames are received and
+// decoded as peers produce them — during this machine's own compute —
+// instead of waiting for the finish barrier. The per-machine half of
+// the transport.Streamer contract; StreamBatch and FinishSuperstep
+// complete it.
+func (e *Endpoint[M]) BeginSuperstep(ctx context.Context, step int) error {
+	dl, release := e.ioGuard(ctx)
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		if release != nil {
+			release()
+		}
+		return fmt.Errorf("tcp: machine %d begin superstep %d on closed endpoint: %w", e.id, step, net.ErrClosed)
+	}
+	if !e.started {
+		e.mu.Unlock()
+		if release != nil {
+			release()
+		}
+		return fmt.Errorf("tcp: machine %d begin superstep %d before Connect", e.id, step)
+	}
+	if e.strOn {
+		e.mu.Unlock()
+		if release != nil {
+			release()
+		}
+		return fmt.Errorf("tcp: machine %d begin superstep %d with superstep %d still open", e.id, step, e.strStep)
+	}
+	e.cause, e.shrapnel = nil, nil
+	for j := range e.strEmitted {
+		e.strEmitted[j] = false
+	}
+	e.strOn, e.strStep, e.strDl, e.strRelease = true, step, dl, release
+	job := pipeJob{step: step, dl: dl}
+	e.workWG.Add(e.k - 1)
+	for o := 0; o < e.k; o++ {
+		if j := (e.id + step + o) % e.k; j != e.id {
+			e.readerCh[j] <- job
+		}
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// streamInlineMax is the batch size at or below which StreamBatch
+// writes the frame on the calling goroutine instead of waking the
+// peer's parked writer worker: for a couple of envelopes the encode is
+// a handful of stores and the wakeup costs more than the write (the
+// same economics as Exchange's tiny-superstep path).
+const streamInlineMax = 2
+
+// StreamBatch hands peer `to`'s finished batch to its parked writer
+// worker right now — mid-compute — which encodes and ships it while the
+// superstep's remaining work continues. Tiny batches (and every batch
+// on a single-core process) are instead written inline on the calling
+// goroutine — still mid-compute, so the wire is busy during the
+// superstep either way; what varies is only who pays for the encode.
+// The batch slice stays readable by the endpoint until FinishSuperstep
+// returns (the Streamer ownership rule); envelopes arrive pre-validated
+// and From-stamped from core. At most one batch per peer per superstep.
+func (e *Endpoint[M]) StreamBatch(to transport.MachineID, batch []transport.Envelope[M]) error {
+	e.mu.Lock()
+	if e.closed {
+		// Prefer the attributed failure that closed us (a reader's
+		// verdict on a dead peer) over an anonymous "closed" — this is
+		// what the emitter surfaces to the run.
+		err := e.cause
+		if err == nil {
+			err = e.shrapnel
+		}
+		e.mu.Unlock()
+		if err != nil {
+			return err
+		}
+		return fmt.Errorf("tcp: machine %d stream batch on closed endpoint: %w", e.id, net.ErrClosed)
+	}
+	if !e.strOn {
+		e.mu.Unlock()
+		return fmt.Errorf("tcp: machine %d StreamBatch outside an open streaming superstep", e.id)
+	}
+	if int(to) < 0 || int(to) >= e.k || int(to) == e.id {
+		e.mu.Unlock()
+		return fmt.Errorf("tcp: machine %d cannot stream batch to machine %d", e.id, to)
+	}
+	if e.strEmitted[to] {
+		e.mu.Unlock()
+		return fmt.Errorf("tcp: machine %d streamed two batches to machine %d in superstep %d", e.id, to, e.strStep)
+	}
+	e.strEmitted[to] = true
+	e.txSrc[to] = batch
+	job := pipeJob{step: e.strStep, dl: e.strDl}
+	if e.serialWriters || len(batch) <= streamInlineMax {
+		// Inline write, off the mutex: the write may block on a full
+		// socket buffer, and holding mu there would stall a concurrent
+		// Close. txSrc[to] is safe to read unlocked — at most one batch
+		// per peer per superstep means no other goroutine touches it.
+		e.mu.Unlock()
+		e.runWriter(int(to), job)
+		// A write failure closed the endpoint and recorded its cause;
+		// surface it now so the emitter aborts the run immediately
+		// instead of discovering the corpse at FinishSuperstep.
+		e.mu.Lock()
+		err := e.cause
+		if err == nil {
+			err = e.shrapnel
+		}
+		e.mu.Unlock()
+		return err
+	}
+	e.workWG.Add(1)
+	e.writerCh[to] <- job
+	e.mu.Unlock()
+	return nil
+}
+
+// finishGuard disarms the cancellation guard BeginSuperstep armed.
+func (e *Endpoint[M]) finishGuard() {
+	if r := e.strRelease; r != nil {
+		e.strRelease = nil
+		r()
+	}
+}
+
+// FinishSuperstep closes streaming superstep `step`: it ships `out` —
+// the envelopes NOT streamed eagerly (self-addressed ones included; a
+// peer that already got a streamed batch must not reappear here) — on
+// the remaining writer workers, waits for the whole pipeline generation
+// (eager readers, streamed writers, rest writers) to drain, and merges
+// the inbox exactly like Exchange. It is the streaming superstep's
+// barrier and carries the Exchange failure contract.
+func (e *Endpoint[M]) FinishSuperstep(ctx context.Context, step int, out []transport.Envelope[M]) ([]transport.Envelope[M], error) {
+	_ = ctx // the superstep's guard/deadline were armed by BeginSuperstep
+	perDest := e.perDest
+	for j := range perDest {
+		perDest[j] = perDest[j][:0]
+	}
+	for _, env := range out {
+		if env.To < 0 || int(env.To) >= e.k {
+			e.finishGuard()
+			e.Close() // peers are waiting on our batches; unblock them
+			return nil, fmt.Errorf("tcp: machine %d envelope to invalid machine %d", e.id, env.To)
+		}
+		perDest[env.To] = append(perDest[env.To], env)
+	}
+
+	e.mu.Lock()
+	if !e.strOn || e.strStep != step {
+		open, openStep := e.strOn, e.strStep
+		e.mu.Unlock()
+		e.finishGuard()
+		e.Close()
+		return nil, fmt.Errorf("tcp: machine %d finish superstep %d without matching begin (open=%v step=%d)", e.id, step, open, openStep)
+	}
+	e.strOn = false
+	if e.closed {
+		// A mid-compute failure (a reader's verdict, a peer's blame
+		// frame, a StreamBatch hitting dead sockets) already tore the
+		// endpoint down. The eager jobs drain against the closed conns;
+		// report the recorded cause, never a merged inbox.
+		e.mu.Unlock()
+		e.workWG.Wait()
+		e.finishGuard()
+		e.mu.Lock()
+		err := e.cause
+		if err == nil {
+			err = e.shrapnel
+		}
+		e.mu.Unlock()
+		if err == nil {
+			err = fmt.Errorf("tcp: machine %d finish superstep %d on closed endpoint: %w", e.id, step, net.ErrClosed)
+		}
+		return nil, err
+	}
+	job := pipeJob{step: step, dl: e.strDl}
+	pending, rest := 0, 0
+	for j := 0; j < e.k; j++ {
+		if j == e.id {
+			continue
+		}
+		if e.strEmitted[j] {
+			if len(perDest[j]) > 0 {
+				e.mu.Unlock()
+				e.finishGuard()
+				e.Close()
+				return nil, fmt.Errorf("tcp: machine %d has rest envelopes for machine %d after streaming a batch to it in superstep %d", e.id, j, step)
+			}
+			continue
+		}
+		e.txSrc[j] = perDest[j]
+		pending++
+		rest += len(perDest[j])
+	}
+	// Same inline-writer economics as Exchange: a tiny remainder (the
+	// common case when the machines streamed their batches eagerly) is
+	// written serially on this goroutine rather than waking the parked
+	// writers. strEmitted is stable here — StreamBatch only runs while
+	// the superstep computes, which happens-before FinishSuperstep.
+	inline := e.serialWriters || rest <= 2*e.k
+	if !inline {
+		e.workWG.Add(pending)
+		for o := 0; o < e.k; o++ {
+			j := (e.id + step + o) % e.k
+			if j == e.id || e.strEmitted[j] {
+				continue
+			}
+			e.writerCh[j] <- job
+		}
+	}
+	e.mu.Unlock()
+	if inline {
+		for o := 0; o < e.k; o++ {
+			j := (e.id + step + o) % e.k
+			if j == e.id || e.strEmitted[j] {
+				continue
+			}
+			e.runWriter(j, job)
+		}
+	}
+
+	e.workWG.Wait()
+	e.finishGuard()
+	// Streamed batch slices are machine-owned; drop the references now
+	// that their writers are done, honouring the "must not retain"
+	// ownership rule.
+	for j := range e.txSrc {
+		e.txSrc[j] = nil
+	}
+	if err := e.cause; err != nil {
+		return nil, err
+	}
+	if err := e.shrapnel; err != nil {
+		return nil, err
+	}
+	return e.mergeInbox(), nil
 }
 
 // SendToCoordinator ships one control payload to machine 0, bounded by
@@ -1087,9 +1398,10 @@ func NewLoopbackMesh[M any](k int, codec wire.Codec[M]) ([]*Endpoint[M], error) 
 // driver: exchange this outbox under this context, then pass the
 // barrier.
 type driveJob[M any] struct {
-	ctx  context.Context
-	step int
-	out  []transport.Envelope[M]
+	ctx    context.Context
+	step   int
+	out    []transport.Envelope[M]
+	finish bool // close a streaming superstep instead of a lockstep exchange
 }
 
 // Transport is the cluster-side transport.Transport implementation: all
@@ -1159,7 +1471,13 @@ func (t *Transport[M]) driver(i int) {
 }
 
 func (t *Transport[M]) runStep(i int, job driveJob[M]) {
-	inbox, err := t.eps[i].Exchange(job.ctx, job.step, job.out)
+	var inbox []transport.Envelope[M]
+	var err error
+	if job.finish {
+		inbox, err = t.eps[i].FinishSuperstep(job.ctx, job.step, job.out)
+	} else {
+		inbox, err = t.eps[i].Exchange(job.ctx, job.step, job.out)
+	}
 	if err == nil {
 		if berr := t.eps[i].Barrier(job.ctx, job.step); berr != nil {
 			t.eps[i].Close()
@@ -1205,6 +1523,107 @@ func (t *Transport[M]) Exchange(ctx context.Context, step int, outs [][]transpor
 	// cascade teardown) beats an attributed shrapnel error, which beats
 	// an unattributed one. When machine j dies, the survivors' errors
 	// name j while j's own endpoint reports only its severed sockets.
+	var attributed, first error
+	for _, err := range t.errs {
+		if err == nil {
+			continue
+		}
+		var me *transport.MachineError
+		if errors.As(err, &me) {
+			if !errors.Is(err, net.ErrClosed) {
+				return nil, err
+			}
+			if attributed == nil {
+				attributed = err
+			}
+		}
+		if first == nil {
+			first = err
+		}
+	}
+	if attributed != nil {
+		return nil, attributed
+	}
+	if first != nil {
+		return nil, first
+	}
+
+	if t.inboxes[t.gen] == nil {
+		t.inboxes[t.gen] = make([][]transport.Envelope[M], k)
+	}
+	inboxes := t.inboxes[t.gen]
+	t.gen ^= 1
+	copy(inboxes, t.results)
+	return inboxes, nil
+}
+
+// CanStream implements transport.Streamer: the socket substrate is the
+// capability's raison d'être — eager batches overlap the wire with the
+// senders' remaining compute.
+func (t *Transport[M]) CanStream() bool { return true }
+
+// BeginSuperstep implements transport.Streamer: it opens the streaming
+// superstep on every endpoint, arming the per-superstep deadline guards
+// and releasing all reader workers so frames are consumed as they
+// arrive. Endpoints are opened serially under the transport mutex — the
+// same t.mu→e.mu lock order as Close — which is cheap (no I/O happens
+// in an endpoint BeginSuperstep, it only parks jobs on buffered
+// channels) and gives SendBatch a consistent "all open" view.
+func (t *Transport[M]) BeginSuperstep(ctx context.Context, step int) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return fmt.Errorf("tcp: begin superstep %d on closed transport: %w", step, net.ErrClosed)
+	}
+	for i, e := range t.eps {
+		if err := e.BeginSuperstep(ctx, step); err != nil {
+			return fmt.Errorf("tcp: machine %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SendBatch implements transport.Streamer: machine from's eager batch
+// for machine to goes straight to from's endpoint, which hands it to
+// the parked writer worker for that peer. Called concurrently from the
+// machines' compute goroutines (distinct senders), per the contract;
+// each endpoint serialises its own state under its own mutex, so no
+// transport-level lock is needed — or wanted, it would serialise the
+// very sends streaming exists to overlap.
+func (t *Transport[M]) SendBatch(from, to transport.MachineID, batch []transport.Envelope[M]) error {
+	if int(from) < 0 || int(from) >= len(t.eps) {
+		return fmt.Errorf("tcp: SendBatch from invalid machine %d", from)
+	}
+	return t.eps[from].StreamBatch(to, batch)
+}
+
+// FinishSuperstep implements transport.Streamer: the streaming
+// superstep's barrier. Every endpoint ships its rest envelopes, drains
+// its pipeline generation (eager and rest frames alike), and passes the
+// coordinator barrier — the same drivers, error preference, and
+// double-buffered inbox hand-off as Exchange.
+func (t *Transport[M]) FinishSuperstep(ctx context.Context, step int, rest [][]transport.Envelope[M]) ([][]transport.Envelope[M], error) {
+	k := len(t.eps)
+	if len(rest) != k {
+		return nil, fmt.Errorf("tcp: got %d outboxes for a %d-machine cluster", len(rest), k)
+	}
+
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("tcp: finish superstep %d on closed transport: %w", step, net.ErrClosed)
+	}
+	for i := 0; i < k; i++ {
+		t.errs[i] = nil
+		t.results[i] = nil
+	}
+	t.wg.Add(k)
+	for i := 0; i < k; i++ {
+		t.drive[i] <- driveJob[M]{ctx: ctx, step: step, out: rest[i], finish: true}
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+
 	var attributed, first error
 	for _, err := range t.errs {
 		if err == nil {

@@ -88,6 +88,74 @@ type Transport[M any] interface {
 	Close() error
 }
 
+// BatchSender is the narrow eager-emission capability a machine's
+// per-peer emitter needs: hand one finished, validated batch for one
+// peer to the substrate while the superstep is still computing. It is
+// the subset of Streamer that core.Emitter holds, so the engine-side
+// emitter does not need the whole superstep-lifecycle surface.
+//
+// SendBatch may be called concurrently for different senders (one
+// goroutine per `from` at a time), only between BeginSuperstep and
+// FinishSuperstep of the same superstep, at most once per (from, to)
+// pair per superstep, never with from == to, and only with envelopes
+// already validated (To == to, Words >= 0) and stamped with From. An
+// error means the batch was NOT accepted and the run is failing; the
+// caller must surface it and stop emitting.
+type BatchSender[M any] interface {
+	SendBatch(from, to MachineID, batch []Envelope[M]) error
+}
+
+// Streamer is the optional streaming-superstep capability of a
+// Transport: instead of the single Exchange barrier, a superstep may be
+// opened with BeginSuperstep, fed finished per-peer batches eagerly via
+// SendBatch while machines are still computing, and closed with
+// FinishSuperstep, which ships whatever was not streamed and returns
+// the assembled inboxes. Like TraceSink and WireMeter, callers discover
+// it by type assertion and additionally gate on CanStream(), so a
+// wrapper (chaos) can expose the methods while delegating the decision
+// to its inner transport.
+//
+// The relaxed schedule must not be observable in the results: inboxes
+// come back in the same sender-ID order, with the same per-sender
+// envelope order, as an Exchange carrying the identical envelopes would
+// produce — a streamed batch for peer j simply IS sender i's
+// contribution to inbox j (the engine forbids mixing a streamed batch
+// and leftover rest envelopes for the same (from, to) pair in one
+// superstep). FinishSuperstep is the superstep's barrier: it returns
+// only after every batch of the superstep (streamed or rest) has been
+// routed, and it carries the Exchange failure contract (ctx deadline /
+// cancellation, *MachineError attribution, fatal-on-error).
+//
+// Buffer ownership for streamed batches: the caller keeps ownership of
+// a batch slice handed to SendBatch but must not mutate or recycle it
+// until FinishSuperstep for that superstep returns (the tcp substrate
+// encodes it concurrently with the remaining compute); the transport
+// must not retain the slice after FinishSuperstep returns. rest and the
+// returned inboxes follow the Exchange ownership rules verbatim.
+//
+// A superstep opened with BeginSuperstep and never finished (the run
+// terminated quiescently, or aborted on an error) is abandoned by
+// Close, which unblocks any eagerly-parked I/O.
+type Streamer[M any] interface {
+	BatchSender[M]
+
+	// CanStream reports whether the transport actually supports the
+	// streaming path right now (a wrapper returns its inner transport's
+	// answer). When false, the other methods must not be called.
+	CanStream() bool
+
+	// BeginSuperstep opens superstep step: the transport arms eager
+	// receive on all peers and accepts SendBatch calls until
+	// FinishSuperstep.
+	BeginSuperstep(ctx context.Context, step int) error
+
+	// FinishSuperstep ships the not-yet-streamed remainder (rest[i] =
+	// machine i's leftover envelopes, self-addressed ones included),
+	// waits for every machine's batches to be routed, and returns the
+	// assembled inboxes — the streaming superstep's barrier.
+	FinishSuperstep(ctx context.Context, step int, rest [][]Envelope[M]) (inboxes [][]Envelope[M], err error)
+}
+
 // MachineError attributes a distributed-runtime failure to the machine
 // it was observed against and the superstep in which it surfaced. The
 // tcp substrate wraps every per-peer receive/send failure (including

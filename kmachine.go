@@ -191,6 +191,15 @@ type RunConfig struct {
 	// hashes are identical with or without a recorder, and nil (the
 	// default) keeps the engine on its zero-allocation span-free path.
 	Recorder Recorder
+	// Streaming opts the run into streaming supersteps: on transports
+	// with the capability (TCP; the loopback stages without wire),
+	// machines that call the streaming emit API hand finished per-peer
+	// batches to the transport mid-superstep, overlapping compute with
+	// communication. Purely a scheduling knob: Stats, outputs, and
+	// determinism hashes are bit-identical with it on or off, and
+	// machines that never emit eagerly run exactly as before. Default
+	// off.
+	Streaming bool
 }
 
 // coreConfig is the shared translation of a RunConfig into the
@@ -205,6 +214,7 @@ func (rc RunConfig) coreConfig(k, bandwidth int, seed uint64) core.Config {
 		Context:          rc.Context,
 		SuperstepTimeout: rc.SuperstepTimeout,
 		Recorder:         rc.Recorder,
+		Streaming:        rc.Streaming,
 	}
 }
 

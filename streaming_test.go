@@ -1,0 +1,113 @@
+package kmachine_test
+
+// Streaming-schedule invariance suite: for every algorithm in the
+// registry, running with Config.Streaming on — eager per-peer batch
+// dispatch overlapping compute with the wire — must reproduce the
+// lockstep schedule's Stats and output hash bit for bit, on all three
+// substrates. This is the oracle that lets the streaming engine exist
+// at all: §1.1 accounting (rounds, words, per-link loads) is a
+// property of WHAT is sent in each superstep, never of WHEN within the
+// superstep it left the machine, so any divergence here is a bug in
+// the relaxed barrier, not a measurement artifact.
+
+import (
+	"testing"
+
+	"kmachine/internal/algo"
+	_ "kmachine/internal/algo/all"
+	"kmachine/internal/transport"
+)
+
+// TestStreamingScheduleInvariance runs every registered algorithm
+// lockstep-on-inmem as the reference, then streaming on inmem, TCP,
+// and the standalone node runtime, asserting full Stats and hash
+// agreement each time. Algorithms that emit only at step end (no eager
+// batches) pass trivially through the streaming engine; the converted
+// ones (pagerank, dsort) exercise genuine mid-step dispatch.
+func TestStreamingScheduleInvariance(t *testing.T) {
+	for _, name := range algo.Names() {
+		t.Run(name, func(t *testing.T) {
+			entry, ok := algo.Lookup(name)
+			if !ok {
+				t.Fatalf("registry lost %q between Names and Lookup", name)
+			}
+			prob := suiteProblem(name)
+
+			ref, err := entry.Run(prob, transport.InMem)
+			if err != nil {
+				t.Fatalf("lockstep inmem run: %v", err)
+			}
+			if ref.Hash == 0 {
+				t.Fatalf("lockstep run produced zero output hash — comparison would be vacuous")
+			}
+
+			sprob := prob
+			sprob.Streaming = true
+
+			smem, err := entry.Run(sprob, transport.InMem)
+			if err != nil {
+				t.Fatalf("streaming inmem run: %v", err)
+			}
+			sameStats(t, "streaming-inmem-vs-lockstep", smem.Stats, ref.Stats)
+			if smem.Hash != ref.Hash {
+				t.Errorf("streaming inmem hash %016x, lockstep %016x", smem.Hash, ref.Hash)
+			}
+
+			stcp, err := entry.Run(sprob, transport.TCP)
+			if err != nil {
+				t.Fatalf("streaming tcp run: %v", err)
+			}
+			sameStats(t, "streaming-tcp-vs-lockstep", stcp.Stats, ref.Stats)
+			if stcp.Hash != ref.Hash {
+				t.Errorf("streaming tcp hash %016x, lockstep %016x", stcp.Hash, ref.Hash)
+			}
+
+			snode, err := entry.RunNodeLocal(sprob)
+			if err != nil {
+				t.Fatalf("streaming node runtime run: %v", err)
+			}
+			sameStats(t, "streaming-node-vs-lockstep", snode.Stats, ref.Stats)
+			if snode.Hash != ref.Hash {
+				t.Errorf("streaming node hash %016x, lockstep %016x", snode.Hash, ref.Hash)
+			}
+		})
+	}
+}
+
+// TestStreamingWireParity pins down a stronger property on the TCP
+// substrate: the v2 batch framing sends exactly one frame per
+// (src, dst) pair per superstep under either schedule — streaming
+// re-times frames, it does not re-shape them — so the wire byte and
+// frame counts must match the lockstep run exactly.
+func TestStreamingWireParity(t *testing.T) {
+	for _, name := range []string{"pagerank", "dsort"} {
+		t.Run(name, func(t *testing.T) {
+			entry, ok := algo.Lookup(name)
+			if !ok {
+				t.Fatalf("algorithm %q not registered", name)
+			}
+			prob := suiteProblem(name)
+			lock, err := entry.Run(prob, transport.TCP)
+			if err != nil {
+				t.Fatalf("lockstep tcp run: %v", err)
+			}
+			sprob := prob
+			sprob.Streaming = true
+			stream, err := entry.Run(sprob, transport.TCP)
+			if err != nil {
+				t.Fatalf("streaming tcp run: %v", err)
+			}
+			if lock.Wire.FramesSent == 0 || stream.Wire.FramesSent == 0 {
+				t.Fatal("tcp run reported no wire frames — wire stats did not flow through")
+			}
+			if stream.Wire.BytesSent != lock.Wire.BytesSent ||
+				stream.Wire.BytesRecv != lock.Wire.BytesRecv ||
+				stream.Wire.FramesSent != lock.Wire.FramesSent ||
+				stream.Wire.FramesRecv != lock.Wire.FramesRecv {
+				t.Errorf("wire stats diverge under streaming:\nlock   bytes %d/%d frames %d/%d\nstream bytes %d/%d frames %d/%d",
+					lock.Wire.BytesSent, lock.Wire.BytesRecv, lock.Wire.FramesSent, lock.Wire.FramesRecv,
+					stream.Wire.BytesSent, stream.Wire.BytesRecv, stream.Wire.FramesSent, stream.Wire.FramesRecv)
+			}
+		})
+	}
+}
