@@ -1,6 +1,6 @@
 // Command kmbench regenerates the paper-reproduction tables recorded in
 // EXPERIMENTS.md: one table per experiment in DESIGN.md's index
-// (F1, E1–E22), each exercising a claim of "On the Distributed
+// (F1, E1–E23), each exercising a claim of "On the Distributed
 // Complexity of Large-Scale Graph Computations" (SPAA 2018).
 //
 // Usage:

@@ -1,10 +1,12 @@
 // Golden determinism tests: a run is a pure function of (machines,
 // Config), so Stats and outputs at a fixed seed must be bit-identical
-// across engine rewrites. The constants below were recorded from the
-// pre-persistent-worker engine (PR 1); the rebuilt engine (persistent
-// workers, sparse link accounting, recycled transport buffers) must
-// reproduce every one of them exactly — this is the regression fence
-// for "strict behavioral equivalence" across perf work.
+// across engine rewrites — this is the regression fence for "strict
+// behavioral equivalence" across perf work. The constants below were
+// re-recorded when gen.Gnp moved to its per-row canonical form
+// (row-seeded geometric skipping, the definition shard generation
+// replays): the generated graph at a given seed legitimately changed
+// then, and the sharded/full equivalence suite extends the fence across
+// input paths. The graph-free dsort goldens still date to PR 1.
 package kmachine_test
 
 import (
@@ -53,20 +55,20 @@ func TestGoldenPageRank(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkStats(t, res.Stats, 107, 13603, 27206, 3666, 24)
+	checkStats(t, res.Stats, 102, 13310, 26620, 3576, 24)
 	est := make([]uint64, len(res.Estimate))
 	for i, x := range res.Estimate {
 		est[i] = math.Float64bits(x)
 	}
-	if h := hashU64s(t, est); h != 0x5e6b23a01fad7808 {
-		t.Errorf("Estimate hash = %#x, want 0x5e6b23a01fad7808", h)
+	if h := hashU64s(t, est); h != 0xa7dda344efb07938 {
+		t.Errorf("Estimate hash = %#x, want 0xa7dda344efb07938", h)
 	}
 	psi := make([]uint64, len(res.Psi))
 	for i, x := range res.Psi {
 		psi[i] = uint64(x)
 	}
-	if h := hashU64s(t, psi); h != 0xc3af0f89763e7395 {
-		t.Errorf("Psi hash = %#x, want 0xc3af0f89763e7395", h)
+	if h := hashU64s(t, psi); h != 0x1b274d89ccff875b {
+		t.Errorf("Psi hash = %#x, want 0x1b274d89ccff875b", h)
 	}
 }
 
@@ -96,9 +98,9 @@ func TestGoldenTriangle(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkStats(t, res.Stats, 88, 12092, 24184, 3672, 3)
-	if res.Count != 18591 {
-		t.Errorf("Count = %d, want 18591", res.Count)
+	checkStats(t, res.Stats, 90, 12280, 24560, 3734, 3)
+	if res.Count != 19148 {
+		t.Errorf("Count = %d, want 19148", res.Count)
 	}
 }
 
@@ -109,16 +111,16 @@ func TestGoldenConnComp(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkStats(t, res.Stats, 103, 14350, 28308, 3801, 21)
+	checkStats(t, res.Stats, 85, 12055, 23774, 3238, 18)
 	lbl := make([]uint64, len(res.Label))
 	for i, l := range res.Label {
 		lbl[i] = uint64(int64(l))
 	}
-	if h := hashU64s(t, lbl); h != 0xebcb72bede0a8c30 {
-		t.Errorf("Label hash = %#x, want 0xebcb72bede0a8c30", h)
+	if h := hashU64s(t, lbl); h != 0x8ba2e1fc22a9b1d4 {
+		t.Errorf("Label hash = %#x, want 0x8ba2e1fc22a9b1d4", h)
 	}
-	if res.Components != 10 {
-		t.Errorf("Components = %d, want 10", res.Components)
+	if res.Components != 7 {
+		t.Errorf("Components = %d, want 7", res.Components)
 	}
 }
 
@@ -133,7 +135,7 @@ func TestGoldenDropPerSuperstep(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	checkStats(t, res.Stats, 107, 13603, 27206, 3666, 24)
+	checkStats(t, res.Stats, 102, 13310, 26620, 3576, 24)
 	if res.Stats.PerSuperstep != nil {
 		t.Errorf("DropPerSuperstep run retained %d per-superstep stats", len(res.Stats.PerSuperstep))
 	}

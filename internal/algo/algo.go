@@ -62,8 +62,10 @@ type Algorithm[M, L, O any] struct {
 	Codec wire.Codec[M]
 	// NewMachine builds machine view.Self()'s state. Every substrate
 	// calls it the same way, so a machine's behaviour cannot depend on
-	// where it runs.
-	NewMachine func(view *partition.View) (Machine[M, L], error)
+	// where it runs — nor on whether the view is a window onto a
+	// materialised graph (partition.GraphView) or a partition-local CSR
+	// shard (partition.LocalView).
+	NewMachine func(view partition.View) (Machine[M, L], error)
 	// Merge folds the k machine-local outputs (in machine-ID order)
 	// into the cluster-wide output.
 	Merge func(locals []L) O
@@ -71,22 +73,28 @@ type Algorithm[M, L, O any] struct {
 
 // Run executes the algorithm over the partitioned input on an
 // in-process cluster, resolving cfg.Transport with the descriptor's
-// codec. It returns the merged output and the measured Stats.
-func Run[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, cfg core.Config) (O, *core.Stats, error) {
-	out, stats, _, err := RunWire(a, p, cfg)
+// codec. It returns the merged output and the measured Stats. The input
+// may be a materialised *partition.VertexPartition or a
+// *partition.ShardedInput whose per-machine CSRs are built on demand.
+func Run[M, L, O any](a Algorithm[M, L, O], in partition.Input, cfg core.Config) (O, *core.Stats, error) {
+	out, stats, _, err := RunWire(a, in, cfg)
 	return out, stats, err
 }
 
 // RunWire is Run additionally reporting the substrate's physical
 // bytes-on-wire (zero for the loopback): the paper-level Stats describe
 // the model's words, the WireStats what the sockets actually carried.
-func RunWire[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, cfg core.Config) (O, *core.Stats, transport.WireStats, error) {
+func RunWire[M, L, O any](a Algorithm[M, L, O], in partition.Input, cfg core.Config) (O, *core.Stats, transport.WireStats, error) {
 	var zero O
-	if cfg.K != p.K {
-		return zero, nil, transport.WireStats{}, fmt.Errorf("%s: cluster k=%d but partition k=%d", a.Name, cfg.K, p.K)
+	if cfg.K != in.NumMachines() {
+		return zero, nil, transport.WireStats{}, fmt.Errorf("%s: cluster k=%d but partition k=%d", a.Name, cfg.K, in.NumMachines())
 	}
 	return ExecWire(cfg, a.Codec, func(id core.MachineID) (Machine[M, L], error) {
-		return a.NewMachine(p.View(id))
+		v, err := in.MachineView(id)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		return a.NewMachine(v)
 	}, a.Merge)
 }
 
@@ -127,13 +135,17 @@ func ExecWire[M, L, O any](cfg core.Config, codec wire.Codec[M], build func(core
 // per-machine Config template of node.RunLocal (ID/addresses ignored);
 // its K must match the partition's, and its Context/SuperstepTimeout
 // knobs bound the run exactly as they do standalone.
-func NodeRunLocal[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, ncfg node.Config) (O, *core.Stats, error) {
+func NodeRunLocal[M, L, O any](a Algorithm[M, L, O], in partition.Input, ncfg node.Config) (O, *core.Stats, error) {
 	var zero O
-	if ncfg.K != p.K {
-		return zero, nil, fmt.Errorf("%s: node cluster k=%d but partition k=%d", a.Name, ncfg.K, p.K)
+	if ncfg.K != in.NumMachines() {
+		return zero, nil, fmt.Errorf("%s: node cluster k=%d but partition k=%d", a.Name, ncfg.K, in.NumMachines())
 	}
-	machines, err := buildMachines(p.K, func(id core.MachineID) (Machine[M, L], error) {
-		return a.NewMachine(p.View(id))
+	machines, err := buildMachines(in.NumMachines(), func(id core.MachineID) (Machine[M, L], error) {
+		v, err := in.MachineView(id)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		return a.NewMachine(v)
 	})
 	if err != nil {
 		return zero, nil, err
@@ -151,10 +163,16 @@ func NodeRunLocal[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartitio
 // process (cmd/kmnode -id); the peers live in other processes and are
 // reached through ncfg. It returns the machine-local output — every
 // process of the run reconstructs the same partition from the shared
-// seed, and the union of the k local outputs is the Run output.
-func NodeRun[M, L, O any](a Algorithm[M, L, O], p *partition.VertexPartition, ncfg node.Config) (L, *core.Stats, error) {
+// seed, and the union of the k local outputs is the Run output. With a
+// sharded input this is where the O((n+m)/k) per-process setup win
+// lands: MachineView builds only this machine's rows.
+func NodeRun[M, L, O any](a Algorithm[M, L, O], in partition.Input, ncfg node.Config) (L, *core.Stats, error) {
 	var zero L
-	m, err := a.NewMachine(p.View(core.MachineID(ncfg.ID)))
+	v, err := in.MachineView(core.MachineID(ncfg.ID))
+	if err != nil {
+		return zero, nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	m, err := a.NewMachine(v)
 	if err != nil {
 		return zero, nil, err
 	}

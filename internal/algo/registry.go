@@ -59,6 +59,20 @@ type Problem struct {
 	// scheduling knob — Stats, outputs, and hashes are bit-identical
 	// with it on or off. Default off.
 	Streaming bool
+	// Sharded opts setup into partition-local input construction
+	// (kmnode -sharded): each machine's View is a per-machine CSR shard
+	// built from the generator's canonical per-row stream (or ingested
+	// from InputPath), and no process materialises a global
+	// *graph.Graph — per-process setup memory is O((n+m)/k) instead of
+	// O(n+m). Stats, outputs, and hashes are bit-identical with it on or
+	// off; only setup cost changes. Default off.
+	Sharded bool
+	// InputPath, when non-empty, reads the graph from an edge-list file
+	// (gen.ScanEdgeList format, kmnode -input) instead of generating
+	// G(N, EdgeP); N still declares the vertex-ID space and Seed still
+	// drives the partition and machine streams. With Sharded set the
+	// file is streamed straight into this machine's CSR shard.
+	InputPath string
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -104,6 +118,14 @@ type Outcome struct {
 	Hash uint64
 	// Summary holds human-readable result lines (kmnode prints them).
 	Summary []string
+	// SetupTime is input-construction wall-clock: Spec.Build (generation
+	// or full-graph ingest) plus every MachineView call (which is where
+	// shard generation/ingest happens for sharded inputs).
+	SetupTime time.Duration
+	// ExecTime is the remaining driver wall-clock: machine construction,
+	// supersteps, and output merge. Splitting it from SetupTime keeps
+	// O(n+m) build cost out of transport comparisons.
+	ExecTime time.Duration
 }
 
 // Spec binds an Algorithm descriptor to the standard Problem instance,
@@ -113,10 +135,13 @@ type Spec[M, L, O any] struct {
 	Name string
 	// Doc is a one-line description for listings.
 	Doc string
-	// Build derives the descriptor and its input partition from the
-	// problem. It must be deterministic in prob: every process of a
-	// distributed run calls it with identical arguments.
-	Build func(prob Problem) (Algorithm[M, L, O], *partition.VertexPartition, error)
+	// Build derives the descriptor and its partitioned input from the
+	// problem — a materialised *partition.VertexPartition, or a
+	// *partition.ShardedInput when prob.Sharded is set (the GnpInput /
+	// EdgelessInput helpers resolve the choice). It must be
+	// deterministic in prob: every process of a distributed run calls it
+	// with identical arguments.
+	Build func(prob Problem) (Algorithm[M, L, O], partition.Input, error)
 	// Hash canonically hashes the merged output (order-independent of
 	// machine layout, dependent on every output bit).
 	Hash func(o O) uint64
@@ -177,40 +202,57 @@ func Register[M, L, O any](s Spec[M, L, O]) {
 		Doc:  s.Doc,
 		run: func(prob Problem, kind transport.Kind) (*Outcome, error) {
 			prob = prob.withDefaults()
-			a, p, err := s.Build(prob)
+			t0 := time.Now()
+			a, in, err := s.Build(prob)
 			if err != nil {
 				return nil, err
 			}
-			out, stats, w, err := RunWire(a, p, prob.coreConfig(kind))
+			buildD := time.Since(t0)
+			ti := &timedInput{in: in}
+			t1 := time.Now()
+			out, stats, w, err := RunWire(a, ti, prob.coreConfig(kind))
 			if err != nil {
 				return nil, err
 			}
+			total := time.Since(t1)
 			o := s.outcome(out, stats, prob)
 			o.Wire = w
+			o.SetupTime = buildD + ti.viewTime
+			o.ExecTime = total - ti.viewTime
 			return o, nil
 		},
 		runNodeLocal: func(prob Problem) (*Outcome, error) {
 			prob = prob.withDefaults()
-			a, p, err := s.Build(prob)
+			t0 := time.Now()
+			a, in, err := s.Build(prob)
 			if err != nil {
 				return nil, err
 			}
-			ncfg := node.Config{K: p.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
+			buildD := time.Since(t0)
+			ncfg := node.Config{K: in.NumMachines(), Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
 				SuperstepTimeout: prob.SuperstepTimeout, Recorder: prob.Recorder,
 				Streaming: prob.Streaming}
-			out, stats, err := NodeRunLocal(a, p, ncfg)
+			ti := &timedInput{in: in}
+			t1 := time.Now()
+			out, stats, err := NodeRunLocal(a, ti, ncfg)
 			if err != nil {
 				return nil, err
 			}
-			return s.outcome(out, stats, prob), nil
+			total := time.Since(t1)
+			o := s.outcome(out, stats, prob)
+			o.SetupTime = buildD + ti.viewTime
+			o.ExecTime = total - ti.viewTime
+			return o, nil
 		},
 		runStandalone: func(prob Problem, ncfg node.Config) (*Outcome, error) {
 			prob = prob.withDefaults()
-			a, p, err := s.Build(prob)
+			t0 := time.Now()
+			a, in, err := s.Build(prob)
 			if err != nil {
 				return nil, err
 			}
-			ncfg.K = p.K
+			buildD := time.Since(t0)
+			ncfg.K = in.NumMachines()
 			ncfg.Bandwidth = prob.Bandwidth
 			ncfg.Seed = prob.Seed + 2
 			if ncfg.SuperstepTimeout == 0 {
@@ -222,11 +264,15 @@ func Register[M, L, O any](s Spec[M, L, O]) {
 			if prob.Streaming {
 				ncfg.Streaming = true
 			}
-			local, stats, err := NodeRun(a, p, ncfg)
+			ti := &timedInput{in: in}
+			t1 := time.Now()
+			local, stats, err := NodeRun(a, ti, ncfg)
 			if err != nil {
 				return nil, err
 			}
-			o := &Outcome{Algo: s.Name, Stats: stats}
+			total := time.Since(t1)
+			o := &Outcome{Algo: s.Name, Stats: stats,
+				SetupTime: buildD + ti.viewTime, ExecTime: total - ti.viewTime}
 			if s.SummarizeLocal != nil {
 				o.Summary = s.SummarizeLocal(local, prob.Top)
 			}

@@ -56,7 +56,7 @@ func echoDescriptor() Algorithm[echoMsg, int64, int64] {
 	return Algorithm[echoMsg, int64, int64]{
 		Name:  "echo",
 		Codec: echoCodec{},
-		NewMachine: func(view *partition.View) (Machine[echoMsg, int64], error) {
+		NewMachine: func(view partition.View) (Machine[echoMsg, int64], error) {
 			return &echoMachine{self: view.Self()}, nil
 		},
 		Merge: func(locals []int64) int64 {
@@ -73,7 +73,7 @@ func init() {
 	Register(Spec[echoMsg, int64, int64]{
 		Name: "echo",
 		Doc:  "test-only ring echo",
-		Build: func(prob Problem) (Algorithm[echoMsg, int64, int64], *partition.VertexPartition, error) {
+		Build: func(prob Problem) (Algorithm[echoMsg, int64, int64], partition.Input, error) {
 			g := graph.NewBuilder(prob.N, false).Build()
 			return echoDescriptor(), partition.NewRVP(g, prob.K, prob.Seed+1), nil
 		},
@@ -154,7 +154,7 @@ func TestRegisterRejectsDuplicates(t *testing.T) {
 	}()
 	Register(Spec[echoMsg, int64, int64]{
 		Name: "echo",
-		Build: func(Problem) (Algorithm[echoMsg, int64, int64], *partition.VertexPartition, error) {
+		Build: func(Problem) (Algorithm[echoMsg, int64, int64], partition.Input, error) {
 			return echoDescriptor(), nil, nil
 		},
 		Hash: func(int64) uint64 { return 0 },

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"kmachine/internal/algo"
-	"kmachine/internal/gen"
 	"kmachine/internal/partition"
 )
 
@@ -29,7 +28,7 @@ func Descriptor(n int) algo.Algorithm[Wire, Local, *Result] {
 	return algo.Algorithm[Wire, Local, *Result]{
 		Name:  "conncomp",
 		Codec: WireCodec(),
-		NewMachine: func(view *partition.View) (algo.Machine[Wire, Local], error) {
+		NewMachine: func(view partition.View) (algo.Machine[Wire, Local], error) {
 			return newCCMachine(view), nil
 		},
 		Merge: func(locals []Local) *Result {
@@ -54,10 +53,12 @@ func init() {
 	algo.Register(algo.Spec[Wire, Local, *Result]{
 		Name: "conncomp",
 		Doc:  "connected components by min-label propagation (§1.3 cookbook, Ω̃(n/k²) via GLBT)",
-		Build: func(prob algo.Problem) (algo.Algorithm[Wire, Local, *Result], *partition.VertexPartition, error) {
-			g := gen.Gnp(prob.N, prob.EdgeP, prob.Seed)
-			p := partition.NewRVP(g, prob.K, prob.Seed+1)
-			return Descriptor(prob.N), p, nil
+		Build: func(prob algo.Problem) (algo.Algorithm[Wire, Local, *Result], partition.Input, error) {
+			in, err := algo.GnpInput(prob)
+			if err != nil {
+				return algo.Algorithm[Wire, Local, *Result]{}, nil, err
+			}
+			return Descriptor(prob.N), in, nil
 		},
 		Hash: func(r *Result) uint64 {
 			h := algo.NewHash64()

@@ -42,7 +42,7 @@ type cmsg struct {
 type wire = routing.Hop[cmsg]
 
 type ccMachine struct {
-	view *partition.View
+	view partition.View
 
 	label  map[int32]int32
 	parent map[int32]int32 // local union-find over local-local edges
@@ -57,7 +57,7 @@ type ccMachine struct {
 	outBuf   []core.Envelope[wire]
 }
 
-func newCCMachine(view *partition.View) *ccMachine {
+func newCCMachine(view partition.View) *ccMachine {
 	m := &ccMachine{
 		view:   view,
 		label:  make(map[int32]int32),

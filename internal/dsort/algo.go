@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"kmachine/internal/algo"
-	"kmachine/internal/graph"
 	"kmachine/internal/partition"
 )
 
@@ -37,7 +36,7 @@ func Descriptor(in *Input, samplesPerMachine int) (algo.Algorithm[Wire, Local, *
 	return algo.Algorithm[Wire, Local, *Result]{
 		Name:  "dsort",
 		Codec: WireCodec(),
-		NewMachine: func(view *partition.View) (algo.Machine[Wire, Local], error) {
+		NewMachine: func(view partition.View) (algo.Machine[Wire, Local], error) {
 			if view.K() != k {
 				return nil, fmt.Errorf("dsort: cluster k=%d but input has %d machines", view.K(), k)
 			}
@@ -51,7 +50,7 @@ func init() {
 	algo.Register(algo.Spec[Wire, Local, *Result]{
 		Name: "dsort",
 		Doc:  "distributed sample sort of n random keys (§1.3, Õ(n/k²) matching the GLBT)",
-		Build: func(prob algo.Problem) (algo.Algorithm[Wire, Local, *Result], *partition.VertexPartition, error) {
+		Build: func(prob algo.Problem) (algo.Algorithm[Wire, Local, *Result], partition.Input, error) {
 			// The sort input is prob.N keys dealt uniformly from the
 			// seed; the partition exists only to satisfy the driver's
 			// view plumbing, so it covers an edgeless graph.
@@ -60,8 +59,7 @@ func init() {
 			if err != nil {
 				return a, nil, err
 			}
-			g := graph.NewBuilder(prob.N, false).Build()
-			return a, partition.NewRVP(g, prob.K, prob.Seed+1), nil
+			return a, algo.EdgelessInput(prob), nil
 		},
 		Hash: func(r *Result) uint64 {
 			h := algo.NewHash64()

@@ -34,7 +34,7 @@ func E21PhaseTimings(cfg Config) (Table, error) {
 		ID:     "E21",
 		Title:  "phase timings: compute / barrier / exchange share of wall-clock, loopback vs TCP",
 		Claim:  "§1.1 cost model: rounds price communication only — the exchange phase is where the substrate's cost lives",
-		Header: []string{"algo", "substrate", "supersteps", "wall", "compute", "barrier", "exchange", "exch share", "exch p50/max", "coverage"},
+		Header: []string{"algo", "substrate", "supersteps", "setup", "wall", "compute", "barrier", "exchange", "exch share", "exch p50/max", "coverage"},
 	}
 	type job struct {
 		name string
@@ -61,7 +61,8 @@ func E21PhaseTimings(cfg Config) (Table, error) {
 		for _, sub := range substrates {
 			tr := obs.NewTrace(0, k)
 			prob := algo.Problem{N: j.n, K: k, Seed: cfg.Seed + 433, Recorder: tr, Streaming: cfg.Streaming}
-			if _, err := entry.Run(prob, sub.kind); err != nil {
+			out, err := entry.Run(prob, sub.kind)
+			if err != nil {
 				return t, fmt.Errorf("%s/%s: %w", j.name, sub.label, err)
 			}
 			spans := tr.Spans()
@@ -74,7 +75,7 @@ func E21PhaseTimings(cfg Config) (Table, error) {
 				exchShare = float64(sum.Exchange.TotalNs) / float64(sum.Compute.TotalNs+sum.Barrier.TotalNs+sum.Exchange.TotalNs)
 			}
 			t.Rows = append(t.Rows, []string{
-				j.name, sub.label, itoa(sum.Supersteps),
+				j.name, sub.label, itoa(sum.Supersteps), ms(int64(out.SetupTime)),
 				ms(sum.WallNs), ms(sum.Compute.TotalNs), ms(sum.Barrier.TotalNs), ms(sum.Exchange.TotalNs),
 				fmt.Sprintf("%.1f%%", 100*exchShare),
 				ms(sum.Exchange.P50Ns) + "/" + ms(sum.Exchange.MaxNs),
@@ -95,6 +96,7 @@ func E21PhaseTimings(cfg Config) (Table, error) {
 		}
 	}
 	t.Notes = append(t.Notes,
+		"setup is the input build (generation + view construction), reported by the registry's SetupTime/ExecTime split — the O(n+m) build cost never enters the phase columns",
 		"compute/barrier/exchange are per-phase totals across all machines and supersteps; wall is the trace's extent",
 		"on loopback the exchange is a pointer swap and compute dominates; over TCP the exchange share grows toward the communication-bound regime the round model prices")
 	return t, nil

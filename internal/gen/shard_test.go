@@ -1,0 +1,206 @@
+package gen
+
+import (
+	"slices"
+	"testing"
+
+	"kmachine/internal/core"
+	"kmachine/internal/graph"
+	"kmachine/internal/partition"
+	"kmachine/internal/rng"
+)
+
+// shardFamily pairs a generator's full constructor with its shard
+// constructor so the equivalence property below can sweep every family.
+type shardFamily struct {
+	name     string
+	directed bool
+	full     func(n int, seed uint64) *graph.Graph
+	shard    func(ps partition.Spec, seed uint64, m core.MachineID) *partition.LocalView
+}
+
+func shardFamilies() []shardFamily {
+	return []shardFamily{
+		{"gnp", false,
+			func(n int, seed uint64) *graph.Graph { return Gnp(n, 0.06, seed) },
+			func(ps partition.Spec, seed uint64, m core.MachineID) *partition.LocalView {
+				return GnpShard(ps, 0.06, seed, m)
+			}},
+		{"directed-gnp", true,
+			func(n int, seed uint64) *graph.Graph { return DirectedGnp(n, 0.04, seed) },
+			func(ps partition.Spec, seed uint64, m core.MachineID) *partition.LocalView {
+				return DirectedGnpShard(ps, 0.04, seed, m)
+			}},
+		{"gnm", false,
+			func(n int, seed uint64) *graph.Graph { return Gnm(n, 3*n, seed) },
+			func(ps partition.Spec, seed uint64, m core.MachineID) *partition.LocalView {
+				return GnmShard(ps, 3*ps.N, seed, m)
+			}},
+		{"star", false,
+			func(n int, seed uint64) *graph.Graph { return Star(n) },
+			func(ps partition.Spec, seed uint64, m core.MachineID) *partition.LocalView {
+				return StarShard(ps, m)
+			}},
+		{"path", false,
+			func(n int, seed uint64) *graph.Graph { return Path(n) },
+			func(ps partition.Spec, seed uint64, m core.MachineID) *partition.LocalView {
+				return PathShard(ps, m)
+			}},
+		{"cycle", false,
+			func(n int, seed uint64) *graph.Graph { return Cycle(n) },
+			func(ps partition.Spec, seed uint64, m core.MachineID) *partition.LocalView {
+				return CycleShard(ps, m)
+			}},
+		{"pref-attach", false,
+			func(n int, seed uint64) *graph.Graph { return PreferentialAttachment(n, 3, seed) },
+			func(ps partition.Spec, seed uint64, m core.MachineID) *partition.LocalView {
+				return PreferentialAttachmentShard(ps, 3, seed, m)
+			}},
+	}
+}
+
+// TestShardFullEquivalence is the tentpole property: for every
+// generator family, the union of the k machine-local shards is
+// bit-identical to the full materialisation — row for row, neighbour
+// for neighbour — across machine counts and seeds. This is what makes
+// the per-row stream the canonical definition rather than a parallel
+// implementation that could drift.
+func TestShardFullEquivalence(t *testing.T) {
+	const n = 150
+	for _, fam := range shardFamilies() {
+		for _, k := range []int{1, 2, 8} {
+			for _, seed := range []uint64{1, 42} {
+				full := fam.full(n, seed)
+				ps := partition.Spec{N: n, K: k, Seed: seed + 1}
+				covered := 0
+				for m := 0; m < k; m++ {
+					lv := fam.shard(ps, seed, core.MachineID(m))
+					if lv.Self() != core.MachineID(m) || lv.K() != k || lv.N() != n {
+						t.Fatalf("%s k=%d seed=%d: shard %d identity (self=%d k=%d n=%d)",
+							fam.name, k, seed, m, lv.Self(), lv.K(), lv.N())
+					}
+					for _, u := range lv.Locals() {
+						if got, want := lv.OutAdj(u), full.Adj(int(u)); !slices.Equal(got, want) {
+							t.Fatalf("%s k=%d seed=%d machine %d: OutAdj(%d) = %v, full graph has %v",
+								fam.name, k, seed, m, u, got, want)
+						}
+						if got, want := lv.InAdj(u), full.InAdj(int(u)); !slices.Equal(got, want) {
+							t.Fatalf("%s k=%d seed=%d machine %d: InAdj(%d) = %v, full graph has %v",
+								fam.name, k, seed, m, u, got, want)
+						}
+						if lv.Degree(u) != full.Degree(int(u)) {
+							t.Fatalf("%s k=%d seed=%d machine %d: Degree(%d) = %d, want %d",
+								fam.name, k, seed, m, u, lv.Degree(u), full.Degree(int(u)))
+						}
+					}
+					covered += len(lv.Locals())
+				}
+				if covered != n {
+					t.Fatalf("%s k=%d seed=%d: shards cover %d vertices, want %d", fam.name, k, seed, covered, n)
+				}
+			}
+		}
+	}
+}
+
+// TestGnpRowIsPureFunctionOfSeedAndRow pins the per-row formulation
+// itself: a row's neighbours must not depend on which other rows were
+// generated around it.
+func TestGnpRowIsPureFunctionOfSeedAndRow(t *testing.T) {
+	const n, p, seed = 100, 0.1, 7
+	var a, b []int32
+	gnpRow(n, p, seed, 40, func(v int32) { a = append(a, v) })
+	for u := int32(0); u < int32(n)-1; u++ {
+		u := u
+		gnpRow(n, p, seed, u, func(v int32) {
+			if u == 40 {
+				b = append(b, v)
+			}
+		})
+	}
+	if !slices.Equal(a, b) {
+		t.Fatalf("row 40 alone = %v, row 40 within full sweep = %v", a, b)
+	}
+}
+
+// TestPreferentialAttachmentRunTwice is the regression for the map
+// iteration order bug: two generations at one seed must agree edge for
+// edge (the old code appended each vertex's chosen endpoints in Go map
+// order, perturbing every later degree-proportional draw).
+func TestPreferentialAttachmentRunTwice(t *testing.T) {
+	for run := 0; run < 3; run++ {
+		g1 := PreferentialAttachment(500, 3, 11)
+		g2 := PreferentialAttachment(500, 3, 11)
+		e1, e2 := g1.EdgeList(), g2.EdgeList()
+		if !slices.Equal(flattenPairs(e1), flattenPairs(e2)) {
+			t.Fatalf("run %d: PreferentialAttachment(500,3,11) differed between two generations", run)
+		}
+	}
+}
+
+func flattenPairs(es [][2]int32) []int32 {
+	out := make([]int32, 0, 2*len(es))
+	for _, e := range es {
+		out = append(out, e[0], e[1])
+	}
+	return out
+}
+
+// TestGnmMatchesDrawOrderReference checks the alloc-light dedupe against
+// a straightforward map-based reference of the canonical definition:
+// the first m distinct pairs of the seed's candidate sequence.
+func TestGnmMatchesDrawOrderReference(t *testing.T) {
+	const n, m, seed = 80, 600, 5
+	want := make([][2]int32, 0, m)
+	seen := map[[2]int32]bool{}
+	r := rng.New(seed)
+	for len(want) < m {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		pair := [2]int32{u, v}
+		if seen[pair] {
+			continue
+		}
+		seen[pair] = true
+		want = append(want, pair)
+	}
+	got := make([][2]int32, 0, m)
+	gnmStream(n, m, seed, func(u, v int32) { got = append(got, [2]int32{u, v}) })
+	if !slices.Equal(flattenPairs(got), flattenPairs(want)) {
+		t.Fatalf("gnmStream disagrees with the map-based reference (got %d pairs, want %d)", len(got), len(want))
+	}
+}
+
+func TestGnmNearCompleteGraph(t *testing.T) {
+	// Coupon-collector regime: m close to C(n,2) forces many top-up
+	// rounds.
+	const n = 24
+	maxM := n * (n - 1) / 2
+	g := Gnm(n, maxM-1, 3)
+	if g.M() != maxM-1 {
+		t.Fatalf("Gnm(%d, %d) produced %d edges", n, maxM-1, g.M())
+	}
+}
+
+func BenchmarkGnm(b *testing.B) {
+	const n = 20000
+	const m = 100000
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = Gnm(n, m, uint64(i)+1)
+	}
+}
+
+func BenchmarkGnpShard(b *testing.B) {
+	ps := partition.Spec{N: 20000, K: 8, Seed: 2}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = GnpShard(ps, 10.0/20000, 1, 0)
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"sort"
 
 	"kmachine/internal/algo"
-	"kmachine/internal/gen"
 	"kmachine/internal/partition"
 )
 
@@ -52,7 +51,7 @@ func Descriptor(n int, opts Options) algo.Algorithm[Wire, Local, *Result] {
 	return algo.Algorithm[Wire, Local, *Result]{
 		Name:  "pagerank",
 		Codec: WireCodec(),
-		NewMachine: func(view *partition.View) (algo.Machine[Wire, Local], error) {
+		NewMachine: func(view partition.View) (algo.Machine[Wire, Local], error) {
 			return NewNodeMachine(view, opts)
 		},
 		Merge: func(locals []Local) *Result {
@@ -79,10 +78,12 @@ func init() {
 	algo.Register(algo.Spec[Wire, Local, *Result]{
 		Name: "pagerank",
 		Doc:  "Monte-Carlo PageRank, the paper's Algorithm 1 (Õ(n/k²) rounds, Thm 4)",
-		Build: func(prob algo.Problem) (algo.Algorithm[Wire, Local, *Result], *partition.VertexPartition, error) {
-			g := gen.Gnp(prob.N, prob.EdgeP, prob.Seed)
-			p := partition.NewRVP(g, prob.K, prob.Seed+1)
-			return Descriptor(prob.N, AlgorithmOne(prob.Eps)), p, nil
+		Build: func(prob algo.Problem) (algo.Algorithm[Wire, Local, *Result], partition.Input, error) {
+			in, err := algo.GnpInput(prob)
+			if err != nil {
+				return algo.Algorithm[Wire, Local, *Result]{}, nil, err
+			}
+			return Descriptor(prob.N, AlgorithmOne(prob.Eps)), in, nil
 		},
 		Hash: func(r *Result) uint64 {
 			h := algo.NewHash64()

@@ -23,7 +23,7 @@ type NodeMachine struct {
 // NewNodeMachine builds machine view.Self()'s state. opts.Eps must be
 // set; Tokens/Iterations defaults are applied here, so every node of a
 // run resolves to identical options as long as the inputs agree.
-func NewNodeMachine(view *partition.View, opts Options) (*NodeMachine, error) {
+func NewNodeMachine(view partition.View, opts Options) (*NodeMachine, error) {
 	if opts.Eps <= 0 || opts.Eps >= 1 {
 		return nil, fmt.Errorf("pagerank: eps=%v out of (0,1)", opts.Eps)
 	}

@@ -117,7 +117,7 @@ const (
 const msgWords = 2 // vertex ID + count, each one Θ(log n)-bit word
 
 type machine struct {
-	view *partition.View
+	view partition.View
 	opts Options
 
 	// tokens/psi are dense over the global vertex space (nonzero only at
@@ -157,7 +157,7 @@ type machine struct {
 	iter int
 }
 
-func newMachine(view *partition.View, opts Options) *machine {
+func newMachine(view partition.View, opts Options) *machine {
 	n := view.N()
 	m := &machine{
 		view:      view,

@@ -1,11 +1,11 @@
-package partition
+package partition_test
 
 import (
-	"strings"
 	"testing"
 
 	"kmachine/internal/core"
 	"kmachine/internal/gen"
+	. "kmachine/internal/partition"
 )
 
 func TestIdentityPartition(t *testing.T) {
@@ -71,29 +71,12 @@ func TestREPPanicsOnSmallK(t *testing.T) {
 	NewREP(gen.Path(10), 1, 1)
 }
 
-func TestBalanceEmptyGraph(t *testing.T) {
-	g := gen.Path(0)
-	// A zero-vertex graph has all-empty machines; Balance reports 0/0.
-	p := &VertexPartition{G: g, K: 3, locals: make([][]int32, 3), home: nil}
-	min, max := p.Balance()
-	if min != 0 || max != 0 {
-		t.Errorf("empty balance [%d,%d], want [0,0]", min, max)
-	}
-}
-
 func TestREPBalanceEmpty(t *testing.T) {
 	g := gen.Path(5) // 4 edges
 	p := NewREP(g, 4, 3)
 	min, max := p.Balance()
 	if min < 0 || max > 4 || min > max {
 		t.Errorf("REP balance [%d,%d] inconsistent for 4 edges", min, max)
-	}
-}
-
-func TestConversionErrorMessage(t *testing.T) {
-	err := errEdgeMissing(2, 5, 7)
-	if !strings.Contains(err.Error(), "without a local edge") {
-		t.Errorf("unexpected error text %q", err.Error())
 	}
 }
 

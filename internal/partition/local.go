@@ -1,0 +1,287 @@
+// Partition-local input: the machinery that lets one process hold only
+// its machine's Õ((n+m)/k) share of the graph, which is the k-machine
+// model's own input assumption (§1.1: "the input is already partitioned
+// when the computation starts"; likewise Klauck et al.'s input
+// distribution). A Spec describes the RVP without materialising anything
+// — homes are a pure hash — and a LocalBuilder accumulates exactly the
+// adjacency rows of one machine's vertices into a LocalView, a CSR with
+// no *graph.Graph behind it.
+
+package partition
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"kmachine/internal/core"
+)
+
+// Spec is an unmaterialised random vertex partition: n vertices hashed
+// onto k machines with the given seed. It carries no per-vertex state —
+// every quantity below is derived from the hash — so any process can
+// hold a Spec for any n.
+type Spec struct {
+	// N is the global vertex count.
+	N int
+	// K is the number of machines.
+	K int
+	// Seed drives the Home hash (the registry convention seeds it at
+	// problem seed + 1, exactly like NewRVP).
+	Seed uint64
+}
+
+// HomeOf returns the home machine of v: the same pure hash NewRVP
+// materialises, so a Spec and a NewRVP with equal (k, seed) agree on
+// every vertex.
+func (s Spec) HomeOf(v int32) core.MachineID { return Home(s.Seed, v, s.K) }
+
+// Locals returns machine m's vertices in increasing ID order. This is
+// the one O(n)-time pass sharded setup cannot avoid under a hashed RVP
+// (local IDs are only enumerable by evaluating the hash), but it
+// allocates just the O(n/k) result.
+func (s Spec) Locals(m core.MachineID) []int32 {
+	out := make([]int32, 0, s.N/s.K+1)
+	for v := 0; v < s.N; v++ {
+		if Home(s.Seed, int32(v), s.K) == m {
+			out = append(out, int32(v))
+		}
+	}
+	return out
+}
+
+// LocalBuilder accumulates machine m's shard of a graph: exactly the
+// arcs incident to m's vertices, fed either by replaying a generator's
+// canonical edge stream (AddEdge/AddArc filter by Home) or by emitting
+// the machine's rows directly. Build produces an immutable LocalView.
+type LocalBuilder struct {
+	spec     Spec
+	self     core.MachineID
+	directed bool
+	locals   []int32
+	index    map[int32]int32 // global vertex ID -> local row
+	out      [][2]int32      // (local tail, head) arcs
+	in       [][2]int32      // (local head, tail) arcs, directed only
+}
+
+// NewLocalBuilder returns a builder for machine m's shard under the
+// given partition spec.
+func NewLocalBuilder(spec Spec, m core.MachineID, directed bool) *LocalBuilder {
+	if spec.N < 0 || spec.K < 1 {
+		panic(fmt.Sprintf("partition: bad shard spec n=%d k=%d", spec.N, spec.K))
+	}
+	if int(m) < 0 || int(m) >= spec.K {
+		panic(fmt.Sprintf("partition: shard machine %d out of [0,%d)", m, spec.K))
+	}
+	locals := spec.Locals(m)
+	index := make(map[int32]int32, len(locals))
+	for i, v := range locals {
+		index[v] = int32(i)
+	}
+	return &LocalBuilder{spec: spec, self: m, directed: directed, locals: locals, index: index}
+}
+
+// Locals returns the builder's local vertices (increasing ID order); it
+// lets row-direct generators iterate exactly the rows they must emit.
+func (b *LocalBuilder) Locals() []int32 { return b.locals }
+
+// IsLocal reports whether v is homed on the builder's machine.
+func (b *LocalBuilder) IsLocal(v int32) bool {
+	_, ok := b.index[v]
+	return ok
+}
+
+// AddEdge records the undirected edge {u,v} if either endpoint is local;
+// remote-remote edges are dropped, so a full canonical edge stream can
+// be replayed through it. Self-loops are ignored (matching
+// graph.Builder), out-of-range endpoints panic.
+func (b *LocalBuilder) AddEdge(u, v int32) {
+	b.check(u, v)
+	if u == v {
+		return
+	}
+	if _, ok := b.index[u]; ok {
+		b.out = append(b.out, [2]int32{u, v})
+	}
+	if _, ok := b.index[v]; ok {
+		b.out = append(b.out, [2]int32{v, u})
+	}
+}
+
+// AddArc records the directed arc u->v: an out-arc if u is local, an
+// in-arc if v is local (the home machine knows both directions of its
+// vertices' incident edges, §1.1).
+func (b *LocalBuilder) AddArc(u, v int32) {
+	b.check(u, v)
+	if u == v {
+		return
+	}
+	if !b.directed {
+		b.AddEdge(u, v)
+		return
+	}
+	if _, ok := b.index[u]; ok {
+		b.out = append(b.out, [2]int32{u, v})
+	}
+	if _, ok := b.index[v]; ok {
+		b.in = append(b.in, [2]int32{v, u})
+	}
+}
+
+func (b *LocalBuilder) check(u, v int32) {
+	if u < 0 || int(u) >= b.spec.N || v < 0 || int(v) >= b.spec.N {
+		panic(fmt.Sprintf("partition: shard edge (%d,%d) out of range [0,%d)", u, v, b.spec.N))
+	}
+}
+
+// Build finalises the shard: per-row sort, dedupe, CSR. The builder's
+// arc buffers are released; only the O(local rows) CSR is retained.
+func (b *LocalBuilder) Build() *LocalView {
+	lv := &LocalView{
+		spec:     b.spec,
+		self:     b.self,
+		directed: b.directed,
+		locals:   b.locals,
+	}
+	lv.outOffs, lv.outTgts = b.csr(b.out)
+	if b.directed {
+		lv.inOffs, lv.inTgts = b.csr(b.in)
+	}
+	b.out, b.in = nil, nil
+	return lv
+}
+
+// csr turns (local vertex, neighbour) arcs into a deduped CSR indexed by
+// local row, mirroring graph.Builder's sort-dedupe semantics.
+func (b *LocalBuilder) csr(arcs [][2]int32) (offs, tgts []int32) {
+	sort.Slice(arcs, func(i, j int) bool {
+		ri, rj := b.index[arcs[i][0]], b.index[arcs[j][0]]
+		if ri != rj {
+			return ri < rj
+		}
+		return arcs[i][1] < arcs[j][1]
+	})
+	w := 0
+	for i, a := range arcs {
+		if i > 0 && a == arcs[i-1] {
+			continue
+		}
+		arcs[w] = a
+		w++
+	}
+	arcs = arcs[:w]
+	offs = make([]int32, len(b.locals)+1)
+	tgts = make([]int32, len(arcs))
+	for i, a := range arcs {
+		offs[b.index[a[0]]+1]++
+		tgts[i] = a[1]
+	}
+	for i := 0; i < len(b.locals); i++ {
+		offs[i+1] += offs[i]
+	}
+	return offs, tgts
+}
+
+// LocalView is a machine-local View backed by a per-machine CSR of the
+// machine's own adjacency rows — no global graph object. Setup memory is
+// O((n+m)/k) per machine instead of the GraphView's O(n+m) per process,
+// which is what lets a k-process run hold inputs no single process
+// could. Accessor semantics (including the non-local panic) match
+// GraphView exactly; the parity and shard/full equivalence suites assert
+// bit-identical adjacency against the materialised path.
+type LocalView struct {
+	spec     Spec
+	self     core.MachineID
+	directed bool
+	locals   []int32
+	outOffs  []int32
+	outTgts  []int32
+	inOffs   []int32
+	inTgts   []int32
+}
+
+// Self returns the owning machine.
+func (v *LocalView) Self() core.MachineID { return v.self }
+
+// K returns the number of machines.
+func (v *LocalView) K() int { return v.spec.K }
+
+// N returns the global vertex count (public knowledge in the model).
+func (v *LocalView) N() int { return v.spec.N }
+
+// Locals returns this machine's vertices in increasing ID order.
+func (v *LocalView) Locals() []int32 { return v.locals }
+
+// IsLocal reports whether u is homed here. Local rows are found by
+// binary search over the sorted locals — a map would cost tens of bytes
+// per vertex of pure overhead, a real fraction of the Õ((n+m)/k) budget
+// the shard exists to respect.
+func (v *LocalView) IsLocal(u int32) bool {
+	_, ok := slices.BinarySearch(v.locals, u)
+	return ok
+}
+
+// HomeOf returns the home machine of any vertex: the hash is public, so
+// no per-vertex state is needed (this is the O(1)/O(0)-memory answer the
+// GraphView precomputes as an O(n) array).
+func (v *LocalView) HomeOf(u int32) core.MachineID { return Home(v.spec.Seed, u, v.spec.K) }
+
+// OutAdj returns the out-neighbours (or neighbours, if undirected) of a
+// LOCAL vertex, sorted. The slice aliases the shard's CSR.
+func (v *LocalView) OutAdj(u int32) []int32 {
+	r := v.mustLocal(u, "OutAdj")
+	return v.outTgts[v.outOffs[r]:v.outOffs[r+1]]
+}
+
+// InAdj returns the in-neighbours of a LOCAL vertex.
+func (v *LocalView) InAdj(u int32) []int32 {
+	r := v.mustLocal(u, "InAdj")
+	if !v.directed {
+		return v.outTgts[v.outOffs[r]:v.outOffs[r+1]]
+	}
+	return v.inTgts[v.inOffs[r]:v.inOffs[r+1]]
+}
+
+// Degree returns the out-degree of a LOCAL vertex.
+func (v *LocalView) Degree(u int32) int {
+	r := v.mustLocal(u, "Degree")
+	return int(v.outOffs[r+1] - v.outOffs[r])
+}
+
+// LocalArcs returns the number of stored adjacency entries — the shard's
+// actual size, which the setup-cost experiment (E23) reports against the
+// full graph's 2m (undirected) or m+m (directed CSR + reverse) entries.
+func (v *LocalView) LocalArcs() int { return len(v.outTgts) + len(v.inTgts) }
+
+func (v *LocalView) mustLocal(u int32, op string) int32 {
+	r, ok := slices.BinarySearch(v.locals, u)
+	if !ok {
+		panic(fmt.Sprintf("partition: machine %d illegally accessed %s(%d), homed at %d",
+			v.self, op, u, v.HomeOf(u)))
+	}
+	return int32(r)
+}
+
+// ShardedInput is the partition-local Input: MachineView(m) builds
+// machine m's shard on demand by calling BuildShard, so a process
+// hosting one machine (cmd/kmnode -id) materialises only that machine's
+// rows, and a process hosting all k (the in-process substrates, used by
+// the sharded/full equivalence suite) never holds a global graph object.
+type ShardedInput struct {
+	// Spec is the partition every shard is built under.
+	Spec Spec
+	// BuildShard generates or ingests machine m's shard.
+	BuildShard func(m core.MachineID) (*LocalView, error)
+}
+
+// NumMachines implements Input.
+func (in *ShardedInput) NumMachines() int { return in.Spec.K }
+
+// MachineView implements Input.
+func (in *ShardedInput) MachineView(m core.MachineID) (View, error) {
+	lv, err := in.BuildShard(m)
+	if err != nil {
+		return nil, fmt.Errorf("partition: shard %d: %w", m, err)
+	}
+	return lv, nil
+}

@@ -16,6 +16,13 @@
 // which keeps the simulated algorithms honest about what a machine can
 // see: the home machine knows the IDs of its vertices' neighbours and
 // those neighbours' home machines, and nothing else.
+//
+// View is an interface with two implementations: GraphView, backed by a
+// fully materialised *graph.Graph (every process holds the whole input),
+// and LocalView (local.go), backed by a per-machine CSR holding only the
+// adjacency rows of the machine's own vertices — the paper's actual
+// input model, where machine m stores Õ((n+m)/k) words, realised without
+// any global graph object behind it.
 package partition
 
 import (
@@ -102,58 +109,109 @@ func (p *VertexPartition) Balance() (min, max int) {
 	return
 }
 
-// View returns machine m's local window.
-func (p *VertexPartition) View(m core.MachineID) *View {
-	return &View{p: p, self: m}
+// View is the information one machine legitimately holds under the RVP:
+// its own vertices and their incident edges, plus the public knowledge
+// of the model (n, k, and the hash-computable home of any vertex ID).
+// Accessing a non-local vertex's adjacency panics — that would be
+// cheating in the model. GraphView implements it over a materialised
+// global graph; LocalView over a per-machine CSR shard.
+type View interface {
+	// Self returns the owning machine.
+	Self() core.MachineID
+	// K returns the number of machines.
+	K() int
+	// N returns the global vertex count (public knowledge in the model).
+	N() int
+	// Locals returns this machine's vertices in increasing ID order.
+	Locals() []int32
+	// IsLocal reports whether u is homed here.
+	IsLocal(u int32) bool
+	// HomeOf returns the home machine of any vertex (hashing is public).
+	HomeOf(u int32) core.MachineID
+	// OutAdj returns the out-neighbours (or neighbours, if undirected)
+	// of a LOCAL vertex, sorted. The slice aliases internal storage.
+	OutAdj(u int32) []int32
+	// InAdj returns the in-neighbours of a LOCAL vertex. (The home
+	// machine knows both directions of its vertices' incident edges,
+	// §1.1.)
+	InAdj(u int32) []int32
+	// Degree returns the out-degree of a LOCAL vertex.
+	Degree(u int32) int
 }
 
-// View is the information machine `self` legitimately holds under the
-// RVP: its own vertices and their incident edges. Accessing a non-local
-// vertex's adjacency panics — that would be cheating in the model.
-type View struct {
+// Input is a partitioned problem input as the algorithm driver sees it:
+// it hands every machine its View. *VertexPartition implements it by
+// windowing the shared global graph; ShardedInput (local.go) by building
+// each machine's CSR shard on demand, so a process hosting one machine
+// materialises only that machine's Õ((n+m)/k) share.
+type Input interface {
+	// NumMachines returns k.
+	NumMachines() int
+	// MachineView returns machine m's local window. For sharded inputs
+	// this is where the shard is generated or ingested, so it can fail.
+	MachineView(m core.MachineID) (View, error)
+}
+
+// View returns machine m's local window onto the materialised graph.
+func (p *VertexPartition) View(m core.MachineID) *GraphView {
+	return &GraphView{p: p, self: m}
+}
+
+// NumMachines implements Input.
+func (p *VertexPartition) NumMachines() int { return p.K }
+
+// MachineView implements Input.
+func (p *VertexPartition) MachineView(m core.MachineID) (View, error) {
+	return p.View(m), nil
+}
+
+// GraphView is the full-materialisation View: a window onto a
+// *graph.Graph shared by all k machines of the process. Setup cost is
+// O(n+m) per process; LocalView is the O((n+m)/k) alternative.
+type GraphView struct {
 	p    *VertexPartition
 	self core.MachineID
 }
 
 // Self returns the owning machine.
-func (v *View) Self() core.MachineID { return v.self }
+func (v *GraphView) Self() core.MachineID { return v.self }
 
 // K returns the number of machines.
-func (v *View) K() int { return v.p.K }
+func (v *GraphView) K() int { return v.p.K }
 
 // N returns the global vertex count (public knowledge in the model).
-func (v *View) N() int { return v.p.G.N() }
+func (v *GraphView) N() int { return v.p.G.N() }
 
 // Locals returns this machine's vertices.
-func (v *View) Locals() []int32 { return v.p.locals[v.self] }
+func (v *GraphView) Locals() []int32 { return v.p.locals[v.self] }
 
 // IsLocal reports whether u is homed here.
-func (v *View) IsLocal(u int32) bool { return v.p.home[u] == v.self }
+func (v *GraphView) IsLocal(u int32) bool { return v.p.home[u] == v.self }
 
 // HomeOf returns the home machine of any vertex (hashing is public).
-func (v *View) HomeOf(u int32) core.MachineID { return v.p.home[u] }
+func (v *GraphView) HomeOf(u int32) core.MachineID { return v.p.home[u] }
 
 // OutAdj returns the out-neighbours (or neighbours, if undirected) of a
 // LOCAL vertex.
-func (v *View) OutAdj(u int32) []int32 {
+func (v *GraphView) OutAdj(u int32) []int32 {
 	v.mustLocal(u, "OutAdj")
 	return v.p.G.Adj(int(u))
 }
 
 // InAdj returns the in-neighbours of a LOCAL vertex. (The home machine
 // knows both directions of its vertices' incident edges, §1.1.)
-func (v *View) InAdj(u int32) []int32 {
+func (v *GraphView) InAdj(u int32) []int32 {
 	v.mustLocal(u, "InAdj")
 	return v.p.G.InAdj(int(u))
 }
 
 // Degree returns the out-degree of a LOCAL vertex.
-func (v *View) Degree(u int32) int {
+func (v *GraphView) Degree(u int32) int {
 	v.mustLocal(u, "Degree")
 	return v.p.G.Degree(int(u))
 }
 
-func (v *View) mustLocal(u int32, op string) {
+func (v *GraphView) mustLocal(u int32, op string) {
 	if v.p.home[u] != v.self {
 		panic(fmt.Sprintf("partition: machine %d illegally accessed %s(%d), homed at %d",
 			v.self, op, u, v.p.home[u]))

@@ -1,4 +1,4 @@
-package partition
+package partition_test
 
 import (
 	"math"
@@ -6,6 +6,7 @@ import (
 
 	"kmachine/internal/core"
 	"kmachine/internal/gen"
+	. "kmachine/internal/partition"
 )
 
 func TestHomeIsPureAndInRange(t *testing.T) {

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"kmachine/internal/algo"
-	"kmachine/internal/graph"
 	"kmachine/internal/partition"
 )
 
@@ -24,7 +23,7 @@ func Descriptor(x int) algo.Algorithm[routeProbe, int64, []int64] {
 	return algo.Algorithm[routeProbe, int64, []int64]{
 		Name:  "routing",
 		Codec: probeCodec{},
-		NewMachine: func(view *partition.View) (algo.Machine[routeProbe, int64], error) {
+		NewMachine: func(view partition.View) (algo.Machine[routeProbe, int64], error) {
 			return &randomRouteMachine{x: x}, nil
 		},
 		Merge: func(locals []int64) []int64 { return locals },
@@ -35,11 +34,10 @@ func init() {
 	algo.Register(algo.Spec[routeProbe, int64, []int64]{
 		Name: "routing",
 		Doc:  "Lemma 13 random routing: every machine sends n one-word probes to uniform destinations",
-		Build: func(prob algo.Problem) (algo.Algorithm[routeProbe, int64, []int64], *partition.VertexPartition, error) {
+		Build: func(prob algo.Problem) (algo.Algorithm[routeProbe, int64, []int64], partition.Input, error) {
 			// The workload is synthetic — the partition only carries the
 			// machine identities, so it covers an edgeless graph.
-			g := graph.NewBuilder(prob.N, false).Build()
-			return Descriptor(prob.N), partition.NewRVP(g, prob.K, prob.Seed+1), nil
+			return Descriptor(prob.N), algo.EdgelessInput(prob), nil
 		},
 		Hash: func(perMachine []int64) uint64 {
 			h := algo.NewHash64()

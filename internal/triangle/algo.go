@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"kmachine/internal/algo"
-	"kmachine/internal/gen"
 	"kmachine/internal/graph"
 	"kmachine/internal/partition"
 )
@@ -54,7 +53,7 @@ func Descriptor(k int, opts Options) algo.Algorithm[Wire, Local, *Result] {
 	return algo.Algorithm[Wire, Local, *Result]{
 		Name:  "triangle",
 		Codec: WireCodec(),
-		NewMachine: func(view *partition.View) (algo.Machine[Wire, Local], error) {
+		NewMachine: func(view partition.View) (algo.Machine[Wire, Local], error) {
 			return &triMachine{
 				view:    view,
 				opts:    opts,
@@ -72,10 +71,12 @@ func init() {
 	algo.Register(algo.Spec[Wire, Local, *Result]{
 		Name: "triangle",
 		Doc:  "color-partition triangle enumeration (Õ(m/k^{5/3}+n/k^{4/3}) rounds, Thm 5)",
-		Build: func(prob algo.Problem) (algo.Algorithm[Wire, Local, *Result], *partition.VertexPartition, error) {
-			g := gen.Gnp(prob.N, prob.EdgeP, prob.Seed)
-			p := partition.NewRVP(g, prob.K, prob.Seed+1)
-			return Descriptor(prob.K, AlgorithmOptions()), p, nil
+		Build: func(prob algo.Problem) (algo.Algorithm[Wire, Local, *Result], partition.Input, error) {
+			in, err := algo.GnpInput(prob)
+			if err != nil {
+				return algo.Algorithm[Wire, Local, *Result]{}, nil, err
+			}
+			return Descriptor(prob.K, AlgorithmOptions()), in, nil
 		},
 		Hash: func(r *Result) uint64 {
 			h := algo.NewHash64()

@@ -26,7 +26,7 @@ type bmsg struct {
 }
 
 type baselineMachine struct {
-	view *partition.View
+	view partition.View
 	opts Options
 	k    int
 	c    int // n^{1/3} color classes

@@ -20,7 +20,7 @@ import (
 // describes.
 
 type centralMachine struct {
-	view *partition.View
+	view partition.View
 
 	edges    [][2]int32
 	count    int64

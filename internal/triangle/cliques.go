@@ -75,7 +75,7 @@ func pairTargets4(c int) map[[2]int][]core.MachineID {
 }
 
 type cliqueMachine struct {
-	view *partition.View
+	view partition.View
 	opts Options
 	k, c int
 

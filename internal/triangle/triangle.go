@@ -159,7 +159,7 @@ type tmsg struct {
 }
 
 type triMachine struct {
-	view *partition.View
+	view partition.View
 	opts Options
 	k    int
 	c    int
