@@ -7,6 +7,7 @@ import (
 	"net/http/pprof"
 	"sync"
 
+	"kmachine/internal/jobs"
 	"kmachine/internal/obs"
 )
 
@@ -38,6 +39,17 @@ func startDebugServer(addr string, tr *obs.Trace) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	// The server lives for the process lifetime; kmnode exits when the
+	// run (plus -debug-linger) is over, which is this server's teardown.
+	go http.Serve(ln, newDebugMux(tr))
+	return ln.Addr().String(), nil
+}
+
+// newDebugMux builds the debug plane's mux — pprof plus the expvar
+// gauges — without binding it to a listener, so -serve can mount the
+// job-service API on the same mux (serve.go) while single-run mode
+// keeps the fire-and-forget server above.
+func newDebugMux(tr *obs.Trace) *http.ServeMux {
 	publishExpvars(tr)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -46,15 +58,34 @@ func startDebugServer(addr string, tr *obs.Trace) (string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
-	// The server lives for the process lifetime; kmnode exits when the
-	// run (plus -debug-linger) is over, which is this server's teardown.
-	go http.Serve(ln, mux)
-	return ln.Addr().String(), nil
+	return mux
 }
 
 // publishOnce guards the expvar registrations: expvar.Publish panics on
 // duplicates, and tests may start more than one server per process.
 var publishOnce sync.Once
+
+// publishJobOnce guards the job-service expvars the same way.
+var publishJobOnce sync.Once
+
+// publishJobExpvars adds the scheduler's gauges next to the trace-fed
+// kmachine.* set. The trace gauges are Reset per job by the scheduler,
+// so under -serve they describe the LIVE job; kmachine.job.current says
+// which job that is, and the kmachine.jobs.* counters accumulate over
+// the daemon's lifetime.
+func publishJobExpvars(s *jobs.Scheduler) {
+	publishJobOnce.Do(func() {
+		gauge := func(name string, read func(st jobs.Stats) any) {
+			expvar.Publish(name, expvar.Func(func() any { return read(s.Stats()) }))
+		}
+		gauge("kmachine.job.current", func(st jobs.Stats) any { return st.Running })
+		gauge("kmachine.jobs.queued", func(st jobs.Stats) any { return st.Queued })
+		gauge("kmachine.jobs.done", func(st jobs.Stats) any { return st.Done })
+		gauge("kmachine.jobs.failed", func(st jobs.Stats) any { return st.Failed })
+		gauge("kmachine.jobs.mesh_rebuilds", func(st jobs.Stats) any { return st.Rebuilds })
+		gauge("kmachine.jobs.draining", func(st jobs.Stats) any { return st.Draining })
+	})
+}
 
 func publishExpvars(tr *obs.Trace) {
 	publishOnce.Do(func() {

@@ -91,6 +91,7 @@ func main() {
 	}()
 	var (
 		local     = flag.Int("local", 0, "spawn a full k-machine cluster over loopback TCP in this process")
+		serve     = flag.Bool("serve", false, "daemon mode: build the standing mesh once (-local k sets its size) and serve the job-submission HTTP API on -debug-addr")
 		id        = flag.Int("id", -1, "this node's machine ID (standalone mode)")
 		k         = flag.Int("k", 0, "cluster size (standalone mode)")
 		listen    = flag.String("listen", "", "listen address, e.g. 127.0.0.1:9000 (standalone mode)")
@@ -143,7 +144,11 @@ func main() {
 	case *id >= 0 || (*splitOut != "" && *k >= 2):
 		prob.K = *k
 	default:
-		fmt.Fprintln(os.Stderr, "kmnode: need either -local k, or -id with -k/-listen/-peers")
+		if *serve {
+			fmt.Fprintln(os.Stderr, "kmnode: -serve needs -local k for the standing mesh size")
+		} else {
+			fmt.Fprintln(os.Stderr, "kmnode: need either -local k, or -id with -k/-listen/-peers")
+		}
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -163,11 +168,19 @@ func main() {
 	}
 
 	// The trace recorder doubles as the debug plane's data source, so
-	// either flag turns it on; with k known, the per-peer wire counters
-	// get their lanes.
-	if *trace != "" || *debugAddr != "" {
+	// either flag turns it on — and daemon mode always has one, since
+	// its debug plane is re-scoped to the live job. With k known, the
+	// per-peer wire counters get their lanes.
+	if *trace != "" || *debugAddr != "" || *serve {
 		tel = telemetry{trace: obs.NewTrace(0, prob.K), tracePath: *trace, linger: *linger}
 		prob.Recorder = tel.trace
+	}
+	if *serve {
+		// The daemon owns the debug mux (the job API mounts on it) and
+		// only exits on signal, so the one-shot server and the trace
+		// flush below don't apply.
+		runServe(prob.K, *debugAddr, tel.trace)
+		return
 	}
 	if *debugAddr != "" {
 		addr, err := startDebugServer(*debugAddr, tel.trace)

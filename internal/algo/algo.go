@@ -159,6 +159,36 @@ func NodeRunLocal[M, L, O any](a Algorithm[M, L, O], in partition.Input, ncfg no
 	return mergeOutputs(machines, a.Merge), stats, nil
 }
 
+// NodeRunJob executes the algorithm as one job on a standing mesh
+// (node.RunJobLocal): the resident-daemon substrate, where the socket
+// fabric outlives individual jobs and each job attaches fresh typed
+// endpoints framing its traffic with the job ID. Outputs and Stats are
+// bit-identical to NodeRunLocal on the same inputs; only the mesh
+// lifetime differs. On error the mesh is poisoned and must be rebuilt.
+func NodeRunJob[M, L, O any](a Algorithm[M, L, O], in partition.Input, lm *node.LocalMesh, ncfg node.Config, job uint64) (O, *core.Stats, error) {
+	var zero O
+	if ncfg.K != in.NumMachines() {
+		return zero, nil, fmt.Errorf("%s: node cluster k=%d but partition k=%d", a.Name, ncfg.K, in.NumMachines())
+	}
+	machines, err := buildMachines(in.NumMachines(), func(id core.MachineID) (Machine[M, L], error) {
+		v, err := in.MachineView(id)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		return a.NewMachine(v)
+	})
+	if err != nil {
+		return zero, nil, err
+	}
+	stats, err := node.RunJobLocal(lm, ncfg, job, a.Codec, func(id core.MachineID) core.Machine[M] {
+		return machines[id]
+	})
+	if err != nil {
+		return zero, nil, err
+	}
+	return mergeOutputs(machines, a.Merge), stats, nil
+}
+
 // NodeRun executes ONE machine of the algorithm's cluster in this
 // process (cmd/kmnode -id); the peers live in other processes and are
 // reached through ncfg. It returns the machine-local output — every

@@ -1,6 +1,7 @@
 package algo
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -45,6 +46,10 @@ type Problem struct {
 	// hanging the run. 0 means no deadline; the happy path is
 	// unaffected either way.
 	SuperstepTimeout time.Duration
+	// Context cancels or deadlines the whole run on every substrate
+	// (core.Config.Context / node.Config.Context) — the per-job deadline
+	// hook of the job scheduler. nil means Background.
+	Context context.Context
 	// Recorder, when non-nil, receives wall-clock phase spans from the
 	// run on every substrate (core.Config.Recorder /
 	// node.Config.Recorder): compute, barrier-wait, and exchange per
@@ -92,12 +97,21 @@ func (prob Problem) withDefaults() Problem {
 	return prob
 }
 
+// nodeConfig is the node-runtime configuration of a problem — the same
+// Seed+2 machine-stream convention as coreConfig, for the substrates
+// built on transport/node (RunNodeLocal, RunJob).
+func (prob Problem) nodeConfig(k int) node.Config {
+	return node.Config{K: k, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
+		SuperstepTimeout: prob.SuperstepTimeout, Context: prob.Context,
+		Recorder: prob.Recorder, Streaming: prob.Streaming}
+}
+
 // coreConfig is the in-process cluster configuration of a problem: the
 // machine streams draw from Seed+2 on every substrate.
 func (prob Problem) coreConfig(kind transport.Kind) core.Config {
 	return core.Config{K: prob.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
-		Transport: kind, SuperstepTimeout: prob.SuperstepTimeout, Recorder: prob.Recorder,
-		Streaming: prob.Streaming}
+		Transport: kind, SuperstepTimeout: prob.SuperstepTimeout, Context: prob.Context,
+		Recorder: prob.Recorder, Streaming: prob.Streaming}
 }
 
 // Outcome is the substrate-agnostic report of one registry run.
@@ -163,6 +177,7 @@ type Entry struct {
 	run           func(prob Problem, kind transport.Kind) (*Outcome, error)
 	runNodeLocal  func(prob Problem) (*Outcome, error)
 	runStandalone func(prob Problem, ncfg node.Config) (*Outcome, error)
+	runJob        func(prob Problem, lm *node.LocalMesh, job uint64) (*Outcome, error)
 }
 
 // Run executes the algorithm on an in-process cluster over the given
@@ -182,6 +197,27 @@ func (e *Entry) RunNodeLocal(prob Problem) (*Outcome, error) {
 // carries the machine-local summary and the cluster-wide Stats.
 func (e *Entry) RunStandalone(prob Problem, ncfg node.Config) (*Outcome, error) {
 	return e.runStandalone(prob, ncfg)
+}
+
+// RunJob executes the algorithm as job `job` on a standing mesh
+// (node.RunJobLocal): the resident-daemon path, where the fabric
+// outlives individual jobs. Stats, outputs, and hashes are bit-identical
+// to RunNodeLocal on the same Problem. On error the mesh is poisoned
+// and the scheduler must rebuild it.
+func (e *Entry) RunJob(prob Problem, lm *node.LocalMesh, job uint64) (*Outcome, error) {
+	return e.runJob(prob, lm, job)
+}
+
+// Submit runs any registered algorithm by name as one job on a standing
+// mesh — the type-erased entry point of the job scheduler: no generic
+// instantiation at the call site, so a daemon can execute a mixed
+// stream of algorithms on one fabric.
+func Submit(name string, prob Problem, lm *node.LocalMesh, job uint64) (*Outcome, error) {
+	e, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("algo: unknown algorithm %q", name)
+	}
+	return e.RunJob(prob, lm, job)
 }
 
 var (
@@ -229,12 +265,31 @@ func Register[M, L, O any](s Spec[M, L, O]) {
 				return nil, err
 			}
 			buildD := time.Since(t0)
-			ncfg := node.Config{K: in.NumMachines(), Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
-				SuperstepTimeout: prob.SuperstepTimeout, Recorder: prob.Recorder,
-				Streaming: prob.Streaming}
+			ncfg := prob.nodeConfig(in.NumMachines())
 			ti := &timedInput{in: in}
 			t1 := time.Now()
 			out, stats, err := NodeRunLocal(a, ti, ncfg)
+			if err != nil {
+				return nil, err
+			}
+			total := time.Since(t1)
+			o := s.outcome(out, stats, prob)
+			o.SetupTime = buildD + ti.viewTime
+			o.ExecTime = total - ti.viewTime
+			return o, nil
+		},
+		runJob: func(prob Problem, lm *node.LocalMesh, job uint64) (*Outcome, error) {
+			prob = prob.withDefaults()
+			t0 := time.Now()
+			a, in, err := s.Build(prob)
+			if err != nil {
+				return nil, err
+			}
+			buildD := time.Since(t0)
+			ncfg := prob.nodeConfig(in.NumMachines())
+			ti := &timedInput{in: in}
+			t1 := time.Now()
+			out, stats, err := NodeRunJob(a, ti, lm, ncfg, job)
 			if err != nil {
 				return nil, err
 			}
@@ -257,6 +312,9 @@ func Register[M, L, O any](s Spec[M, L, O]) {
 			ncfg.Seed = prob.Seed + 2
 			if ncfg.SuperstepTimeout == 0 {
 				ncfg.SuperstepTimeout = prob.SuperstepTimeout
+			}
+			if ncfg.Context == nil {
+				ncfg.Context = prob.Context
 			}
 			if ncfg.Recorder == nil {
 				ncfg.Recorder = prob.Recorder

@@ -7,6 +7,7 @@ import (
 	"kmachine/internal/graph"
 	"kmachine/internal/partition"
 	"kmachine/internal/transport"
+	"kmachine/internal/transport/node"
 	"kmachine/internal/transport/wire"
 )
 
@@ -143,6 +144,46 @@ func TestEchoAcrossSubstrates(t *testing.T) {
 			t.Errorf("%s stats (rounds=%d words=%d), inmem (rounds=%d words=%d)",
 				label, o.Stats.Rounds, o.Stats.Words, mem.Stats.Rounds, mem.Stats.Words)
 		}
+	}
+}
+
+// TestEchoRunJobMatches: the standing-mesh runner (RunJob / Submit) is
+// bit-identical to RunNodeLocal and Run — and the mesh carries several
+// jobs, including by-name submission.
+func TestEchoRunJobMatches(t *testing.T) {
+	entry, _ := Lookup("echo")
+	prob := Problem{N: 64, K: 5, Seed: 3}
+	ref, err := entry.Run(prob, transport.InMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := node.NewLocalMesh(prob.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lm.Close()
+	for job := uint64(1); job <= 2; job++ {
+		got, err := entry.RunJob(prob, lm, job)
+		if err != nil {
+			t.Fatalf("job %d: %v", job, err)
+		}
+		if got.Hash != ref.Hash {
+			t.Errorf("job %d hash %016x, want %016x", job, got.Hash, ref.Hash)
+		}
+		if got.Stats.Rounds != ref.Stats.Rounds || got.Stats.Words != ref.Stats.Words {
+			t.Errorf("job %d stats (rounds=%d words=%d), want (rounds=%d words=%d)",
+				job, got.Stats.Rounds, got.Stats.Words, ref.Stats.Rounds, ref.Stats.Words)
+		}
+	}
+	byName, err := Submit("echo", prob, lm, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName.Hash != ref.Hash {
+		t.Errorf("Submit hash %016x, want %016x", byName.Hash, ref.Hash)
+	}
+	if _, err := Submit("no-such-algorithm", prob, lm, 4); err == nil {
+		t.Fatal("Submit invented an algorithm")
 	}
 }
 

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner
-// per experiment in DESIGN.md's index (F1, E1–E23), each regenerating
+// per experiment in DESIGN.md's index (F1, E1–E24), each regenerating
 // the series behind a claim of the paper. cmd/kmbench prints the tables
 // that EXPERIMENTS.md records; the root bench_test.go exposes each
 // experiment as a testing.B benchmark.
@@ -184,5 +184,6 @@ func All() []Runner {
 		{"E21", "phase timings (compute/barrier/exchange share of wall)", E21PhaseTimings},
 		{"E22", "streaming supersteps (overlap compute and wire)", E22Streaming},
 		{"E23", "partition-local setup (per-process heap, full vs sharded)", E23ShardedSetup},
+		{"E24", "resident job service (standing mesh vs build-per-job)", E24JobService},
 	}
 }

@@ -1,0 +1,164 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kmachine/internal/algo"
+	"kmachine/internal/transport"
+)
+
+// TestHTTPAPI drives the full control surface over real HTTP: submit
+// two different algorithms, poll to completion, assert the result
+// hashes against fresh single-run references, check status and list,
+// then drain and verify intake is closed.
+func TestHTTPAPI(t *testing.T) {
+	const k = 3
+	b, err := NewBuildBackend(k, transport.InMem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(b, Options{})
+	defer s.Close()
+	mux := http.NewServeMux()
+	s.RegisterAPI(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	post := func(path string, body any) (*http.Response, []byte) {
+		t.Helper()
+		buf, _ := json.Marshal(body)
+		resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		out.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, out.Bytes()
+	}
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		out.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, out.Bytes()
+	}
+
+	// Submit two different algorithms.
+	subs := []SubmitRequest{
+		{Algo: "pagerank", N: 120, Seed: 7},
+		{Algo: "conncomp", N: 120, Seed: 7},
+	}
+	ids := make([]uint64, len(subs))
+	for i, sr := range subs {
+		resp, body := post("/api/v1/jobs", sr)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit %s: %d %s", sr.Algo, resp.StatusCode, body)
+		}
+		var acc struct {
+			ID    uint64 `json:"id"`
+			State State  `json:"state"`
+		}
+		if err := json.Unmarshal(body, &acc); err != nil {
+			t.Fatal(err)
+		}
+		if acc.ID == 0 || acc.State != StateQueued {
+			t.Fatalf("submit %s returned %s", sr.Algo, body)
+		}
+		ids[i] = acc.ID
+	}
+
+	// Poll each to completion and check the result hash against a fresh
+	// single-run reference.
+	for i, id := range ids {
+		var j JobJSON
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			resp, body := get(fmt.Sprintf("/api/v1/jobs/%d", id))
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("status %d: %d %s", id, resp.StatusCode, body)
+			}
+			if err := json.Unmarshal(body, &j); err != nil {
+				t.Fatal(err)
+			}
+			if j.State == StateDone || j.State == StateFailed {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %d stuck in %q", id, j.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		if j.State != StateDone {
+			t.Fatalf("job %d failed: %s", id, j.Error)
+		}
+		if j.Result == nil || j.Result.Hash == "" {
+			t.Fatalf("done job %d has no result hash", id)
+		}
+		entry, _ := algo.Lookup(subs[i].Algo)
+		ref, err := entry.Run(algo.Problem{N: subs[i].N, K: k, Seed: subs[i].Seed}, transport.InMem)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("%016x", ref.Hash); j.Result.Hash != want {
+			t.Errorf("job %d hash %s over HTTP, reference %s", id, j.Result.Hash, want)
+		}
+		if j.Result.Rounds != ref.Stats.Rounds {
+			t.Errorf("job %d rounds %d over HTTP, reference %d", id, j.Result.Rounds, ref.Stats.Rounds)
+		}
+	}
+
+	// List and scheduler status.
+	resp, body := get("/api/v1/jobs")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d", resp.StatusCode)
+	}
+	var list []JobJSON
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != len(ids) {
+		t.Fatalf("list has %d jobs, want %d", len(list), len(ids))
+	}
+	resp, body = get("/api/v1/status")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d", resp.StatusCode)
+	}
+	var st StatusJSON
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.K != k || st.Done != int64(len(ids)) || st.Draining {
+		t.Errorf("scheduler status %s", body)
+	}
+
+	// Error paths: bad algo 400, unknown job 404, bad id 400.
+	if resp, _ := post("/api/v1/jobs", SubmitRequest{Algo: "no-such", N: 10}); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad algo: %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := get("/api/v1/jobs/9999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := get("/api/v1/jobs/zzz"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad id: %d, want 400", resp.StatusCode)
+	}
+
+	// Drain, then intake must answer 503.
+	resp, body = post("/api/v1/drain", struct{}{})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: %d %s", resp.StatusCode, body)
+	}
+	if resp, _ := post("/api/v1/jobs", SubmitRequest{Algo: "pagerank", N: 100, Seed: 1}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain submit: %d, want 503", resp.StatusCode)
+	}
+}

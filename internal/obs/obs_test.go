@@ -53,6 +53,36 @@ func TestTraceGauges(t *testing.T) {
 	}
 }
 
+// TestTraceReset: between jobs the resident daemon resets the shared
+// trace; afterwards the gauges and ring must be indistinguishable from
+// a fresh trace, with capacity and per-peer lanes retained.
+func TestTraceReset(t *testing.T) {
+	tr := NewTrace(4, 3)
+	for i := 0; i < 10; i++ {
+		tr.Record(Span{Start: int64(i), Dur: 1, Machine: 0, Peer: 1, Superstep: int32(i), Phase: PhaseFrameWrite, Bytes: 10})
+	}
+	tr.Reset()
+	c := tr.Counters()
+	if c.Total != 0 || c.Dropped != 0 || c.CurrentSuperstep != -1 || c.SuperstepsStarted != 0 {
+		t.Fatalf("post-reset counters %+v, want zeroed", c)
+	}
+	if c.FramesSent != 0 || c.BytesSent != 0 || c.PerPeer[1].FramesSent != 0 {
+		t.Fatalf("post-reset wire gauges %+v, want zeroed", c)
+	}
+	if len(c.PerPeer) != 3 {
+		t.Fatalf("reset dropped the per-peer lanes: %d, want 3", len(c.PerPeer))
+	}
+	if spans := tr.Spans(); len(spans) != 0 {
+		t.Fatalf("post-reset ring retains %d spans", len(spans))
+	}
+	// The next job records into the clean trace as if freshly built.
+	tr.Record(Span{Start: 100, Dur: 2, Machine: 0, Peer: -1, Superstep: 0, Phase: PhaseCompute})
+	c = tr.Counters()
+	if c.Total != 1 || c.CurrentSuperstep != 0 || c.PhaseCount[PhaseCompute] != 1 {
+		t.Fatalf("post-reset recording broken: %+v", c)
+	}
+}
+
 // TestTraceConcurrentRecord hammers one Trace from many goroutines —
 // the recorder contract says Record must be concurrency-safe, and this
 // is the test the race detector watches.

@@ -136,6 +136,26 @@ func (t *Trace) Spans() []Span {
 	return out
 }
 
+// Reset returns the trace to its just-constructed state — empty ring,
+// zeroed gauges, per-peer lanes retained. The resident daemon calls it
+// between jobs so the debug plane's kmachine.* expvars describe the
+// live job instead of accumulating across the process lifetime (the
+// single-run CLIs never need it). Callers must not Reset while a job
+// is recording; between jobs the recorder is quiescent by construction.
+func (t *Trace) Reset() {
+	t.mu.Lock()
+	t.total = 0
+	t.cur = -1
+	t.phaseCount = [NumPhases]int64{}
+	t.phaseNs = [NumPhases]int64{}
+	for i := range t.perPeer {
+		t.perPeer[i] = PeerCounters{}
+	}
+	t.framesSent, t.framesRecv = 0, 0
+	t.bytesSent, t.bytesRecv = 0, 0
+	t.mu.Unlock()
+}
+
 // Counters returns a consistent snapshot of the live gauges.
 func (t *Trace) Counters() Counters {
 	t.mu.Lock()

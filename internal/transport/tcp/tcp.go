@@ -38,7 +38,6 @@ import (
 	"net"
 	"os"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -81,28 +80,33 @@ type pipeJob struct {
 	dl   time.Time
 }
 
-// Endpoint is one machine's socket stack: its listener, the k-1 dialed
-// data connections (writes), the k-1 accepted data connections (reads),
-// and the control connection to the coordinator (or, on the
-// coordinator, from every peer). Each data connection is serviced by a
-// persistent worker goroutine that lives from Connect to Close.
+// Endpoint is one machine's typed socket stack over a Mesh: the
+// listener and connections live in the embedded Mesh (promoted fields),
+// while everything typed in M — codec, encode/decode scratch, pipeline
+// workers — lives here. A single-run endpoint (Listen/Connect) owns a
+// private mesh for its lifetime; a job-attached endpoint (Attach)
+// borrows a standing mesh for one job and detaches, leaving the
+// connections — and any bytes buffered on them — intact for the next
+// job's endpoint. Each data connection is serviced by a persistent
+// worker goroutine that lives from Connect/Attach to Detach/Close.
 type Endpoint[M any] struct {
-	id    int
-	k     int
+	*Mesh
 	codec wire.Codec[M]
-	ln    net.Listener
 
 	// wireVersion selects the batch encoding the writers ship
 	// (wire.BatchV2 by default); the readers accept either version via
 	// the dispatching decoder regardless.
 	wireVersion byte
 
-	out []*dataConn // out[j]: dialed conn for writing to peer j
-	in  []*dataConn // in[j]: accepted conn for reading from peer j
+	// jobID/jobbed scope this endpoint's data frames to one job of a
+	// resident mesh (wire doc.go "Job-scoped frames"): writers prefix
+	// every batch with the job header, readers reject frames scoped to
+	// any other job, and MachineError attribution carries the ID.
+	// Single-run endpoints leave jobbed false and ship bare frames.
+	jobID  uint64
+	jobbed bool
 
-	ctrl     *dataConn   // id>0: connection to the coordinator
-	ctrlIn   []*dataConn // id==0: ctrlIn[j] accepted from peer j
-	ownQueue [][]byte    // id==0: coordinator's loopback report queue
+	ownQueue [][]byte // id==0: coordinator's loopback report queue
 
 	// Pipeline worker state, created once per endpoint lifetime. The
 	// channels carry at most one job (Exchange is a barrier, so a second
@@ -198,24 +202,13 @@ type Endpoint[M any] struct {
 	closeErr  error
 }
 
-// Listen opens machine id's listener on addr ("host:0" picks a free
-// port). Connect must be called before the endpoint can exchange.
-func Listen[M any](id, k int, addr string, codec wire.Codec[M]) (*Endpoint[M], error) {
-	if k < 2 || id < 0 || id >= k {
-		return nil, fmt.Errorf("tcp: invalid endpoint id %d for k=%d", id, k)
-	}
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("tcp: machine %d listen %s: %w", id, addr, err)
-	}
+// newEndpoint wires a typed endpoint onto a mesh (private or standing).
+func newEndpoint[M any](m *Mesh, codec wire.Codec[M]) *Endpoint[M] {
+	k := m.k
 	return &Endpoint[M]{
-		id:          id,
-		k:           k,
+		Mesh:        m,
 		codec:       codec,
-		ln:          ln,
 		wireVersion: wire.BatchV2,
-		out:         make([]*dataConn, k),
-		in:          make([]*dataConn, k),
 		perDest:     make([][]transport.Envelope[M], k),
 		tx:          make([][]byte, k),
 		frame:       make([][]byte, k),
@@ -225,7 +218,42 @@ func Listen[M any](id, k int, addr string, codec wire.Codec[M]) (*Endpoint[M], e
 		wirePeers:   make([]peerWire, k),
 
 		serialWriters: runtime.GOMAXPROCS(0) == 1,
-	}, nil
+	}
+}
+
+// Listen opens machine id's listener on addr ("host:0" picks a free
+// port). Connect must be called before the endpoint can exchange. The
+// endpoint owns its mesh: Close tears both down.
+func Listen[M any](id, k int, addr string, codec wire.Codec[M]) (*Endpoint[M], error) {
+	m, err := ListenMesh(id, k, addr)
+	if err != nil {
+		return nil, err
+	}
+	return newEndpoint(m, codec), nil
+}
+
+// Attach binds a typed per-job endpoint to a standing, connected mesh:
+// fresh pipeline workers are spawned over the mesh's existing
+// connections (cheap — no dials, no handshakes), every data frame the
+// endpoint ships carries the job header for `job`, and frames scoped to
+// any other job are rejected as attributed errors. On clean job end
+// call Detach, which retires the workers and leaves the mesh reusable;
+// Close (taken automatically on any failure) poisons the mesh, because
+// closing the connections is what unblocks the surviving peers.
+func Attach[M any](m *Mesh, codec wire.Codec[M], job uint64) (*Endpoint[M], error) {
+	m.mu.Lock()
+	connected, closed := m.connected, m.closed
+	m.mu.Unlock()
+	if closed {
+		return nil, fmt.Errorf("tcp: machine %d attach job %d to closed mesh: %w", m.id, job, net.ErrClosed)
+	}
+	if !connected {
+		return nil, fmt.Errorf("tcp: machine %d attach job %d to unconnected mesh", m.id, job)
+	}
+	e := newEndpoint(m, codec)
+	e.jobID, e.jobbed = job, true
+	e.startPipeline()
+	return e, nil
 }
 
 // peerWire is one peer's lane of the wire counters.
@@ -233,15 +261,6 @@ type peerWire struct {
 	sentFrames, recvFrames atomic.Int64
 	sentBytes, recvBytes   atomic.Int64
 }
-
-// Addr returns the listener's concrete address (useful with ":0").
-func (e *Endpoint[M]) Addr() string { return e.ln.Addr().String() }
-
-// ID returns the machine ID this endpoint serves.
-func (e *Endpoint[M]) ID() int { return e.id }
-
-// K returns the cluster size.
-func (e *Endpoint[M]) K() int { return e.k }
 
 // SetWireVersion selects the batch format the endpoint's writers ship:
 // wire.BatchV2 (the default) or wire.BatchV1 for the legacy layout.
@@ -298,148 +317,15 @@ func (e *Endpoint[M]) countRecv(peer, payloadLen int) {
 	p.recvBytes.Add(int64(wire.FrameSize(payloadLen)))
 }
 
-// Connect completes the mesh: it dials a data connection to every peer
-// in peers (indexed by machine ID; peers[e.id] is ignored) plus a
-// control connection to peer 0, while accepting the mirror-image
-// connections on its own listener. Dials are retried until timeout so
-// nodes may start in any order. On success the persistent pipeline
+// Connect completes the endpoint's private mesh (see Mesh.Connect for
+// the dial/accept discipline). On success the persistent pipeline
 // workers are spawned; they park between supersteps and exit on Close.
 func (e *Endpoint[M]) Connect(peers []string, timeout time.Duration) error {
-	if len(peers) != e.k {
-		return fmt.Errorf("tcp: machine %d got %d peer addresses for k=%d", e.id, len(peers), e.k)
-	}
-	if timeout <= 0 {
-		timeout = DefaultDialTimeout
-	}
-	deadline := time.Now().Add(timeout)
-
-	wantAccept := e.k - 1 // data conns from every peer
-	if e.id == 0 {
-		e.ctrlIn = make([]*dataConn, e.k)
-		wantAccept += e.k - 1 // plus every peer's control conn
-	}
-
-	var wg sync.WaitGroup
-	var dialErr, acceptErr error
-
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		dialErr = e.dialAll(peers, deadline)
-	}()
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		acceptErr = e.acceptAll(wantAccept, deadline)
-	}()
-	wg.Wait()
-
-	if dialErr != nil || acceptErr != nil {
+	if err := e.Mesh.Connect(peers, timeout); err != nil {
 		e.Close()
-		if dialErr != nil {
-			return dialErr
-		}
-		return acceptErr
+		return err
 	}
 	e.startPipeline()
-	return nil
-}
-
-func (e *Endpoint[M]) dialAll(peers []string, deadline time.Time) error {
-	dial := func(addr string, kind byte) (*dataConn, error) {
-		var lastErr error
-		for time.Now().Before(deadline) {
-			c, err := net.DialTimeout("tcp", addr, time.Until(deadline))
-			if err != nil {
-				lastErr = err
-				time.Sleep(20 * time.Millisecond)
-				continue
-			}
-			dc := newDataConn(c)
-			hello := []byte{kind}
-			hello = wire.AppendUvarint(hello, uint64(e.id))
-			if err := wire.WriteFrame(dc.w, hello); err != nil {
-				c.Close()
-				return nil, err
-			}
-			if err := dc.w.Flush(); err != nil {
-				c.Close()
-				return nil, err
-			}
-			return dc, nil
-		}
-		return nil, fmt.Errorf("tcp: machine %d dial %s timed out: %v", e.id, addr, lastErr)
-	}
-	for j := 0; j < e.k; j++ {
-		if j == e.id {
-			continue
-		}
-		dc, err := dial(peers[j], helloData)
-		if err != nil {
-			return err
-		}
-		e.out[j] = dc
-	}
-	if e.id != 0 {
-		dc, err := dial(peers[0], helloCtrl)
-		if err != nil {
-			return err
-		}
-		e.ctrl = dc
-	}
-	return nil
-}
-
-func (e *Endpoint[M]) acceptAll(want int, deadline time.Time) error {
-	type deadliner interface{ SetDeadline(time.Time) error }
-	if d, ok := e.ln.(deadliner); ok {
-		if err := d.SetDeadline(deadline); err != nil {
-			return fmt.Errorf("tcp: machine %d set accept deadline: %w", e.id, err)
-		}
-		defer d.SetDeadline(time.Time{})
-	}
-	for got := 0; got < want; got++ {
-		c, err := e.ln.Accept()
-		if err != nil {
-			return fmt.Errorf("tcp: machine %d accept: %w", e.id, err)
-		}
-		dc := newDataConn(c)
-		hello, err := wire.ReadFrame(dc.r)
-		if err != nil {
-			c.Close()
-			return fmt.Errorf("tcp: machine %d bad hello: %w", e.id, err)
-		}
-		if len(hello) < 2 {
-			c.Close()
-			return fmt.Errorf("tcp: machine %d short hello", e.id)
-		}
-		from, _, err := wire.Uvarint(hello[1:])
-		if err != nil || int(from) >= e.k || int(from) == e.id {
-			c.Close()
-			return fmt.Errorf("tcp: machine %d hello from invalid peer %d", e.id, from)
-		}
-		switch hello[0] {
-		case helloData:
-			if e.in[from] != nil {
-				c.Close()
-				return fmt.Errorf("tcp: machine %d got duplicate data conn from %d", e.id, from)
-			}
-			e.in[from] = dc
-		case helloCtrl:
-			if e.id != 0 {
-				c.Close()
-				return fmt.Errorf("tcp: machine %d (not coordinator) got control conn from %d", e.id, from)
-			}
-			if e.ctrlIn[from] != nil {
-				c.Close()
-				return fmt.Errorf("tcp: coordinator got duplicate control conn from %d", from)
-			}
-			e.ctrlIn[from] = dc
-		default:
-			c.Close()
-			return fmt.Errorf("tcp: machine %d unknown hello kind %d", e.id, hello[0])
-		}
-	}
 	return nil
 }
 
@@ -570,12 +456,18 @@ func (e *Endpoint[M]) runWriter(j int, job pipeJob) {
 	if e.rec != nil {
 		t0 = obs.Now()
 	}
+	base := e.tx[j][:0]
+	if e.jobbed {
+		// Job-attached endpoints scope every data frame: the header sits
+		// ahead of the version byte, the batch encoding is untouched.
+		base = wire.AppendJobHeader(base, e.jobID)
+	}
 	var buf []byte
 	var err error
 	if e.wireVersion == wire.BatchV1 {
-		buf, err = wire.AppendBatchV1(e.tx[j][:0], job.step, transport.MachineID(e.id), e.txSrc[j], e.codec)
+		buf, err = wire.AppendBatchV1(base, job.step, transport.MachineID(e.id), e.txSrc[j], e.codec)
 	} else {
-		buf, err = wire.AppendBatchV2(e.tx[j][:0], job.step, transport.MachineID(e.id), transport.MachineID(j), e.txSrc[j], e.codec)
+		buf, err = wire.AppendBatchV2(base, job.step, transport.MachineID(e.id), transport.MachineID(j), e.txSrc[j], e.codec)
 	}
 	e.tx[j] = buf[:0]
 	if err != nil {
@@ -583,7 +475,7 @@ func (e *Endpoint[M]) runWriter(j int, job pipeJob) {
 		// envelope), not peer j's: attribute it to this machine so the
 		// blame broadcast names the actual culprit instead of spreading
 		// "j failed" across the cluster.
-		e.fail(&transport.MachineError{Machine: transport.MachineID(e.id), Superstep: job.step,
+		e.fail(&transport.MachineError{Machine: transport.MachineID(e.id), Superstep: job.step, Job: e.jobID,
 			Err: fmt.Errorf("tcp: machine %d encode batch for %d: %w", e.id, j, err)})
 		return
 	}
@@ -591,7 +483,7 @@ func (e *Endpoint[M]) runWriter(j int, job pipeJob) {
 	// deadline cannot be set: falling through into an unbounded write
 	// would silently defeat the wedge detection the deadline exists for.
 	if err := e.out[j].writeFrameLocked(job.dl, buf); err != nil {
-		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d send to %d: %w", e.id, j, err)))
+		e.fail(e.attrib(j, job.step, fmt.Errorf("tcp: machine %d send to %d: %w", e.id, j, err)))
 		return
 	}
 	e.countSent(j, len(buf))
@@ -614,12 +506,12 @@ func (e *Endpoint[M]) runReader(j int, job pipeJob) {
 	}
 	dc := e.in[j]
 	if err := dc.c.SetReadDeadline(job.dl); err != nil {
-		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d set read deadline for %d: %w", e.id, j, err)))
+		e.fail(e.attrib(j, job.step, fmt.Errorf("tcp: machine %d set read deadline for %d: %w", e.id, j, err)))
 		return
 	}
 	frame, err := wire.ReadFrameInto(dc.r, e.frame[j])
 	if err != nil {
-		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d recv from %d: %w", e.id, j, err)))
+		e.fail(e.attrib(j, job.step, fmt.Errorf("tcp: machine %d recv from %d: %w", e.id, j, err)))
 		return
 	}
 	e.frame[j] = frame[:0]
@@ -638,28 +530,50 @@ func (e *Endpoint[M]) runReader(j int, job pipeJob) {
 		// The peer is tearing down and names the machine it blames; the
 		// abort precedes its FIN in stream order, so we learn the true
 		// culprit instead of misattributing the peer's own EOF to it.
+		// Blame frames are deliberately job-agnostic — a teardown must be
+		// understood whichever job's endpoint reads it.
 		bstep, suspect, aerr := wire.DecodeAbort(frame)
 		if aerr != nil {
-			e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d bad abort from %d: %w", e.id, j, aerr)))
+			e.fail(e.attrib(j, job.step, fmt.Errorf("tcp: machine %d bad abort from %d: %w", e.id, j, aerr)))
 			return
 		}
-		e.fail(&transport.MachineError{Machine: suspect, Superstep: job.step,
+		e.fail(&transport.MachineError{Machine: suspect, Superstep: job.step, Job: e.jobID,
 			Err: fmt.Errorf("tcp: peer %d aborted superstep %d blaming machine %d", j, bstep, suspect)})
 		return
 	}
-	gotStep, from, envs, err := wire.DecodeBatchAnyInto(frame, e.codec, transport.MachineID(j), transport.MachineID(e.id), e.rx[j])
+	payload := frame
+	if e.jobbed {
+		// Verify the frame belongs to OUR job before decoding a byte of
+		// it: a straggler from a previous job decoded into this run would
+		// corrupt it silently; rejected here it is a loud attributed error.
+		gotJob, rest, jobbed, jerr := wire.PeelJobHeader(frame)
+		if jerr != nil {
+			e.fail(e.attrib(j, job.step, fmt.Errorf("tcp: machine %d job header from %d: %w", e.id, j, jerr)))
+			return
+		}
+		if !jobbed {
+			e.fail(e.attrib(j, job.step, fmt.Errorf("tcp: machine %d got job-less frame from %d during job %d", e.id, j, e.jobID)))
+			return
+		}
+		if gotJob != e.jobID {
+			e.fail(e.attrib(j, job.step, fmt.Errorf("tcp: machine %d got frame for job %d from %d during job %d", e.id, gotJob, j, e.jobID)))
+			return
+		}
+		payload = rest
+	}
+	gotStep, from, envs, err := wire.DecodeBatchAnyInto(payload, e.codec, transport.MachineID(j), transport.MachineID(e.id), e.rx[j])
 	if e.rec != nil {
 		e.rec.Record(obs.Span{Start: t1, Dur: obs.Now() - t1,
 			Machine: int32(e.id), Peer: int32(j), Superstep: int32(job.step),
 			Phase: obs.PhaseFrameDecode})
 	}
 	if err != nil {
-		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d decode from %d: %w", e.id, j, err)))
+		e.fail(e.attrib(j, job.step, fmt.Errorf("tcp: machine %d decode from %d: %w", e.id, j, err)))
 		return
 	}
 	e.rx[j] = envs
 	if gotStep != job.step || int(from) != j {
-		e.fail(attributed(j, job.step, fmt.Errorf("tcp: machine %d expected (superstep %d, from %d), got (%d, %d)",
+		e.fail(e.attrib(j, job.step, fmt.Errorf("tcp: machine %d expected (superstep %d, from %d), got (%d, %d)",
 			e.id, job.step, j, gotStep, from)))
 		return
 	}
@@ -672,12 +586,12 @@ func (e *Endpoint[M]) runReader(j int, job pipeJob) {
 func (e *Endpoint[M]) runCtrlReader(j int, job pipeJob) {
 	dc := e.ctrlIn[j]
 	if err := dc.c.SetReadDeadline(job.dl); err != nil {
-		e.recordErr(&e.ctrlCause, &e.ctrlShrapnel, attributed(j, job.step, fmt.Errorf("tcp: coordinator set read deadline for %d: %w", j, err)))
+		e.recordErr(&e.ctrlCause, &e.ctrlShrapnel, e.attrib(j, job.step, fmt.Errorf("tcp: coordinator set read deadline for %d: %w", j, err)))
 		return
 	}
 	frame, err := wire.ReadFrameInto(dc.r, e.ctrlFrame[j])
 	if err != nil {
-		e.recordErr(&e.ctrlCause, &e.ctrlShrapnel, attributed(j, job.step, fmt.Errorf("tcp: coordinator read report from %d: %w", j, err)))
+		e.recordErr(&e.ctrlCause, &e.ctrlShrapnel, e.attrib(j, job.step, fmt.Errorf("tcp: coordinator read report from %d: %w", j, err)))
 		return
 	}
 	e.ctrlFrame[j] = frame[:0]
@@ -768,6 +682,16 @@ func attributed(peer, step int, err error) error {
 		err = fmt.Errorf("no data within the superstep deadline (peer crashed or wedged?): %w", err)
 	}
 	return &transport.MachineError{Machine: transport.MachineID(peer), Superstep: step, Err: err}
+}
+
+// attrib is attributed plus the endpoint's job stamp: failures of a
+// job-attached endpoint name the job they killed, so a multi-job daemon
+// can fail exactly one submission. Zero (single-run endpoints) means
+// "no job" and prints as before.
+func (e *Endpoint[M]) attrib(peer, step int, err error) error {
+	me := attributed(peer, step, err).(*transport.MachineError)
+	me.Job = e.jobID
+	return me
 }
 
 // Exchange ships this machine's superstep batch to every peer and
@@ -1287,73 +1211,63 @@ func (e *Endpoint[M]) Barrier(ctx context.Context, step int) error {
 	return nil
 }
 
-// Close tears down the listener and every connection, unblocking all
-// pending I/O on them, and retires the pipeline workers. It is
+// retireWorkers closes every pipeline signal channel, run at most once
+// (via closeOnce) by Detach or Close. No dispatch can race it: the
+// caller set closed under mu first, dispatch sends only while holding
+// mu with closed unset, and buffered jobs survive a channel close, so
+// in-flight supersteps still drain.
+func (e *Endpoint[M]) retireWorkers() {
+	e.mu.Lock()
+	started := e.started
+	e.mu.Unlock()
+	if !started {
+		return
+	}
+	for _, ch := range e.writerCh {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	for _, ch := range e.readerCh {
+		if ch != nil {
+			close(ch)
+		}
+	}
+	for _, ch := range e.ctrlCh {
+		if ch != nil {
+			close(ch)
+		}
+	}
+}
+
+// Detach retires the endpoint's pipeline workers and ends its use of
+// the mesh WITHOUT closing any connection — the standing fabric (and
+// any bytes buffered on it) stays intact for the next job's endpoint.
+// Valid only at a quiescent point: every superstep drained, every
+// control frame consumed — the job-end handshake of the node runtime is
+// what certifies that. A failed endpoint must use Close instead; after
+// Detach the endpoint itself is dead either way.
+func (e *Endpoint[M]) Detach() {
+	e.mu.Lock()
+	e.closed = true
+	e.mu.Unlock()
+	e.closeOnce.Do(e.retireWorkers)
+}
+
+// Close retires the pipeline workers and tears down the mesh — the
+// listener and every connection — unblocking all pending I/O. It is
 // idempotent — concurrent and repeated calls are safe and return the
 // first call's result — which is what lets the error-cascade teardown,
 // context cancellation (ioGuard), and the caller's own deferred Close
-// coexist.
+// coexist. Closing a job-attached endpoint poisons the standing mesh
+// deliberately: a failure is only survivable cluster-wide by closing
+// the connections every peer is parked on.
 func (e *Endpoint[M]) Close() error {
 	e.mu.Lock()
 	e.closed = true
 	e.mu.Unlock()
-	e.closeOnce.Do(func() {
-		// Retire the pipeline workers: no dispatch can race this close
-		// (closed was set under mu above; dispatch sends only while
-		// holding mu with closed unset), and buffered jobs survive a
-		// channel close, so in-flight supersteps still drain.
-		e.mu.Lock()
-		started := e.started
-		e.mu.Unlock()
-		if started {
-			for _, ch := range e.writerCh {
-				if ch != nil {
-					close(ch)
-				}
-			}
-			for _, ch := range e.readerCh {
-				if ch != nil {
-					close(ch)
-				}
-			}
-			for _, ch := range e.ctrlCh {
-				if ch != nil {
-					close(ch)
-				}
-			}
-		}
-		var errs []string
-		record := func(err error) {
-			if err != nil {
-				errs = append(errs, err.Error())
-			}
-		}
-		if e.ln != nil {
-			record(e.ln.Close())
-		}
-		for _, dc := range e.out {
-			if dc != nil {
-				record(dc.c.Close())
-			}
-		}
-		for _, dc := range e.in {
-			if dc != nil {
-				record(dc.c.Close())
-			}
-		}
-		if e.ctrl != nil {
-			record(e.ctrl.c.Close())
-		}
-		for _, dc := range e.ctrlIn {
-			if dc != nil {
-				record(dc.c.Close())
-			}
-		}
-		if len(errs) > 0 {
-			e.closeErr = fmt.Errorf("tcp: close machine %d: %s", e.id, strings.Join(errs, "; "))
-		}
-	})
-	return e.closeErr
+	e.closeOnce.Do(e.retireWorkers)
+	return e.Mesh.Close()
 }
 
 // NewLoopbackMesh builds the complete k-endpoint mesh over loopback TCP

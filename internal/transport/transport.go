@@ -170,12 +170,20 @@ type MachineError struct {
 	Machine MachineID
 	// Superstep is the superstep in which the failure surfaced.
 	Superstep int
+	// Job, when nonzero, is the scheduler-assigned job the failure
+	// surfaced in. Single-run transports leave it zero; job-attached
+	// endpoints of a resident mesh stamp it so a multi-job daemon can
+	// attribute the failure to exactly one submission.
+	Job uint64
 	// Err is the underlying cause.
 	Err error
 }
 
 // Error implements error.
 func (e *MachineError) Error() string {
+	if e.Job != 0 {
+		return fmt.Sprintf("machine %d failed in superstep %d (job %d): %v", e.Machine, e.Superstep, e.Job, e.Err)
+	}
 	return fmt.Sprintf("machine %d failed in superstep %d: %v", e.Machine, e.Superstep, e.Err)
 }
 

@@ -73,6 +73,24 @@
 // counts for sparse traffic — end right after count, so they cost no
 // more than their v1 equivalent.
 //
+// # Job-scoped frames
+//
+// A resident mesh executes many jobs over the same persistent
+// connections (DESIGN.md "Job service"). Data frames of such a mesh are
+// job-scoped: a job header sits where the batch version byte otherwise
+// would, and the complete versioned batch follows unchanged —
+//
+//	jobbed     := 0x03 job batchV1|batchV2
+//	job        := uvarint             // job ID, assigned by the scheduler
+//
+// The header scopes, it does not re-encode: v1 and v2 bodies travel
+// byte-identically inside it, so mixed-version meshes interoperate
+// job-scoped exactly as they do bare. A reader attached for job J
+// rejects a frame scoped to any other job (a straggler from a previous
+// job, or a protocol bug) as an attributed error instead of decoding it
+// into the wrong run; job-less endpoints (the single-run Listen/Connect
+// path) never emit the header and reject it as an unknown version.
+//
 // A failing endpoint may ship one final frame on a data connection
 // before closing it:
 //

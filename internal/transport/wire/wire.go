@@ -394,6 +394,43 @@ func decodeBatchV2Into[M any](src []byte, c Codec[M], from, to transport.Machine
 	return step, from, envs, nil
 }
 
+// BatchJobbed marks a job-scoped data frame: the byte sits where a
+// batch version byte otherwise would, followed by the uvarint job ID
+// and then a complete versioned batch (BatchV1 or BatchV2 body,
+// unchanged). It is the framing extension that lets frames from
+// different jobs share one standing mesh's persistent per-peer
+// connections: a reader attached for job J rejects a straggler frame
+// from job I != J instead of silently decoding it into the wrong run.
+// Mixed-version interop is preserved — the job header wraps either
+// batch version, and job-less endpoints keep shipping bare v1/v2
+// batches.
+const BatchJobbed = byte(0x03)
+
+// AppendJobHeader appends a job-scope header: the BatchJobbed marker
+// and the job ID. The caller appends a versioned batch (AppendBatchV1 /
+// AppendBatchV2) immediately after.
+func AppendJobHeader(dst []byte, job uint64) []byte {
+	dst = append(dst, BatchJobbed)
+	return AppendUvarint(dst, job)
+}
+
+// PeelJobHeader splits a data frame into its job scope and the inner
+// versioned batch. Frames without a job header (bare v1/v2 batches from
+// a job-less endpoint, or abort frames) return jobbed=false with rest
+// aliasing src whole; job-scoped frames return the job ID and the inner
+// batch bytes. The caller decides whether a bare frame is acceptable —
+// a job-attached reader treats it as a protocol violation.
+func PeelJobHeader(src []byte) (job uint64, rest []byte, jobbed bool, err error) {
+	if len(src) == 0 || src[0] != BatchJobbed {
+		return 0, src, false, nil
+	}
+	job, n, err := Uvarint(src[1:])
+	if err != nil {
+		return 0, nil, true, fmt.Errorf("wire: corrupt job header: %w", err)
+	}
+	return job, src[1+n:], true, nil
+}
+
 // BatchAbort marks a blame frame: a failing endpoint's last words on a
 // data connection, naming the machine it holds responsible before the
 // connection closes. Readers that find one instead of a batch re-raise

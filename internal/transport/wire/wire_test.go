@@ -392,3 +392,92 @@ func TestFrameRoundTrip(t *testing.T) {
 		t.Error("read past final frame succeeded")
 	}
 }
+
+func TestJobHeaderRoundTrip(t *testing.T) {
+	r := rng.New(19)
+	c := pairCodec{}
+	for trial := 0; trial < 100; trial++ {
+		job := r.Uint64() >> uint(r.Intn(64))
+		step := r.Intn(1000)
+		from := transport.MachineID(r.Intn(8))
+		to := transport.MachineID(r.Intn(8))
+		envs := v2Batch(r, from, to, r.Intn(20))
+
+		// Job header wraps either batch version byte-identically.
+		for _, v := range []byte{BatchV1, BatchV2} {
+			enc := AppendJobHeader(nil, job)
+			hdr := len(enc)
+			var err error
+			if v == BatchV1 {
+				enc, err = AppendBatchV1(enc, step, from, envs, c)
+			} else {
+				enc, err = AppendBatchV2(enc, step, from, to, envs, c)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotJob, rest, jobbed, err := PeelJobHeader(enc)
+			if err != nil || !jobbed || gotJob != job {
+				t.Fatalf("peel: job=%d jobbed=%v err=%v, want job=%d", gotJob, jobbed, err, job)
+			}
+			if len(rest) != len(enc)-hdr {
+				t.Fatalf("peel v%d: rest %d bytes, want %d", v, len(rest), len(enc)-hdr)
+			}
+			gotStep, gotFrom, gotEnvs, err := DecodeBatchAnyInto(rest, c, from, to, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotStep != step || gotFrom != from || len(gotEnvs) != len(envs) {
+				t.Fatalf("inner batch v%d: got (%d,%d,%d), want (%d,%d,%d)",
+					v, gotStep, gotFrom, len(gotEnvs), step, from, len(envs))
+			}
+			for i := range envs {
+				if gotEnvs[i] != envs[i] {
+					t.Fatalf("envelope %d: got %+v, want %+v", i, gotEnvs[i], envs[i])
+				}
+			}
+		}
+	}
+}
+
+func TestJobHeaderBarePassthrough(t *testing.T) {
+	c := pairCodec{}
+	enc, err := AppendBatchV2(nil, 5, 1, 2, nil, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, rest, jobbed, err := PeelJobHeader(enc)
+	if err != nil || jobbed || job != 0 {
+		t.Fatalf("bare frame: job=%d jobbed=%v err=%v, want passthrough", job, jobbed, err)
+	}
+	if &rest[0] != &enc[0] || len(rest) != len(enc) {
+		t.Fatal("bare frame: rest does not alias src")
+	}
+	// Abort frames are job-agnostic: 0xFF never collides with 0x03.
+	ab := AppendAbort(nil, 7, 3)
+	if _, _, jobbed, err := PeelJobHeader(ab); err != nil || jobbed {
+		t.Fatalf("abort frame peeled as jobbed (err=%v)", err)
+	}
+}
+
+func TestJobHeaderRejectsCorruption(t *testing.T) {
+	// Truncated uvarint after the marker.
+	for _, src := range [][]byte{
+		{BatchJobbed},
+		{BatchJobbed, 0x80},
+		{BatchJobbed, 0xFF, 0xFF},
+	} {
+		if _, _, jobbed, err := PeelJobHeader(src); err == nil || !jobbed {
+			t.Errorf("corrupt header % x: jobbed=%v err=%v, want error", src, jobbed, err)
+		}
+	}
+	// A jobbed frame handed to a job-less decoder is an unknown version.
+	c := pairCodec{}
+	enc, err := AppendBatchV1(AppendJobHeader(nil, 42), 1, 0, nil, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := DecodeBatchAnyInto(enc, c, 0, 1, nil); err == nil {
+		t.Error("job-less decoder accepted a jobbed frame")
+	}
+}
