@@ -82,7 +82,10 @@ func publishJobExpvars(s *jobs.Scheduler) {
 		gauge("kmachine.jobs.queued", func(st jobs.Stats) any { return st.Queued })
 		gauge("kmachine.jobs.done", func(st jobs.Stats) any { return st.Done })
 		gauge("kmachine.jobs.failed", func(st jobs.Stats) any { return st.Failed })
+		gauge("kmachine.jobs.canceled", func(st jobs.Stats) any { return st.Canceled })
 		gauge("kmachine.jobs.mesh_rebuilds", func(st jobs.Stats) any { return st.Rebuilds })
+		gauge("kmachine.jobs.recovered", func(st jobs.Stats) any { return st.Recovered })
+		gauge("kmachine.jobs.evicted", func(st jobs.Stats) any { return st.Evicted })
 		gauge("kmachine.jobs.draining", func(st jobs.Stats) any { return st.Draining })
 	})
 }

@@ -107,6 +107,9 @@ func main() {
 		timeout   = flag.Duration("dial-timeout", 10*time.Second, "how long to wait for peers to come up")
 		deadline  = flag.Duration("superstep-timeout", 0, "per-superstep deadline; a crashed or wedged peer surfaces as an attributed error within it (0 = none)")
 		streaming = flag.Bool("streaming", false, "streaming supersteps: overlap compute with communication by shipping per-peer batches mid-superstep (results and stats are identical)")
+		ckEvery   = flag.Int("checkpoint-every", 0, "capture machine state every s supersteps and survive machine failures by resuming from the last checkpoint (0 = off, fail fast)")
+		ckDir     = flag.String("checkpoint-dir", "", "persist checkpoints to this directory instead of memory only — complete cluster checkpoints land as ckpt-*.kmnc files (needs -checkpoint-every)")
+		retain    = flag.Int("retain-jobs", 0, "daemon mode: keep at most this many job records, evicting finished ones oldest-first (0 = unbounded)")
 		sharded   = flag.Bool("sharded", false, "partition-local setup: build only this machine's CSR shard instead of materializing the full graph (results and stats are identical)")
 		input     = flag.String("input", "", "read the graph from this edge-list file ('u v' per line, '#' comments) instead of generating G(n,p); -n still declares the vertex-ID space")
 		splitOut  = flag.String("split-out", "", "split -input into per-machine edge-list files in this directory and exit (needs -local k or -k for the machine count)")
@@ -137,7 +140,8 @@ func main() {
 	}
 
 	prob := algo.Problem{N: *n, EdgeP: *p, Seed: *seed, Bandwidth: *bw, Eps: *eps, Top: *top,
-		SuperstepTimeout: *deadline, Streaming: *streaming, Sharded: *sharded, InputPath: *input}
+		SuperstepTimeout: *deadline, Streaming: *streaming, Sharded: *sharded, InputPath: *input,
+		Checkpoint: algo.CheckpointSpec{Every: *ckEvery, Dir: *ckDir}}
 	switch {
 	case *local >= 2:
 		prob.K = *local
@@ -179,7 +183,7 @@ func main() {
 		// The daemon owns the debug mux (the job API mounts on it) and
 		// only exits on signal, so the one-shot server and the trace
 		// flush below don't apply.
-		runServe(prob.K, *debugAddr, tel.trace)
+		runServe(prob.K, *debugAddr, tel.trace, *retain)
 		return
 	}
 	if *debugAddr != "" {

@@ -32,7 +32,7 @@ import (
 // jobs finish, new submissions get 503 — then the mesh closes and the
 // process exits 0. A second signal force-aborts the in-flight job
 // through its context; teardown still completes cleanly.
-func runServe(k int, addr string, tr *obs.Trace) {
+func runServe(k int, addr string, tr *obs.Trace, retainJobs int) {
 	if k < 2 {
 		fatal("-serve needs -local k with k >= 2 for the standing mesh size")
 	}
@@ -43,7 +43,7 @@ func runServe(k int, addr string, tr *obs.Trace) {
 	if err != nil {
 		fatal("standing mesh failed to build", slog.Int("k", k), slog.Any("err", err))
 	}
-	sched := jobs.New(backend, jobs.Options{Trace: tr})
+	sched := jobs.New(backend, jobs.Options{Trace: tr, MaxJobs: retainJobs})
 	mux := newDebugMux(tr)
 	sched.RegisterAPI(mux)
 	publishJobExpvars(sched)

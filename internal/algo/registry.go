@@ -78,6 +78,44 @@ type Problem struct {
 	// drives the partition and machine streams. With Sharded set the
 	// file is streamed straight into this machine's CSR shard.
 	InputPath string
+	// Checkpoint opts the run into per-superstep checkpointing and
+	// failure recovery on every substrate (core.Config.Checkpoint /
+	// node.Config.Checkpoint). Off by default — the zero value keeps
+	// today's fail-fast behaviour, hashes, and Stats bit-identical.
+	Checkpoint CheckpointSpec
+}
+
+// CheckpointSpec is the substrate-agnostic checkpoint policy of a
+// Problem: which knobs apply depends on the runner (Sink/Dir and
+// MaxRecoveries drive the in-process cluster's in-run machine
+// replacement; Store and Resume drive the node runtime's
+// resume-from-checkpoint, which the job scheduler uses across mesh
+// rebuilds). Every is shared. The machines of the algorithm must
+// implement core.Snapshotter (all registry algorithms do).
+type CheckpointSpec struct {
+	// Every captures machine state every Every supersteps; 0 disables
+	// checkpointing entirely.
+	Every int
+	// Dir, when non-empty, persists checkpoints to disk: the
+	// in-process cluster swaps its in-memory ring for a core.FileSink,
+	// and the node runtime mirrors every complete checkpoint into the
+	// directory (CheckpointStore.PersistTo).
+	Dir string
+	// Sink overrides the in-process cluster's checkpoint sink (wins
+	// over Dir). Useful for inspecting checkpoint traffic in tests and
+	// experiments (core.MemorySink counts puts and bytes).
+	Sink core.CheckpointSink
+	// MaxRecoveries caps in-run machine replacements on the in-process
+	// cluster; 0 means core.DefaultMaxRecoveries.
+	MaxRecoveries int
+	// Store is the node runtime's shared checkpoint store. The job
+	// scheduler creates one per opted-in job so checkpoints survive
+	// mesh rebuilds; nil lets the node runtime create a private one.
+	Store *node.CheckpointStore
+	// Resume makes a node-runtime run restore the latest complete
+	// checkpoint from Store before its first superstep — the
+	// re-attempt half of the scheduler's recovery protocol.
+	Resume bool
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -103,15 +141,33 @@ func (prob Problem) withDefaults() Problem {
 func (prob Problem) nodeConfig(k int) node.Config {
 	return node.Config{K: k, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
 		SuperstepTimeout: prob.SuperstepTimeout, Context: prob.Context,
-		Recorder: prob.Recorder, Streaming: prob.Streaming}
+		Recorder: prob.Recorder, Streaming: prob.Streaming,
+		Checkpoint: node.CheckpointConfig{Every: prob.Checkpoint.Every,
+			Store: prob.Checkpoint.Store, Resume: prob.Checkpoint.Resume,
+			Dir: prob.Checkpoint.Dir}}
 }
 
 // coreConfig is the in-process cluster configuration of a problem: the
 // machine streams draw from Seed+2 on every substrate.
 func (prob Problem) coreConfig(kind transport.Kind) core.Config {
-	return core.Config{K: prob.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
+	cfg := core.Config{K: prob.K, Bandwidth: prob.Bandwidth, Seed: prob.Seed + 2,
 		Transport: kind, SuperstepTimeout: prob.SuperstepTimeout, Context: prob.Context,
 		Recorder: prob.Recorder, Streaming: prob.Streaming}
+	if ck := prob.Checkpoint; ck.Every > 0 {
+		sink := ck.Sink
+		if sink == nil {
+			if ck.Dir != "" {
+				sink = core.NewFileSink(ck.Dir)
+			} else {
+				sink = core.NewMemorySink(2)
+			}
+		}
+		cfg.Checkpoint = core.CheckpointPolicy{Every: ck.Every, Sink: sink,
+			MaxRecoveries: ck.MaxRecoveries}
+		// Checkpointed runs capture at the lockstep barrier.
+		cfg.Streaming = false
+	}
+	return cfg
 }
 
 // Outcome is the substrate-agnostic report of one registry run.

@@ -1,0 +1,54 @@
+package conncomp
+
+import (
+	"fmt"
+
+	twire "kmachine/internal/transport/wire"
+)
+
+// SnapshotState serialises the machine's dynamic connectivity state:
+// the 3-superstep phase cursor, the change/termination flags, and the
+// per-local-vertex labels in Locals() order. The local union-find
+// (parent) is NOT serialised: unions happen only in the constructor, so
+// its set partition is an input invariant — path compression after a
+// restore re-derives the same roots the snapshotted machine saw.
+func (m *ccMachine) SnapshotState(dst []byte) ([]byte, error) {
+	dst = twire.AppendUvarint(dst, uint64(m.phase))
+	var flags byte
+	if m.anyChange {
+		flags |= 1
+	}
+	if m.flagsChanged {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	dst = twire.AppendUvarint(dst, uint64(m.flagsSeen))
+	for _, v := range m.view.Locals() {
+		dst = twire.AppendVarint(dst, int64(m.label[v]))
+	}
+	return dst, nil
+}
+
+// RestoreState overwrites the machine's dynamic state from a
+// SnapshotState blob taken on a machine built from the same inputs.
+// Label entries are overwritten in place (Output aliases the map), and
+// delivery scratch reset.
+func (m *ccMachine) RestoreState(src []byte) error {
+	c := twire.Cursor{Src: src}
+	phase := c.Uvarint()
+	flags := c.Byte()
+	flagsSeen := c.Uvarint()
+	for _, v := range m.view.Locals() {
+		m.label[v] = int32(c.Varint())
+	}
+	if err := c.Finish(); err != nil {
+		return fmt.Errorf("conncomp: restore: %w", err)
+	}
+	m.phase = int(phase)
+	m.anyChange = flags&1 != 0
+	m.flagsChanged = flags&2 != 0
+	m.flagsSeen = int(flagsSeen)
+	m.delivBuf = m.delivBuf[:0]
+	m.outBuf = m.outBuf[:0]
+	return nil
+}

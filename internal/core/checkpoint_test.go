@@ -1,0 +1,95 @@
+package core
+
+// White-box tests for the pluggable checkpoint sinks: both must hand
+// back exactly what the newest Put stored, retain only the configured
+// window, and never leave torn state behind — Latest() is what recovery
+// restores from, so a stale or half-written blob there is silent data
+// corruption downstream.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func checkSink(t *testing.T, s CheckpointSink) {
+	t.Helper()
+	if step, blob, err := s.Latest(); step != -1 || blob != nil || err != nil {
+		t.Fatalf("empty sink Latest() = (%d, %v, %v), want (-1, nil, nil)", step, blob, err)
+	}
+	for step := 4; step <= 24; step += 5 {
+		blob := []byte(fmt.Sprintf("cut-at-%d", step))
+		if err := s.Put(step, blob); err != nil {
+			t.Fatalf("Put(%d): %v", step, err)
+		}
+		// The caller's buffer is reused by the encoder; the sink must
+		// have copied before we clobber it.
+		for i := range blob {
+			blob[i] = 0xFF
+		}
+		gotStep, got, err := s.Latest()
+		if err != nil {
+			t.Fatalf("Latest after Put(%d): %v", step, err)
+		}
+		if gotStep != step || !bytes.Equal(got, []byte(fmt.Sprintf("cut-at-%d", step))) {
+			t.Fatalf("Latest = (%d, %q) after Put(%d)", gotStep, got, step)
+		}
+	}
+}
+
+func TestMemorySinkRetainsNewest(t *testing.T) {
+	s := NewMemorySink(2)
+	checkSink(t, s)
+	if s.Puts() != 5 {
+		t.Errorf("Puts() = %d after 5 puts", s.Puts())
+	}
+	var want int64
+	for step := 4; step <= 24; step += 5 {
+		want += int64(len(fmt.Sprintf("cut-at-%d", step)))
+	}
+	if s.Bytes() != want {
+		t.Errorf("Bytes() = %d, want %d (counters cover all puts, not just the ring)", s.Bytes(), want)
+	}
+	if n := len(s.entries); n != 2 {
+		t.Errorf("ring holds %d checkpoints, want 2", n)
+	}
+}
+
+func TestFileSinkRetainsNewestAtomically(t *testing.T) {
+	dir := t.TempDir()
+	s := NewFileSink(dir)
+	checkSink(t, s)
+	files, err := filepath.Glob(filepath.Join(dir, "ckpt-*.kmcp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Errorf("dir holds %d checkpoint files %v, want 2", len(files), files)
+	}
+	if tmp, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(tmp) != 0 {
+		t.Errorf("torn temp files left behind: %v", tmp)
+	}
+	// A second sink over the same directory — a restarted process —
+	// sees the same newest checkpoint.
+	if step, blob, err := NewFileSink(dir).Latest(); err != nil || step != 24 || !bytes.Equal(blob, []byte("cut-at-24")) {
+		t.Errorf("reopened sink Latest() = (%d, %q, %v), want (24, \"cut-at-24\", nil)", step, blob, err)
+	}
+}
+
+func TestFileSinkLatestIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s := NewFileSink(dir)
+	if err := s.Put(7, []byte("seven")); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"notes.txt", "ckpt-junk.kmcp", "ckpt-00000099.kmcp.tmp"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if step, blob, err := s.Latest(); err != nil || step != 7 || !bytes.Equal(blob, []byte("seven")) {
+		t.Errorf("Latest() = (%d, %q, %v) amid foreign files, want (7, \"seven\", nil)", step, blob, err)
+	}
+}

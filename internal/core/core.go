@@ -147,6 +147,17 @@ type Config struct {
 	// pre-transport, so Stats, outputs, and determinism hashes are
 	// bit-identical with the flag on or off. Default off.
 	Streaming bool
+	// Checkpoint opts the run into per-superstep checkpointing and
+	// in-run recovery (see checkpoint.go): every Checkpoint.Every
+	// supersteps a consistent cut of all machine state is captured at
+	// the observation barrier into Checkpoint.Sink, and a run driven by
+	// RunCheckpointed survives machine loss by restoring the latest cut
+	// and replaying. Off by default (Every == 0): the lockstep loop's
+	// hook is a single nil check, keeping the zero-allocation steady
+	// state and every golden hash unchanged. Checkpointing requires all
+	// machines to implement Snapshotter and forces the lockstep
+	// schedule (Streaming is ignored).
+	Checkpoint CheckpointPolicy
 	// Recorder, when non-nil, receives wall-clock phase spans from the
 	// run: per machine and superstep, a compute span (the Step call) and
 	// a barrier span (waiting for the slowest machine), plus one
@@ -209,6 +220,13 @@ type Stats struct {
 	MaxRecvWords int64
 	// PerSuperstep is the per-phase breakdown (Lemmas 12/14 experiments).
 	PerSuperstep []SuperstepStat
+	// Recoveries counts in-run machine replacements performed by
+	// checkpoint recovery (RunCheckpointed). It is a property of this
+	// run's execution, not of the computation: a recovered run's other
+	// Stats fields and outputs are bit-identical to an undisturbed
+	// run's, and Recoveries is excluded from checkpoint blobs so the
+	// counter survives restores.
+	Recoveries int
 }
 
 // Bits converts a word count to bits for an n-vertex input under the

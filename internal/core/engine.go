@@ -203,13 +203,21 @@ func (c *Cluster[M]) RunOn(t Transport[M]) (*Stats, error) {
 			return stats, c.runStreaming(e, s, runCtx, stats)
 		}
 	}
-	return stats, c.runLockstep(e, t, runCtx, stats)
+	return stats, c.runLockstep(e, t, runCtx, stats, nil)
 }
 
 // runLockstep is the classic compute → barrier → exchange loop: every
 // envelope travels in the machine's returned outs, and the transport
 // sees one Exchange call per superstep.
-func (c *Cluster[M]) runLockstep(e *engine[M], t Transport[M], runCtx context.Context, stats *Stats) error {
+//
+// ck, when non-nil, arms per-superstep checkpointing (see
+// checkpoint.go): a cut of all machines is captured every ck.every
+// supersteps after accounting and before the exchange, and a resume
+// request (ck.resume >= 0, set by RunCheckpointed after restoring a
+// checkpoint) re-enters the loop at that superstep's exchange with the
+// restored outs, skipping the already-executed compute and accounting.
+// With ck nil the loop is byte-identical to its pre-checkpoint form.
+func (c *Cluster[M]) runLockstep(e *engine[M], t Transport[M], runCtx context.Context, stats *Stats, ck *ckRun[M]) error {
 	k := c.cfg.K
 
 	// Link-load accumulator: linkLoad is dense (k×k) but only the
@@ -221,78 +229,100 @@ func (c *Cluster[M]) runLockstep(e *engine[M], t Transport[M], runCtx context.Co
 	recvS := make([]int64, k)
 	sentS := make([]int64, k)
 
-	for step := 0; ; step++ {
-		if step >= c.cfg.MaxSupersteps {
-			return ErrMaxSupersteps
-		}
-		if err := runCtx.Err(); err != nil {
-			return fmt.Errorf("core: run canceled before superstep %d: %w", step, err)
-		}
-		e.superstep(step)
-		for _, perr := range e.panics {
-			if perr != nil {
-				return perr
+	start, skipCompute := 0, false
+	if ck != nil && ck.resume >= 0 {
+		start, skipCompute = ck.resume, true
+		ck.resume = -2
+	}
+	for step := start; ; step++ {
+		if skipCompute {
+			// Resuming from a checkpoint: machines, stats, and outs hold
+			// the restored post-compute image of this superstep — go
+			// straight to retrying its exchange.
+			skipCompute = false
+		} else {
+			if step >= c.cfg.MaxSupersteps {
+				return ErrMaxSupersteps
 			}
-		}
-		// Second cancellation point, between the step barrier and the
-		// exchange: a cancel that landed while machines were stepping
-		// aborts before any envelope reaches the transport.
-		if err := runCtx.Err(); err != nil {
-			return fmt.Errorf("core: run canceled in superstep %d: %w", step, err)
-		}
+			if err := runCtx.Err(); err != nil {
+				return fmt.Errorf("core: run canceled before superstep %d: %w", step, err)
+			}
+			e.superstep(step)
+			for _, perr := range e.panics {
+				if perr != nil {
+					return perr
+				}
+			}
+			// Second cancellation point, between the step barrier and the
+			// exchange: a cancel that landed while machines were stepping
+			// aborts before any envelope reaches the transport.
+			if err := runCtx.Err(); err != nil {
+				return fmt.Errorf("core: run canceled in superstep %d: %w", step, err)
+			}
 
-		// Validate, stamp, and accumulate the touched link loads; the
-		// cost arithmetic itself lives in accountSparse/AccountSuperstep,
-		// shared with the standalone coordinator.
-		var messages int64
-		allDone, pending := true, false
-		for i := 0; i < k; i++ {
-			if !e.dones[i] {
-				allDone = false
-			}
-			if len(e.outs[i]) > 0 {
-				pending = true
-			}
-			for j := range e.outs[i] {
-				env := &e.outs[i][j]
-				if env.To < 0 || int(env.To) >= k {
-					return fmt.Errorf("core: machine %d sent to invalid machine %d", i, env.To)
+			// Validate, stamp, and accumulate the touched link loads; the
+			// cost arithmetic itself lives in accountSparse/AccountSuperstep,
+			// shared with the standalone coordinator.
+			var messages int64
+			allDone, pending := true, false
+			for i := 0; i < k; i++ {
+				if !e.dones[i] {
+					allDone = false
 				}
-				if env.Words < 0 {
-					return fmt.Errorf("core: machine %d sent negative-size envelope", i)
+				if len(e.outs[i]) > 0 {
+					pending = true
 				}
-				env.From = MachineID(i)
-				if int(env.To) == i {
-					// Self-addressed envelopes are free: local
-					// computation costs nothing in the model.
-					continue
-				}
-				messages++
-				if w := int64(env.Words); w > 0 {
-					idx := i*k + int(env.To)
-					if linkLoad[idx] == 0 {
-						touched = append(touched, int32(idx))
+				for j := range e.outs[i] {
+					env := &e.outs[i][j]
+					if env.To < 0 || int(env.To) >= k {
+						return fmt.Errorf("core: machine %d sent to invalid machine %d", i, env.To)
 					}
-					linkLoad[idx] += w
+					if env.Words < 0 {
+						return fmt.Errorf("core: machine %d sent negative-size envelope", i)
+					}
+					env.From = MachineID(i)
+					if int(env.To) == i {
+						// Self-addressed envelopes are free: local
+						// computation costs nothing in the model.
+						continue
+					}
+					messages++
+					if w := int64(env.Words); w > 0 {
+						idx := i*k + int(env.To)
+						if linkLoad[idx] == 0 {
+							touched = append(touched, int32(idx))
+						}
+						linkLoad[idx] += w
+					}
 				}
 			}
-		}
-		if allDone && !pending {
-			return nil
-		}
+			if allDone && !pending {
+				return nil
+			}
 
-		ss := accountSparse(k, c.cfg.Bandwidth, linkLoad, touched, messages, recvS, sentS)
-		touched = touched[:0]
-		for i := 0; i < k; i++ {
-			stats.RecvWords[i] += recvS[i]
-			stats.SentWords[i] += sentS[i]
-		}
-		stats.Rounds += ss.Rounds
-		stats.Supersteps++
-		stats.Messages += ss.Messages
-		stats.Words += ss.Words
-		if !c.cfg.DropPerSuperstep {
-			stats.PerSuperstep = append(stats.PerSuperstep, ss)
+			ss := accountSparse(k, c.cfg.Bandwidth, linkLoad, touched, messages, recvS, sentS)
+			touched = touched[:0]
+			for i := 0; i < k; i++ {
+				stats.RecvWords[i] += recvS[i]
+				stats.SentWords[i] += sentS[i]
+			}
+			stats.Rounds += ss.Rounds
+			stats.Supersteps++
+			stats.Messages += ss.Messages
+			stats.Words += ss.Words
+			if !c.cfg.DropPerSuperstep {
+				stats.PerSuperstep = append(stats.PerSuperstep, ss)
+			}
+
+			// The observation-barrier cut: everything above (state, RNG
+			// draws, accounting) is included, the exchange below is not —
+			// a restore retries it. Quiescence returned before this point,
+			// so a captured superstep always has an exchange to retry.
+			if ck != nil && (step+1)%ck.every == 0 {
+				if err := ck.capture(step, e, stats); err != nil {
+					return fmt.Errorf("core: checkpoint at superstep %d: %w", step, err)
+				}
+			}
 		}
 
 		// Deliver through the transport; the contract guarantees inboxes

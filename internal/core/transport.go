@@ -60,7 +60,25 @@ func RunOverWire[M any](c *Cluster[M], codec wire.Codec[M]) (*Stats, transport.W
 			ts.SetRecorder(c.cfg.Recorder)
 		}
 	}
-	stats, err := c.RunOn(t)
+	var stats *Stats
+	if c.cfg.Checkpoint.Every > 0 {
+		// Checkpointed runs recover from machine loss by replacing the
+		// dead transport with a freshly opened one of the same kind (a
+		// recovered tcp mesh binds new ports — the replacement round the
+		// recovery protocol reattaches on).
+		reopen := func() (Transport[M], error) {
+			nt, err := OpenTransport[M](c.cfg.Transport, c.cfg.K, codec)
+			if err == nil && c.cfg.Recorder != nil {
+				if ts, ok := nt.(transport.TraceSink); ok {
+					ts.SetRecorder(c.cfg.Recorder)
+				}
+			}
+			return nt, err
+		}
+		stats, err = c.RunCheckpointed(t, codec, reopen)
+	} else {
+		stats, err = c.RunOn(t)
+	}
 	var w transport.WireStats
 	if m, ok := t.(transport.WireMeter); ok {
 		w = m.WireStats()

@@ -1,5 +1,5 @@
 // Package experiments implements the reproduction harness: one runner
-// per experiment in DESIGN.md's index (F1, E1–E24), each regenerating
+// per experiment in DESIGN.md's index (F1, E1–E25), each regenerating
 // the series behind a claim of the paper. cmd/kmbench prints the tables
 // that EXPERIMENTS.md records; the root bench_test.go exposes each
 // experiment as a testing.B benchmark.
@@ -145,6 +145,18 @@ type Config struct {
 	// changes is the wall-clock and the phase timeline. E22 ignores it:
 	// that experiment always runs both schedules.
 	Streaming bool
+	// CheckpointEvery runs E19's registry-driven substrate matrix with
+	// per-superstep checkpointing armed at this cadence, so a
+	// whole-suite "does checkpointing perturb any hash or Stat" audit
+	// is one kmbench flag away. 0 leaves checkpointing off. E25 ignores
+	// it: that experiment owns its cadence (it is the quantity under
+	// measurement).
+	CheckpointEvery int
+	// CheckpointDir persists E19's in-process checkpoints to disk
+	// (core.FileSink) instead of the in-memory ring, exercising the
+	// file-backed sink under the same audit. Empty keeps checkpoints in
+	// memory.
+	CheckpointDir string
 }
 
 // Runner is one experiment entry point. Run returns an error instead
@@ -185,5 +197,6 @@ func All() []Runner {
 		{"E22", "streaming supersteps (overlap compute and wire)", E22Streaming},
 		{"E23", "partition-local setup (per-process heap, full vs sharded)", E23ShardedSetup},
 		{"E24", "resident job service (standing mesh vs build-per-job)", E24JobService},
+		{"E25", "checkpoint overhead & recovery latency (resume vs restart-from-zero)", E25Recovery},
 	}
 }

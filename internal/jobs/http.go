@@ -38,6 +38,12 @@ type SubmitRequest struct {
 	Top       int     `json:"top,omitempty"`
 	Streaming bool    `json:"streaming,omitempty"`
 	TimeoutMS int64   `json:"timeout_ms,omitempty"`
+	// CheckpointEvery opts the job into per-superstep checkpointing and
+	// machine-failure recovery: state is captured every
+	// CheckpointEvery supersteps and a machine loss resumes the job
+	// from the last complete checkpoint instead of failing it. 0 (the
+	// default) keeps the fail-fast behaviour.
+	CheckpointEvery int `json:"checkpoint_every,omitempty"`
 }
 
 // JobJSON is the wire form of a Job snapshot.
@@ -60,6 +66,7 @@ type ResultJSON struct {
 	Supersteps int      `json:"supersteps"`
 	Messages   int64    `json:"messages"`
 	Words      int64    `json:"words"`
+	Recoveries int      `json:"recoveries,omitempty"`
 	Summary    []string `json:"summary,omitempty"`
 	SetupMS    float64  `json:"setup_ms"`
 	ExecMS     float64  `json:"exec_ms"`
@@ -72,7 +79,10 @@ type StatusJSON struct {
 	Running    uint64 `json:"running_job,omitempty"`
 	Done       int64  `json:"done"`
 	Failed     int64  `json:"failed"`
+	Canceled   int64  `json:"canceled"`
 	Rebuilds   int64  `json:"mesh_rebuilds"`
+	Recovered  int64  `json:"recoveries"`
+	Evicted    int64  `json:"jobs_evicted"`
 	Draining   bool   `json:"draining"`
 	MeshHealth bool   `json:"mesh_healthy"`
 }
@@ -83,6 +93,7 @@ func (s *Scheduler) RegisterAPI(mux *http.ServeMux) {
 	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /api/v1/jobs", s.handleList)
 	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /api/v1/status", s.handleStatus)
 	mux.HandleFunc("POST /api/v1/drain", s.handleDrain)
 }
@@ -98,7 +109,8 @@ func (s *Scheduler) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		Prob: algo.Problem{
 			N: sr.N, EdgeP: sr.EdgeP, K: sr.K, Seed: sr.Seed,
 			Bandwidth: sr.Bandwidth, Eps: sr.Eps, Top: sr.Top,
-			Streaming: sr.Streaming,
+			Streaming:  sr.Streaming,
+			Checkpoint: algo.CheckpointSpec{Every: sr.CheckpointEvery},
 		},
 		Timeout: time.Duration(sr.TimeoutMS) * time.Millisecond,
 	})
@@ -136,11 +148,34 @@ func (s *Scheduler) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, jobToJSON(j))
 }
 
+// handleCancel is DELETE /api/v1/jobs/{id}: cancel a queued or running
+// job. 200 with the job snapshot on success, 404 for unknown (or
+// evicted) IDs, 409 when the job already reached a terminal state.
+func (s *Scheduler) handleCancel(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad job id %q", r.PathValue("id")))
+		return
+	}
+	j, err := s.Cancel(id)
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		httpError(w, http.StatusNotFound, fmt.Errorf("no job %d", id))
+	case errors.Is(err, ErrJobFinished):
+		httpError(w, http.StatusConflict, fmt.Errorf("job %d already %s", id, j.State))
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, err)
+	default:
+		writeJSON(w, http.StatusOK, jobToJSON(j))
+	}
+}
+
 func (s *Scheduler) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := s.Stats()
 	writeJSON(w, http.StatusOK, StatusJSON{
 		K: st.K, Queued: st.Queued, Running: st.Running,
-		Done: st.Done, Failed: st.Failed, Rebuilds: st.Rebuilds,
+		Done: st.Done, Failed: st.Failed, Canceled: st.Canceled,
+		Rebuilds: st.Rebuilds, Recovered: st.Recovered, Evicted: st.Evicted,
 		Draining: st.Draining, MeshHealth: st.MeshHealth,
 	})
 }
@@ -172,10 +207,11 @@ func jobToJSON(j Job) JobJSON {
 	}
 	if j.Outcome != nil {
 		res := &ResultJSON{
-			Hash:    fmt.Sprintf("%016x", j.Outcome.Hash),
-			Summary: j.Outcome.Summary,
-			SetupMS: float64(j.Outcome.SetupTime.Microseconds()) / 1e3,
-			ExecMS:  float64(j.Outcome.ExecTime.Microseconds()) / 1e3,
+			Hash:       fmt.Sprintf("%016x", j.Outcome.Hash),
+			Recoveries: j.Recoveries,
+			Summary:    j.Outcome.Summary,
+			SetupMS:    float64(j.Outcome.SetupTime.Microseconds()) / 1e3,
+			ExecMS:     float64(j.Outcome.ExecTime.Microseconds()) / 1e3,
 		}
 		if st := j.Outcome.Stats; st != nil {
 			res.Rounds = st.Rounds

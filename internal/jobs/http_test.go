@@ -162,3 +162,130 @@ func TestHTTPAPI(t *testing.T) {
 		t.Errorf("post-drain submit: %d, want 503", resp.StatusCode)
 	}
 }
+
+// TestHTTPCancel drives DELETE /api/v1/jobs/{id} end to end: a queued
+// job cancels to 200 + canceled state, an unknown ID answers 404, a
+// finished job answers 409, and a malformed ID answers 400.
+func TestHTTPCancel(t *testing.T) {
+	const k = 3
+	b, err := NewMeshBackend(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(b, Options{})
+	defer s.Close()
+	mux := http.NewServeMux()
+	s.RegisterAPI(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	del := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodDelete, srv.URL+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		out.ReadFrom(resp.Body)
+		resp.Body.Close()
+		return resp, out.Bytes()
+	}
+
+	// A slow first job keeps the second one queued for the cancel.
+	stall := func() { time.Sleep(100 * time.Millisecond) }
+	chaosHook.Store(&stall)
+	defer chaosHook.Store(nil)
+	id1, err := s.Submit(Request{Algo: "testjob-chaos", Prob: algo.Problem{N: 60, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Submit(Request{Algo: "pagerank", Prob: algo.Problem{N: 120, Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := del(fmt.Sprintf("/api/v1/jobs/%d", id2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued job: %d %s, want 200", resp.StatusCode, body)
+	}
+	var j JobJSON
+	if err := json.Unmarshal(body, &j); err != nil {
+		t.Fatal(err)
+	}
+	if j.State != StateCanceled {
+		t.Errorf("canceled job state %q over HTTP, want canceled", j.State)
+	}
+
+	if resp, _ := del("/api/v1/jobs/9999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cancel unknown job: %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := del("/api/v1/jobs/zzz"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("cancel bad id: %d, want 400", resp.StatusCode)
+	}
+
+	if j := waitState(t, s, id1); j.State != StateDone {
+		t.Fatalf("job %d ended %q: %s", id1, j.State, j.Err)
+	}
+	if resp, body := del(fmt.Sprintf("/api/v1/jobs/%d", id1)); resp.StatusCode != http.StatusConflict {
+		t.Errorf("cancel finished job: %d %s, want 409", resp.StatusCode, body)
+	}
+}
+
+// TestHTTPCheckpointedSubmit: the checkpoint_every knob round-trips
+// through the JSON surface — an opted-in job severed mid-run completes
+// with recoveries reported in its result.
+func TestHTTPCheckpointedSubmit(t *testing.T) {
+	const k = 3
+	b, err := NewMeshBackend(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(b, Options{})
+	defer s.Close()
+	mux := http.NewServeMux()
+	s.RegisterAPI(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var kill func()
+	kill = func() {
+		chaosHook.Store(nil)
+		b.Sever(2)
+	}
+	chaosHook.Store(&kill)
+	defer chaosHook.Store(nil)
+
+	buf, _ := json.Marshal(SubmitRequest{Algo: "testjob-chaos", N: 60, Seed: 5, CheckpointEvery: 1})
+	resp, err := http.Post(srv.URL+"/api/v1/jobs", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var acc struct {
+		ID uint64 `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&acc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	j := waitState(t, s, acc.ID)
+	if j.State != StateDone {
+		t.Fatalf("severed checkpointed job ended %q: %s", j.State, j.Err)
+	}
+	var jj JobJSON
+	gresp, err := http.Get(srv.URL + fmt.Sprintf("/api/v1/jobs/%d", acc.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(gresp.Body).Decode(&jj); err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if jj.Result == nil || jj.Result.Recoveries < 1 {
+		t.Errorf("result over HTTP reports no recoveries: %+v", jj.Result)
+	}
+}

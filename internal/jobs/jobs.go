@@ -24,11 +24,13 @@ package jobs
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
 
 	"kmachine/internal/algo"
+	"kmachine/internal/core"
 	"kmachine/internal/obs"
 	"kmachine/internal/transport"
 	"kmachine/internal/transport/node"
@@ -39,11 +41,18 @@ import (
 type State string
 
 const (
-	StateQueued  State = "queued"
-	StateRunning State = "running"
-	StateDone    State = "done"
-	StateFailed  State = "failed"
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
 )
+
+// terminal reports whether a state is final (done, failed, canceled) —
+// the states retention may evict and Cancel must refuse.
+func (s State) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
 
 // Request is one job submission: which registered algorithm to run, on
 // what Problem, under what deadline. Prob.K is forced to the backend's
@@ -70,6 +79,12 @@ type Job struct {
 	// Err is the failure message of a failed job, carrying the job-ID
 	// attribution when the runtime recorded it.
 	Err string
+	// Recoveries counts how many times the job resumed from a
+	// checkpoint after a machine failure (0 for jobs that never opted
+	// into checkpointing or never failed). A done job with Recoveries >
+	// 0 survived that many mid-run machine losses; its hash and Stats
+	// are still bit-identical to an unkilled run.
+	Recoveries int
 }
 
 // Latency is the submit-to-result wall clock of a finished job, or the
@@ -206,6 +221,12 @@ type Options struct {
 	// the job's Recorder (unless the request brought its own) — the
 	// debug plane's kmachine.* gauges then describe the live job.
 	Trace *obs.Trace
+	// MaxJobs bounds the retained job records: once more than MaxJobs
+	// jobs exist, terminal ones (done/failed/canceled) are evicted in
+	// the order they finished. Queued and running jobs are never
+	// evicted, so the map may transiently exceed the bound when the
+	// backlog alone exceeds it. 0 means unbounded.
+	MaxJobs int
 }
 
 // Stats is a snapshot of the scheduler's own gauges.
@@ -215,7 +236,10 @@ type Stats struct {
 	Running    uint64 // in-flight job ID, 0 when idle
 	Done       int64
 	Failed     int64
+	Canceled   int64
 	Rebuilds   int64
+	Recovered  int64 // checkpoint resumes across all jobs
+	Evicted    int64 // terminal job records dropped by retention
 	Draining   bool
 	MeshHealth bool
 }
@@ -226,18 +250,24 @@ type Stats struct {
 type Scheduler struct {
 	backend Backend
 	trace   *obs.Trace
+	maxJobs int
 
 	mu        sync.Mutex
 	cond      *sync.Cond
 	jobs      map[uint64]*Job
 	queue     []uint64 // FIFO of queued job IDs
 	reqs      map[uint64]Request
+	terminal  []uint64 // terminal job IDs in finish order (eviction order)
 	nextID    uint64
 	running   uint64 // in-flight job ID, 0 when idle
 	cancelCur context.CancelFunc
+	cancelReq uint64 // job ID whose cancellation was requested, 0 if none
 	done      int64
 	failed    int64
+	canceled  int64
 	rebuilds  int64
+	recovered int64
+	evicted   int64
 	draining  bool
 	closed    bool
 
@@ -251,6 +281,7 @@ func New(b Backend, opts Options) *Scheduler {
 	s := &Scheduler{
 		backend:  b,
 		trace:    opts.Trace,
+		maxJobs:  opts.MaxJobs,
 		jobs:     map[uint64]*Job{},
 		reqs:     map[uint64]Request{},
 		execDone: make(chan struct{}),
@@ -291,6 +322,76 @@ func (s *Scheduler) Submit(req Request) (uint64, error) {
 	return id, nil
 }
 
+// Cancellation errors, mapped onto 404/409 by the HTTP surface.
+var (
+	ErrUnknownJob  = fmt.Errorf("jobs: unknown job")
+	ErrJobFinished = fmt.Errorf("jobs: job already finished")
+)
+
+// Cancel withdraws one job. A queued job leaves the queue and turns
+// canceled immediately; a running job gets its context canceled and
+// turns canceled when the backend returns (the returned snapshot still
+// says running — poll Get for the terminal state). Unknown IDs
+// (including evicted ones) return ErrUnknownJob; terminal jobs return
+// ErrJobFinished with their snapshot.
+func (s *Scheduler) Cancel(id uint64) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	if !ok {
+		s.mu.Unlock()
+		return Job{}, ErrUnknownJob
+	}
+	if j.State.terminal() {
+		snap := *j
+		s.mu.Unlock()
+		return snap, ErrJobFinished
+	}
+	if j.State == StateQueued {
+		for i, qid := range s.queue {
+			if qid == id {
+				s.queue = append(s.queue[:i], s.queue[i+1:]...)
+				break
+			}
+		}
+		delete(s.reqs, id)
+		j.State = StateCanceled
+		j.Finished = time.Now()
+		j.Err = "jobs: canceled before start"
+		s.canceled++
+		s.markTerminalLocked(id)
+		snap := *j
+		s.mu.Unlock()
+		return snap, nil
+	}
+	// Running: cancel through the job context; the executor records the
+	// terminal state when the backend returns.
+	s.cancelReq = id
+	cancel := s.cancelCur
+	snap := *j
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	return snap, nil
+}
+
+// markTerminalLocked records a job's terminal transition for retention
+// and evicts the oldest terminal records past the MaxJobs bound.
+func (s *Scheduler) markTerminalLocked(id uint64) {
+	s.terminal = append(s.terminal, id)
+	if s.maxJobs <= 0 {
+		return
+	}
+	for len(s.jobs) > s.maxJobs && len(s.terminal) > 0 {
+		victim := s.terminal[0]
+		s.terminal = s.terminal[1:]
+		if _, ok := s.jobs[victim]; ok {
+			delete(s.jobs, victim)
+			s.evicted++
+		}
+	}
+}
+
 // Get returns a snapshot of one job.
 func (s *Scheduler) Get(id uint64) (Job, bool) {
 	s.mu.Lock()
@@ -319,13 +420,16 @@ func (s *Scheduler) Jobs() []Job {
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	st := Stats{
-		K:        s.backend.K(),
-		Queued:   len(s.queue),
-		Running:  s.running,
-		Done:     s.done,
-		Failed:   s.failed,
-		Rebuilds: s.rebuilds,
-		Draining: s.draining,
+		K:         s.backend.K(),
+		Queued:    len(s.queue),
+		Running:   s.running,
+		Done:      s.done,
+		Failed:    s.failed,
+		Canceled:  s.canceled,
+		Rebuilds:  s.rebuilds,
+		Recovered: s.recovered,
+		Evicted:   s.evicted,
+		Draining:  s.draining,
 	}
 	s.mu.Unlock()
 	st.MeshHealth = s.backend.Healthy()
@@ -435,17 +539,48 @@ func (s *Scheduler) run() {
 				req.Prob.Recorder = s.trace
 			}
 		}
+
+		// Checkpoint-opted jobs own a per-job store: it must outlive the
+		// mesh rebuilds between attempts, which is exactly what makes
+		// resume-from-checkpoint possible.
+		maxRec := 0
+		if req.Prob.Checkpoint.Every > 0 {
+			if req.Prob.Checkpoint.Store == nil {
+				req.Prob.Checkpoint.Store = node.NewCheckpointStore(s.backend.K())
+			}
+			maxRec = req.Prob.Checkpoint.MaxRecoveries
+			if maxRec == 0 {
+				maxRec = core.DefaultMaxRecoveries
+			}
+		}
+		var rebuilds, recoveries int64
 		out, err := s.backend.Run(ctx, req, id)
+		for err != nil && recoveries < int64(maxRec) && recoverable(ctx, err) {
+			// A machine died mid-job. Where the fail-fast path would
+			// record the failure and move on, an opted-in job is
+			// re-attempted: rebuild the poisoned fabric, then re-run the
+			// same job with Resume set — the node runtime restores the
+			// last complete checkpoint and replays only the supersteps
+			// after it, so the final hash and Stats match an unkilled run.
+			if !s.backend.Healthy() {
+				if rerr := s.backend.Rebuild(); rerr != nil {
+					break
+				}
+				rebuilds++
+			}
+			recoveries++
+			req.Prob.Checkpoint.Resume = true
+			out, err = s.backend.Run(ctx, req, id)
+		}
 		cancel()
 
-		rebuilt := false
 		if err != nil && !s.backend.Healthy() {
 			// Closing connections is what unblocked the dead job's
 			// peers; the fabric is poisoned, so the next job needs a
 			// fresh one. A rebuild failure surfaces on that next job
 			// (Run fails fast on a dead mesh).
 			if rerr := s.backend.Rebuild(); rerr == nil {
-				rebuilt = true
+				rebuilds++
 			}
 		}
 
@@ -453,18 +588,35 @@ func (s *Scheduler) run() {
 		j.Finished = time.Now()
 		s.running = 0
 		s.cancelCur = nil
-		if rebuilt {
-			s.rebuilds++
-		}
+		wasCanceled := s.cancelReq == id
+		s.cancelReq = 0
+		s.rebuilds += rebuilds
+		s.recovered += recoveries
+		j.Recoveries = int(recoveries)
 		if err != nil {
-			j.State = StateFailed
+			if wasCanceled {
+				j.State = StateCanceled
+				s.canceled++
+			} else {
+				j.State = StateFailed
+				s.failed++
+			}
 			j.Err = err.Error()
-			s.failed++
 		} else {
 			j.State = StateDone
 			j.Outcome = out
 			s.done++
 		}
+		s.markTerminalLocked(id)
 		s.mu.Unlock()
 	}
+}
+
+// recoverable reports whether a job failure is a machine loss worth a
+// resume attempt: the runtime attributed it to a machine
+// (transport.MachineError) and the job's own context is still live —
+// cancellations and deadline hits are final.
+func recoverable(ctx context.Context, err error) bool {
+	var me *transport.MachineError
+	return errors.As(err, &me) && ctx.Err() == nil
 }

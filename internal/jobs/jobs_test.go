@@ -62,6 +62,18 @@ func (m *spinMachine) Step(ctx *core.StepContext, inbox []core.Envelope[spinMsg]
 
 func (m *spinMachine) Output() int64 { return m.got }
 
+// The chaos machine is checkpointable, so the same waypoint that drives
+// the fail-fast kill test can drive the resume-from-checkpoint test.
+func (m *spinMachine) SnapshotState(dst []byte) ([]byte, error) {
+	return wire.AppendVarint(dst, m.got), nil
+}
+
+func (m *spinMachine) RestoreState(src []byte) error {
+	c := &wire.Cursor{Src: src}
+	m.got = c.Varint()
+	return c.Finish()
+}
+
 // testOnlyAlgos names the registrations this test file adds; the
 // registry-wide determinism sweep skips them.
 var testOnlyAlgos = map[string]bool{"testjob-chaos": true}
@@ -105,7 +117,7 @@ func waitState(t *testing.T, s *Scheduler, id uint64) Job {
 		if !ok {
 			t.Fatalf("job %d vanished", id)
 		}
-		if j.State == StateDone || j.State == StateFailed {
+		if j.State == StateDone || j.State == StateFailed || j.State == StateCanceled {
 			return j
 		}
 		time.Sleep(2 * time.Millisecond)
@@ -376,5 +388,210 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if _, err := s.Submit(Request{Algo: "pagerank", Prob: algo.Problem{N: 10, K: 5}}); err == nil {
 		t.Error("k mismatch accepted")
+	}
+}
+
+// TestSeveredJobResumesFromCheckpoint is the scheduler half of the
+// recovery acceptance bar: a checkpoint-opted job whose machine dies
+// mid-run must COMPLETE — mesh rebuilt, state resumed from the per-job
+// store — with output hash and Stats bit-identical to an unkilled
+// reference, and the recovery visible in Job.Recoveries and the
+// scheduler gauges.
+func TestSeveredJobResumesFromCheckpoint(t *testing.T) {
+	const k = 3
+	b, err := NewMeshBackend(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(b, Options{})
+	defer s.Close()
+
+	// The waypoint disarms itself before severing: the replay reaches
+	// machine 1's superstep 2 again, and a re-armed hook would kill the
+	// replacement mesh until MaxRecoveries ran out.
+	var kill func()
+	kill = func() {
+		chaosHook.Store(nil)
+		b.Sever(2)
+	}
+	chaosHook.Store(&kill)
+	defer chaosHook.Store(nil)
+
+	prob := algo.Problem{N: 60, Seed: 5, Checkpoint: algo.CheckpointSpec{Every: 1}}
+	id, err := s.Submit(Request{Algo: "testjob-chaos", Prob: prob})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := waitState(t, s, id)
+	if j.State != StateDone {
+		t.Fatalf("severed checkpoint-opted job ended %q (err %q), want done", j.State, j.Err)
+	}
+	if j.Recoveries < 1 {
+		t.Errorf("job reports %d recoveries, want >= 1", j.Recoveries)
+	}
+
+	entry, _ := algo.Lookup("testjob-chaos")
+	ref, err := entry.RunNodeLocal(algo.Problem{N: 60, K: k, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Outcome.Hash != ref.Hash {
+		t.Errorf("recovered job hash %016x, unkilled reference %016x", j.Outcome.Hash, ref.Hash)
+	}
+	if j.Outcome.Stats.Rounds != ref.Stats.Rounds ||
+		j.Outcome.Stats.Words != ref.Stats.Words ||
+		j.Outcome.Stats.Supersteps != ref.Stats.Supersteps {
+		t.Errorf("recovered job Stats diverge from unkilled reference")
+	}
+	st := s.Stats()
+	if st.Recovered < 1 {
+		t.Errorf("scheduler recovered gauge = %d, want >= 1", st.Recovered)
+	}
+	if st.Failed != 0 {
+		t.Errorf("recovered job counted as failed (failed=%d)", st.Failed)
+	}
+
+	// The mesh stays serviceable: the next job runs clean.
+	id2, err := s.Submit(Request{Algo: "pagerank", Prob: algo.Problem{N: 120, Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2 := waitState(t, s, id2); j2.State != StateDone {
+		t.Fatalf("job after recovery failed: %s", j2.Err)
+	}
+}
+
+// TestCancelQueuedAndTerminalSemantics: canceling a queued job removes
+// it immediately; canceling an unknown ID reports ErrUnknownJob;
+// canceling a finished job reports ErrJobFinished with the snapshot.
+func TestCancelQueuedAndTerminalSemantics(t *testing.T) {
+	const k = 3
+	b, err := NewMeshBackend(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(b, Options{})
+	defer s.Close()
+
+	// A slow waypoint keeps job 1 running long enough for job 2 to be
+	// reliably canceled while still queued.
+	stall := func() { time.Sleep(100 * time.Millisecond) }
+	chaosHook.Store(&stall)
+	defer chaosHook.Store(nil)
+	id1, err := s.Submit(Request{Algo: "testjob-chaos", Prob: algo.Problem{N: 60, Seed: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := s.Submit(Request{Algo: "pagerank", Prob: algo.Problem{N: 120, Seed: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := s.Cancel(id2)
+	if err != nil {
+		t.Fatalf("cancel queued job: %v", err)
+	}
+	if j2.State != StateCanceled {
+		t.Errorf("canceled queued job is %q, want canceled", j2.State)
+	}
+	if _, err := s.Cancel(9999); err != ErrUnknownJob {
+		t.Errorf("cancel of unknown job returned %v, want ErrUnknownJob", err)
+	}
+	j1 := waitState(t, s, id1)
+	if j1.State != StateDone {
+		t.Fatalf("job 1 ended %q: %s", j1.State, j1.Err)
+	}
+	if snap, err := s.Cancel(id1); err != ErrJobFinished {
+		t.Errorf("cancel of finished job returned %v, want ErrJobFinished", err)
+	} else if snap.State != StateDone {
+		t.Errorf("finished-job cancel snapshot is %q, want done", snap.State)
+	}
+	if st := s.Stats(); st.Canceled != 1 {
+		t.Errorf("canceled gauge = %d, want 1", st.Canceled)
+	}
+}
+
+// TestCancelRunningJob: canceling an in-flight job aborts it through
+// its context, records StateCanceled (not failed), and never attempts
+// recovery — cancellation is final even for checkpoint-opted jobs.
+func TestCancelRunningJob(t *testing.T) {
+	const k = 3
+	b, err := NewMeshBackend(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(b, Options{})
+	defer s.Close()
+
+	started := make(chan struct{})
+	hook := func() {
+		close(started)
+		time.Sleep(150 * time.Millisecond)
+	}
+	chaosHook.Store(&hook)
+	defer chaosHook.Store(nil)
+	id, err := s.Submit(Request{Algo: "testjob-chaos",
+		Prob: algo.Problem{N: 60, Seed: 5, Checkpoint: algo.CheckpointSpec{Every: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := s.Cancel(id); err != nil {
+		t.Fatalf("cancel running job: %v", err)
+	}
+	j := waitState(t, s, id)
+	if j.State != StateCanceled {
+		t.Fatalf("canceled running job ended %q (err %q), want canceled", j.State, j.Err)
+	}
+	if j.Recoveries != 0 {
+		t.Errorf("canceled job attempted %d recoveries, want 0", j.Recoveries)
+	}
+	st := s.Stats()
+	if st.Canceled != 1 || st.Failed != 0 {
+		t.Errorf("gauges canceled=%d failed=%d, want 1/0", st.Canceled, st.Failed)
+	}
+}
+
+// TestRetentionEvictsTerminalJobs: with MaxJobs set, finished jobs are
+// evicted oldest-first once the map exceeds the bound; running and
+// queued jobs are never evicted, and evicted IDs read as unknown.
+func TestRetentionEvictsTerminalJobs(t *testing.T) {
+	const k = 3
+	b, err := NewMeshBackend(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(b, Options{MaxJobs: 2})
+	defer s.Close()
+
+	const jobs = 4
+	ids := make([]uint64, jobs)
+	for i := range ids {
+		id, err := s.Submit(Request{Algo: "conncomp", Prob: algo.Problem{N: 60, Seed: uint64(i + 1)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		if j := waitState(t, s, id); j.State != StateDone {
+			t.Fatalf("job %d failed: %s", id, j.Err)
+		}
+	}
+	for _, id := range ids[:jobs-2] {
+		if _, ok := s.Get(id); ok {
+			t.Errorf("job %d still retained past MaxJobs=2", id)
+		}
+		if _, err := s.Cancel(id); err != ErrUnknownJob {
+			t.Errorf("evicted job %d cancel returned %v, want ErrUnknownJob", id, err)
+		}
+	}
+	for _, id := range ids[jobs-2:] {
+		if _, ok := s.Get(id); !ok {
+			t.Errorf("job %d evicted although within the MaxJobs bound", id)
+		}
+	}
+	if st := s.Stats(); st.Evicted != jobs-2 {
+		t.Errorf("evicted gauge = %d, want %d", st.Evicted, jobs-2)
+	}
+	if got := len(s.Jobs()); got != 2 {
+		t.Errorf("retained %d job records, want 2", got)
 	}
 }

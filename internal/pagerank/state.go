@@ -1,0 +1,61 @@
+package pagerank
+
+import (
+	"fmt"
+
+	twire "kmachine/internal/transport/wire"
+)
+
+// SnapshotState serialises the machine's dynamic PageRank state — the
+// iteration counter and the token/visit counters of its local vertices
+// — appending to dst. tokens/psi are dense over the global vertex space
+// but nonzero only at locals (a barrier invariant), so the snapshot is
+// O(locals), not O(n). Static structure (the partition view, the byIn
+// CSR, the alias-table cache) is rebuilt identically by the machine
+// factory and never serialised.
+func (nm *NodeMachine) SnapshotState(dst []byte) ([]byte, error) {
+	m := nm.m
+	dst = twire.AppendUvarint(dst, uint64(m.iter))
+	for _, v := range m.view.Locals() {
+		dst = twire.AppendVarint(dst, m.tokens[v])
+		dst = twire.AppendVarint(dst, m.psi[v])
+	}
+	return dst, nil
+}
+
+// RestoreState overwrites the machine's dynamic state from a
+// SnapshotState blob taken on a machine built from the same inputs.
+// The receiver may be dirty (mid-run, or a failed attempt's survivor):
+// every dynamic field is rewritten and every piece of per-superstep
+// scratch reset, so the next Step is bit-identical to the one the
+// snapshotted machine would have taken.
+func (nm *NodeMachine) RestoreState(src []byte) error {
+	m := nm.m
+	c := twire.Cursor{Src: src}
+	iter := c.Uvarint()
+	clear(m.tokens)
+	clear(m.psi)
+	for _, v := range m.view.Locals() {
+		m.tokens[v] = c.Varint()
+		m.psi[v] = c.Varint()
+	}
+	if err := c.Finish(); err != nil {
+		return fmt.Errorf("pagerank: restore: %w", err)
+	}
+	m.iter = int(iter)
+	// Reset scratch: the sparse accumulator, heavy-path counts, and
+	// delivery buffers are only guaranteed clean at barriers.
+	for _, v := range m.accKeys {
+		m.accVals[v] = 0
+	}
+	m.accKeys = m.accKeys[:0]
+	for j := range m.beta {
+		m.beta[j] = 0
+	}
+	m.delivBuf = m.delivBuf[:0]
+	m.outBuf = m.outBuf[:0]
+	for j := range m.buckets {
+		m.buckets[j] = m.buckets[j][:0]
+	}
+	return nil
+}

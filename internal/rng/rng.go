@@ -48,6 +48,17 @@ func Mix(z uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// State returns the generator's internal state word. Together with
+// SetState it makes an RNG checkpointable: a machine restored from a
+// snapshot resumes the exact random sequence it would have drawn, which
+// is what makes replayed supersteps bit-identical (core's checkpoint
+// subsystem is the consumer).
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state word, resuming the
+// sequence a State() call captured.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 uniformly random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

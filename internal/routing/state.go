@@ -1,0 +1,26 @@
+package routing
+
+import (
+	"fmt"
+
+	twire "kmachine/internal/transport/wire"
+)
+
+// SnapshotState serialises the probe machine's single dynamic field:
+// the delivered-probe counter. The send fan-out x is static
+// configuration.
+func (m *randomRouteMachine) SnapshotState(dst []byte) ([]byte, error) {
+	return twire.AppendVarint(dst, m.delivered), nil
+}
+
+// RestoreState overwrites the delivered-probe counter from a
+// SnapshotState blob.
+func (m *randomRouteMachine) RestoreState(src []byte) error {
+	c := twire.Cursor{Src: src}
+	d := c.Varint()
+	if err := c.Finish(); err != nil {
+		return fmt.Errorf("routing: restore: %w", err)
+	}
+	m.delivered = d
+	return nil
+}

@@ -88,6 +88,11 @@ type Config struct {
 	// RunLocal all k machines share the one recorder, yielding a
 	// cluster-wide timeline.
 	Recorder obs.Recorder
+	// Checkpoint is the checkpoint/recovery policy (checkpoint.go). Off
+	// by default; when Every > 0 the machine must implement
+	// core.Snapshotter and Streaming is cleared (lockstep only — purely
+	// a scheduling knob, so Stats and hashes are unchanged).
+	Checkpoint CheckpointConfig
 }
 
 func (cfg *Config) validate() error {
@@ -99,6 +104,12 @@ func (cfg *Config) validate() error {
 	}
 	if cfg.MaxSupersteps == 0 {
 		cfg.MaxSupersteps = 1 << 20
+	}
+	if cfg.Checkpoint.Every > 0 {
+		// Checkpoints capture at the lockstep superstep boundary;
+		// streaming is purely a scheduling knob (identical Stats and
+		// hashes), so clearing it is safe rather than an error.
+		cfg.Streaming = false
 	}
 	return nil
 }
@@ -123,7 +134,7 @@ func Run[M any](cfg Config, m core.Machine[M], codec wire.Codec[M]) (*core.Stats
 	if cfg.Recorder != nil {
 		ep.SetRecorder(cfg.Recorder)
 	}
-	return runLoop(cfg, ep, m)
+	return runLoop(cfg, ep, m, codec)
 }
 
 // RunLocal spawns the full k-machine cluster over loopback TCP inside
@@ -135,6 +146,14 @@ func Run[M any](cfg Config, m core.Machine[M], codec wire.Codec[M]) (*core.Stats
 // DropPerSuperstep, Context, and SuperstepTimeout apply to all.
 func RunLocal[M any](cfg Config, codec wire.Codec[M], factory func(core.MachineID) core.Machine[M]) (*core.Stats, error) {
 	k := cfg.K
+	if cfg.Checkpoint.Every > 0 && cfg.Checkpoint.Store == nil {
+		cfg.Checkpoint.Store = NewCheckpointStore(k)
+	}
+	if cfg.Checkpoint.Every > 0 && cfg.Checkpoint.Dir != "" {
+		if err := cfg.Checkpoint.Store.PersistTo(cfg.Checkpoint.Dir); err != nil {
+			return nil, err
+		}
+	}
 	eps, err := tcp.NewLoopbackMesh[M](k, codec)
 	if err != nil {
 		return nil, err
@@ -166,7 +185,7 @@ func RunLocal[M any](cfg Config, codec wire.Codec[M], factory func(core.MachineI
 			mcfg.ID = i
 			mcfg.ListenAddr, mcfg.Peers = "", nil
 			if err := mcfg.validate(); err == nil {
-				stats[i], errs[i] = runLoop(mcfg, eps[i], machines[i])
+				stats[i], errs[i] = runLoop(mcfg, eps[i], machines[i], codec)
 			} else {
 				errs[i] = err
 			}
@@ -200,7 +219,7 @@ func RunLocal[M any](cfg Config, codec wire.Codec[M], factory func(core.MachineI
 // operations with cfg.SuperstepTimeout, so a crashed or wedged peer
 // process surfaces as a machine-attributed error within the timeout on
 // this node rather than wedging it forever.
-func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.Stats, error) {
+func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M], codec wire.Codec[M]) (*core.Stats, error) {
 	r := rng.NewStream(cfg.Seed, uint64(cfg.ID))
 	runCtx := cfg.Context
 	if runCtx == nil {
@@ -211,6 +230,51 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 		coord = newCoordinator(cfg.K, cfg.Bandwidth, cfg.DropPerSuperstep)
 	}
 	var inbox []core.Envelope[M]
+	var snap core.Snapshotter
+	ckEvery, ckStore := cfg.Checkpoint.Every, cfg.Checkpoint.Store
+	if ckEvery > 0 {
+		var ok bool
+		if snap, ok = m.(core.Snapshotter); !ok {
+			return nil, fmt.Errorf("node: machine %d (%T) does not implement core.Snapshotter; checkpointing needs SnapshotState/RestoreState", cfg.ID, m)
+		}
+		if codec == nil {
+			return nil, fmt.Errorf("node: machine %d checkpointing needs a message codec", cfg.ID)
+		}
+		if ckStore == nil {
+			return nil, fmt.Errorf("node: machine %d checkpointing needs a CheckpointStore", cfg.ID)
+		}
+	}
+	start := 0
+	if ckEvery > 0 && cfg.Checkpoint.Resume {
+		ckStep, err := resumeRound(cfg, ep, runCtx, ckStore)
+		if err != nil {
+			ep.Close()
+			return nil, err
+		}
+		if ckStep >= 0 {
+			part, ok := ckStore.Part(ckStep, cfg.ID)
+			if !ok {
+				ep.Close()
+				return nil, fmt.Errorf("node: machine %d has no checkpoint part for superstep %d", cfg.ID, ckStep)
+			}
+			if inbox, err = decodePart(part, ckStep, snap, r, codec); err != nil {
+				ep.Close()
+				return nil, fmt.Errorf("node: machine %d resume from superstep %d: %w", cfg.ID, ckStep, err)
+			}
+			if coord != nil {
+				blob, ok := ckStore.StatsBlob(ckStep)
+				if !ok {
+					ep.Close()
+					return nil, fmt.Errorf("node: coordinator has no checkpoint stats for superstep %d", ckStep)
+				}
+				if err := coord.restoreStats(blob); err != nil {
+					ep.Close()
+					return nil, err
+				}
+			}
+			start = ckStep + 1
+		}
+	}
 	linkScratch := make([]int64, cfg.K) // per-superstep link row, reused
 	var repBuf []byte                   // report encode scratch, reused
 	ctx := &core.StepContext{Self: core.MachineID(cfg.ID), K: cfg.K, RNG: r}
@@ -219,7 +283,7 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 		em = core.NewEmitter[M](epSender[M]{ep: ep}, core.MachineID(cfg.ID), cfg.K)
 		em.Bind(ctx)
 	}
-	for step := 0; ; step++ {
+	for step := start; ; step++ {
 		if step >= cfg.MaxSupersteps {
 			// Every node shares MaxSupersteps and steps in lockstep, so
 			// all abort on the same superstep; only the coordinator has
@@ -318,6 +382,17 @@ func runLoop[M any](cfg Config, ep *tcp.Endpoint[M], m core.Machine[M]) (*core.S
 		switch v.kind {
 		case verdictContinue:
 			inbox = next
+			if ckEvery > 0 && (step+1)%ckEvery == 0 {
+				// Capture after the continue verdict: the coordinator's
+				// Stats already include this superstep, the RNG sits at
+				// its post-compute position, and inbox holds exactly the
+				// messages superstep step+1 consumes — so a resumed run
+				// re-enters at step+1 with nothing to re-account.
+				if err := captureNode(cfg, ckStore, step, r, snap, inbox, codec, coord); err != nil {
+					ep.Close()
+					return coordStats(coord), fmt.Errorf("node: machine %d checkpoint at superstep %d: %w", cfg.ID, step, err)
+				}
+			}
 		case verdictStop:
 			return v.stats, nil
 		case verdictAbort:

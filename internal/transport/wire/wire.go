@@ -49,6 +49,86 @@ func Uvarint(src []byte) (uint64, int, error) {
 	return x, n, nil
 }
 
+// Cursor is a latching decode cursor over a byte slice: each read
+// advances Off, the first failure sticks in Err and turns every later
+// read into a zero-value no-op, so a decode body reads linearly and
+// checks Err once at the end. Used by the per-algorithm checkpoint
+// state codecs (state.go files), which share this package's varint
+// primitives with the batch format.
+type Cursor struct {
+	Src []byte
+	Off int
+	Err error
+}
+
+// Uvarint reads one unsigned LEB128 value.
+func (c *Cursor) Uvarint() uint64 {
+	if c.Err != nil {
+		return 0
+	}
+	v, n, err := Uvarint(c.Src[c.Off:])
+	if err != nil {
+		c.Err = err
+		return 0
+	}
+	c.Off += n
+	return v
+}
+
+// Varint reads one zigzag LEB128 value.
+func (c *Cursor) Varint() int64 {
+	if c.Err != nil {
+		return 0
+	}
+	v, n, err := Varint(c.Src[c.Off:])
+	if err != nil {
+		c.Err = err
+		return 0
+	}
+	c.Off += n
+	return v
+}
+
+// Byte reads one raw byte.
+func (c *Cursor) Byte() byte {
+	if c.Err == nil && c.Off >= len(c.Src) {
+		c.Err = fmt.Errorf("wire: truncated cursor read")
+	}
+	if c.Err != nil {
+		return 0
+	}
+	b := c.Src[c.Off]
+	c.Off++
+	return b
+}
+
+// Uint64 reads 8 raw little-endian bytes (for payloads where varint
+// compression would lose bit-exactness guarantees, e.g. float bits).
+func (c *Cursor) Uint64() uint64 {
+	if c.Err == nil && c.Off+8 > len(c.Src) {
+		c.Err = fmt.Errorf("wire: truncated cursor read")
+	}
+	if c.Err != nil {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(c.Src[c.Off:])
+	c.Off += 8
+	return v
+}
+
+// Finish returns the latched error, or an error if trailing bytes
+// remain unconsumed — a decode that must account for the whole blob
+// (checkpoint restore) calls it last.
+func (c *Cursor) Finish() error {
+	if c.Err != nil {
+		return c.Err
+	}
+	if c.Off != len(c.Src) {
+		return fmt.Errorf("wire: %d trailing bytes after decode", len(c.Src)-c.Off)
+	}
+	return nil
+}
+
 // AppendVarint appends x in zigzag LEB128 (negative-friendly).
 func AppendVarint(dst []byte, x int64) []byte {
 	return binary.AppendVarint(dst, x)

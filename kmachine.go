@@ -200,12 +200,26 @@ type RunConfig struct {
 	// machines that never emit eagerly run exactly as before. Default
 	// off.
 	Streaming bool
+	// CheckpointEvery opts the run into per-superstep checkpointing and
+	// machine-failure recovery: machine state is captured every
+	// CheckpointEvery supersteps and a transport-level machine loss is
+	// survived by installing a replacement from the last checkpoint
+	// instead of failing the run (up to core.DefaultMaxRecoveries
+	// times). Stats, outputs, and hashes of a recovered run are
+	// bit-identical to an unkilled one. 0 (the default) keeps the
+	// fail-fast behaviour and the zero-overhead path. Requires every
+	// machine to implement core.Snapshotter; forces lockstep supersteps.
+	CheckpointEvery int
+	// CheckpointDir persists checkpoints to disk (two most recent
+	// retained) instead of the default in-memory ring. Only meaningful
+	// with CheckpointEvery > 0.
+	CheckpointDir string
 }
 
 // coreConfig is the shared translation of a RunConfig into the
 // substrate options of a core.Config.
 func (rc RunConfig) coreConfig(k, bandwidth int, seed uint64) core.Config {
-	return core.Config{
+	cfg := core.Config{
 		K:                k,
 		Bandwidth:        bandwidth,
 		Seed:             seed,
@@ -216,6 +230,15 @@ func (rc RunConfig) coreConfig(k, bandwidth int, seed uint64) core.Config {
 		Recorder:         rc.Recorder,
 		Streaming:        rc.Streaming,
 	}
+	if rc.CheckpointEvery > 0 {
+		var sink core.CheckpointSink = core.NewMemorySink(2)
+		if rc.CheckpointDir != "" {
+			sink = core.NewFileSink(rc.CheckpointDir)
+		}
+		cfg.Checkpoint = core.CheckpointPolicy{Every: rc.CheckpointEvery, Sink: sink}
+		cfg.Streaming = false
+	}
+	return cfg
 }
 
 // PageRankConfig configures a distributed PageRank run.
